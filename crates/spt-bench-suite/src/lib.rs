@@ -1,0 +1,110 @@
+//! The evaluation workload suite.
+//!
+//! The paper evaluates on ten Spec2000Int benchmarks (eon and perlbmk
+//! excluded) with trimmed inputs (§8). Those programs and inputs are not
+//! redistributable, so this crate provides ten synthetic `minic` programs
+//! modeled on the dominant loop idioms each benchmark is known for (see
+//! DESIGN.md's substitution table). The suite deliberately spans the axes
+//! the selection machinery must discriminate:
+//!
+//! * low- vs high-probability cross-iteration memory dependences
+//!   (`vortex_s`, `bzip2_s` vs `mcf_s`),
+//! * end-of-body induction updates that code reordering rescues (`vpr_s`,
+//!   the paper's Fig. 2 shape),
+//! * stride-predictable carried values for SVP (`parser_s`),
+//! * small-bodied `while` loops needing while-unrolling (`crafty_s`,
+//!   `gzip_s`),
+//! * memory-carried global accumulators needing promotion (`gzip_s`,
+//!   `vpr_s`),
+//! * genuinely serial recurrences the cost model must reject (`mcf_s`,
+//!   `twolf_s`'s annealing accept loop),
+//! * cache-hostile access patterns for realistic IPC spreads (`mcf_s`,
+//!   `vortex_s`).
+//!
+//! Every program is deterministic (self-contained LCG seeding) and returns
+//! a checksum so cross-configuration runs can be validated bit-for-bit.
+
+pub mod programs;
+
+pub use programs::{benchmark, suite, Benchmark};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_unique_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 10);
+        let mut names: Vec<&str> = s.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for b in suite() {
+            let module = spt_frontend::compile(b.source)
+                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", b.name));
+            assert!(
+                module.func_by_name(b.entry).is_some(),
+                "{} lacks entry `{}`",
+                b.name,
+                b.entry
+            );
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_deterministically() {
+        for b in suite() {
+            let module = spt_frontend::compile(b.source).unwrap();
+            let interp = spt_profile::Interp::new(&module);
+            let r1 = interp
+                .run(
+                    b.entry,
+                    &[spt_profile::Val::from_i64(b.train_arg)],
+                    &mut spt_profile::NoProfiler,
+                )
+                .unwrap_or_else(|e| panic!("{} fails to run: {e}", b.name));
+            let r2 = interp
+                .run(
+                    b.entry,
+                    &[spt_profile::Val::from_i64(b.train_arg)],
+                    &mut spt_profile::NoProfiler,
+                )
+                .unwrap();
+            assert_eq!(r1.ret, r2.ret, "{} must be deterministic", b.name);
+            assert!(r1.ret.is_some(), "{} must return a checksum", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_have_loops_worth_analyzing() {
+        for b in suite() {
+            let module = spt_frontend::compile(b.source).unwrap();
+            let mut loops = 0;
+            for f in &module.funcs {
+                let cfg = spt_ir::Cfg::compute(f);
+                let dom = spt_ir::DomTree::compute(&cfg);
+                let forest = spt_ir::LoopForest::compute(f, &cfg, &dom);
+                loops += forest.len();
+            }
+            assert!(loops >= 2, "{} has only {loops} loops", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mcf_s").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn ref_inputs_run_longer_than_train() {
+        for b in suite() {
+            assert!(b.ref_arg > b.train_arg, "{}", b.name);
+        }
+    }
+}

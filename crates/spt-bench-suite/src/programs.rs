@@ -1,0 +1,644 @@
+//! The ten benchmark programs.
+//!
+//! Naming: `<spec-name>_s` ("synthetic"). Each entry takes one integer
+//! scaling parameter and returns a checksum. See the crate docs for the
+//! idiom each program models.
+
+/// A benchmark program with its workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Suite-unique name.
+    pub name: &'static str,
+    /// `minic` source text.
+    pub source: &'static str,
+    /// Entry function (always takes one `int`, returns an `int` checksum).
+    pub entry: &'static str,
+    /// Scaling argument for profiling runs (the paper's "train"-like input).
+    pub train_arg: i64,
+    /// Scaling argument for measurement runs (the paper's trimmed
+    /// reference input).
+    pub ref_arg: i64,
+    /// What the program models.
+    pub description: &'static str,
+}
+
+/// Returns the full ten-benchmark suite in a stable order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        BZIP2_S, CRAFTY_S, GAP_S, GCC_S, GZIP_S, MCF_S, PARSER_S, TWOLF_S, VORTEX_S, VPR_S,
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// bzip2-like: block transform + run-length encoding over a byte buffer.
+/// The output cursor is loop-carried but cheap; writes to `out` are read
+/// back only across far iterations, so dependence profiling removes the
+/// static may-dependences.
+pub const BZIP2_S: Benchmark = Benchmark {
+    name: "bzip2_s",
+    entry: "main",
+    train_arg: 900,
+    ref_arg: 3500,
+    description: "block transform + RLE compression loops",
+    source: r#"
+global data[8192]: int;
+global out[16384]: int;
+global freq[256]: int;
+
+fn fill(n: int) {
+    let v = 48271;
+    for (let i = 0; i < n; i = i + 1) {
+        v = (v * 16807) % 2147483647;
+        // Runs of repeated bytes: hold each value for a few positions.
+        data[i] = (v / 1024) % 23 + (i / 7) % 5;
+    }
+}
+
+fn transform(n: int) -> int {
+    let s = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        let b = data[i] % 256;
+        let t1 = (b * 7 + 13) % 256;
+        let t2 = (t1 * t1 + b) % 251;
+        let t3 = (t2 * 3 + t1) % 256;
+        freq[b] = freq[b] + 1;
+        data[i] = t3;
+        s = s + t3 % 11 + t2 % 5 + (t1 * 2) % 13;
+    }
+    return s;
+}
+
+fn rle(n: int) -> int {
+    let op = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        let b = data[i];
+        let prev = out[op % 16384];
+        let hint = (b * 5 + prev) % 97;
+        let code = (b * 4 + hint % 3) % 1024;
+        out[(op + 1) % 16384] = code;
+        out[(op + 2) % 16384] = (code * 3 + b) % 512;
+        op = op + 2 + hint % 2;
+    }
+    return op;
+}
+
+fn main(n: int) -> int {
+    fill(n);
+    let a = transform(n);
+    let b = rle(n);
+    let c = 0;
+    for (let k = 0; k < 256; k = k + 1) { c = c + freq[k] * (k % 7); }
+    return a * 31 + b * 7 + c;
+}
+"#,
+};
+
+/// crafty-like: bitboard manipulation. Popcount and LSB-scan `while` loops
+/// have tiny bodies — the paper's 34% "body too small" while-loop story —
+/// rescued only by while-unrolling in the anticipated configuration.
+pub const CRAFTY_S: Benchmark = Benchmark {
+    name: "crafty_s",
+    entry: "main",
+    train_arg: 700,
+    ref_arg: 2600,
+    description: "bitboard popcount/scan loops (small while bodies)",
+    source: r#"
+global boards[4096]: int;
+global scores[4096]: int;
+
+fn fill(n: int) {
+    let v = 88172645463325252;
+    for (let i = 0; i < n; i = i + 1) {
+        v = v ^ (v << 13);
+        v = v ^ (v >> 7);
+        v = v ^ (v << 17);
+        boards[i % 4096] = v;
+    }
+}
+
+fn popcount(x: int) -> int {
+    let c = 0;
+    while (x != 0) {
+        x = x & (x - 1);
+        c = c + 1;
+    }
+    return c;
+}
+
+fn evaluate(n: int) -> int {
+    let total = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        let b = boards[i % 4096];
+        let center = b & 103481868288;
+        let edges = b & (~103481868288);
+        let mobility = popcount(center) * 3 + popcount(edges);
+        let attack = ((b >> 8) ^ b) & 2863311530;
+        let score = mobility * 16 + popcount(attack) * 5 + (b % 64);
+        scores[i % 4096] = score;
+        total = total + score % 97;
+    }
+    return total;
+}
+
+fn main(n: int) -> int {
+    fill(n * 2);
+    let e = evaluate(n);
+    let s = 0;
+    for (let k = 0; k < 4096; k = k + 1) { s = s + scores[k] % 3; }
+    return e * 13 + s;
+}
+"#,
+};
+
+/// gap-like: multi-precision arithmetic. The carry chain is loop-carried but
+/// cheap to compute, so code reordering moves it into the pre-fork region.
+pub const GAP_S: Benchmark = Benchmark {
+    name: "gap_s",
+    entry: "main",
+    train_arg: 260,
+    ref_arg: 900,
+    description: "bignum add/scale loops with carried carries",
+    source: r#"
+global xa[2048]: int;
+global xb[2048]: int;
+global xc[2048]: int;
+
+fn seed(words: int) {
+    let v = 6364136223846793005;
+    for (let i = 0; i < words; i = i + 1) {
+        v = v * 2862933555777941757 + 3037000493;
+        xa[i] = (v >> 16) & 65535;
+        v = v * 2862933555777941757 + 3037000493;
+        xb[i] = (v >> 16) & 65535;
+    }
+}
+
+fn bigadd(words: int) -> int {
+    let carry = 0;
+    for (let i = 0; i < words; i = i + 1) {
+        let av = xa[i];
+        let bv = xb[i];
+        let t = av + bv + carry;
+        let lo = t & 65535;
+        carry = t >> 16;
+        let mixed = (lo * 3 + av % 7) % 65536;
+        xc[i] = lo + (mixed % 2);
+    }
+    return carry;
+}
+
+fn bigscale(words: int, k: int) -> int {
+    let carry = 0;
+    for (let i = 0; i < words; i = i + 1) {
+        let t = xc[i] * k + carry;
+        let lo = t & 65535;
+        carry = t >> 16;
+        xc[i] = lo ^ (carry % 2);
+    }
+    return carry;
+}
+
+fn main(n: int) -> int {
+    let words = 512;
+    if (n < 512) { words = n; }
+    seed(words);
+    let total = 0;
+    let rounds = n / 16 + 4;
+    for (let r = 0; r < rounds; r = r + 1) {
+        let c1 = bigadd(words);
+        let c2 = bigscale(words, (r % 13) + 2);
+        total = total + c1 * 5 + c2 * 3 + xc[r % words] % 101;
+    }
+    return total;
+}
+"#,
+};
+
+/// gcc-like: table-driven scanning. The transition tables are written once
+/// before the hot loop, so inside it the carried state is register-only and
+/// the loop speculates well even in the basic configuration.
+pub const GCC_S: Benchmark = Benchmark {
+    name: "gcc_s",
+    entry: "main",
+    train_arg: 1400,
+    ref_arg: 5000,
+    description: "DFA/table scanning loops over read-only tables",
+    source: r#"
+global trans[1024]: int;
+global input[8192]: int;
+global counts[64]: int;
+
+fn build_tables() {
+    for (let s = 0; s < 16; s = s + 1) {
+        for (let c = 0; c < 64; c = c + 1) {
+            trans[s * 64 + c] = ((s * 31 + c * 17 + 7) % 16);
+        }
+    }
+}
+
+fn gen_input(n: int) {
+    let v = 12345;
+    for (let i = 0; i < n; i = i + 1) {
+        v = (v * 1103515245 + 12345) % 2147483648;
+        input[i % 8192] = (v / 65536) % 64;
+    }
+}
+
+fn scan(n: int) -> int {
+    let state = 0;
+    let accepts = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        let sym = input[i % 8192];
+        let t1 = trans[state * 64 + sym];
+        let w1 = (sym * 13 + t1 * 29) % 211;
+        let w2 = (w1 * w1 + sym) % 127;
+        let bucket = (t1 * 4 + sym % 4) % 64;
+        counts[bucket] = counts[bucket] + w2 % 3 + 1;
+        accepts = accepts + w1 % 7 + w2 % 5;
+        state = t1;
+    }
+    return accepts * 16 + state;
+}
+
+fn main(n: int) -> int {
+    build_tables();
+    gen_input(n);
+    let a = scan(n);
+    let s = 0;
+    for (let k = 0; k < 64; k = k + 1) { s = s + counts[k] % 9; }
+    return a * 7 + s;
+}
+"#,
+};
+
+/// gzip-like: LZ hash-chain matching. The inner match loop is a small-body
+/// `while`; the global match counters create memory-carried scalar deps that
+/// promotion turns into register deps.
+pub const GZIP_S: Benchmark = Benchmark {
+    name: "gzip_s",
+    entry: "main",
+    train_arg: 800,
+    ref_arg: 3000,
+    description: "LZ window matching with global counters",
+    source: r#"
+global window[8192]: int;
+global head[512]: int;
+global matches: int;
+global literals: int;
+
+fn fill(n: int) {
+    let v = 104729;
+    for (let i = 0; i < n; i = i + 1) {
+        v = (v * 48271) % 2147483647;
+        // Compressible: frequent repeats of a small alphabet.
+        window[i % 8192] = (v / 4096) % 17 + (i / 11) % 3;
+    }
+}
+
+fn match_len(a: int, b: int, limit: int) -> int {
+    let len = 0;
+    while (len < limit) {
+        if (window[(a + len) % 8192] != window[(b + len) % 8192]) {
+            return len;
+        }
+        len = len + 1;
+    }
+    return len;
+}
+
+fn deflate(n: int) -> int {
+    let out = 0;
+    for (let pos = 64; pos < n; pos = pos + 1) {
+        let w = pos % 8192;
+        let h = (window[w] * 33 + window[(w + 1) % 8192] * 7) % 512;
+        let cand = head[h];
+        let l = match_len(w, cand % 8192, 8);
+        let gain = l * 3 - 1;
+        if (gain > 2) {
+            matches = matches + 1;
+            out = out + gain % 13;
+        } else {
+            literals = literals + 1;
+            out = out + window[w] % 5;
+        }
+        head[h] = w;
+    }
+    return out;
+}
+
+fn main(n: int) -> int {
+    fill(n);
+    let d = deflate(n);
+    return d * 11 + matches * 3 + literals;
+}
+"#,
+};
+
+/// mcf-like: network simplex pointer chasing over large arrays. Every
+/// iteration truly depends on the previous through memory, and the random
+/// walk defeats the cache — the paper's lowest-IPC benchmark, and one the
+/// cost model must refuse to speculate.
+pub const MCF_S: Benchmark = Benchmark {
+    name: "mcf_s",
+    entry: "main",
+    train_arg: 900,
+    ref_arg: 3200,
+    description: "pointer-chasing graph loops (serial, cache-hostile)",
+    source: r#"
+global next[65536]: int;
+global potential[65536]: int;
+global flow[65536]: int;
+
+fn build(nodes: int) {
+    let v = 2463534242;
+    for (let i = 0; i < nodes; i = i + 1) {
+        v = v ^ (v << 13);
+        v = v ^ (v >> 17);
+        v = v ^ (v << 5);
+        let t = v % nodes;
+        if (t < 0) { t = 0 - t; }
+        next[i] = t;
+        potential[i] = (i * 37) % 1009;
+    }
+}
+
+fn chase(nodes: int, steps: int) -> int {
+    let cur = 0;
+    let s = 0;
+    for (let k = 0; k < steps; k = k + 1) {
+        let nxt = next[cur];
+        let p = potential[nxt];
+        let f = flow[nxt];
+        let np = (p + f + k % 17) % 2048;
+        potential[nxt] = np;
+        flow[nxt] = (f + np % 3) % 1024;
+        // Rewire the arc the *next* iteration will follow: a true
+        // adjacent-iteration dependence that no speculation survives.
+        next[nxt] = (nxt * 3 + np + k) % nodes;
+        s = s + np % 7 + f % 11;
+        cur = nxt;
+    }
+    return s;
+}
+
+fn update_arcs(nodes: int) -> int {
+    let t = 0;
+    for (let i = 0; i < nodes; i = i + 1) {
+        let p = potential[i];
+        let red = (p * 3 + flow[i] * 5 + i % 13) % 4093;
+        flow[i] = (flow[i] + red % 2) % 1024;
+        t = t + red % 5;
+    }
+    return t;
+}
+
+fn main(n: int) -> int {
+    let nodes = 65536;
+    build(nodes);
+    let a = chase(nodes, n * 8);
+    let b = update_arcs(nodes);
+    return a * 3 + b;
+}
+"#,
+};
+
+/// parser-like: token scanning. The cursor's step depends on the whole
+/// token-hash computation (its dependence closure is nearly the entire
+/// body, so code reordering alone cannot move it), but ~94% of tokens are a
+/// single cell — exactly software value prediction's stride pattern
+/// (§7.2's `x = bar(x)` situation).
+pub const PARSER_S: Benchmark = Benchmark {
+    name: "parser_s",
+    entry: "main",
+    train_arg: 1000,
+    ref_arg: 3600,
+    description: "token scanning with an SVP-predictable cursor",
+    source: r#"
+global text[16384]: int;
+global dict[256]: int;
+
+fn fill(n: int) {
+    let v = 1299709;
+    for (let i = 0; i < n; i = i + 1) {
+        v = (v * 69621) % 2147483647;
+        text[i % 16384] = (v / 512) % 256;
+    }
+}
+
+fn tokenize(n: int) -> int {
+    let pos = 0;
+    let words = 0;
+    while (pos < n) {
+        let c = text[pos % 16384];
+        let h1 = (c * 33 + 7) % 65536;
+        let h2 = (h1 * 17 + c * 5) % 32749;
+        let h3 = (h2 * h2 + h1) % 16381;
+        let h4 = (h3 * 29 + c % 11) % 8191;
+        dict[c % 256] = dict[c % 256] + 1;
+        words = words + h2 % 3 + h4 % 5 + (h4 * h1) % 7;
+        // ~94% of tokens are one cell; the step depends on the full hash
+        // chain, so its closure is almost the entire loop body and code
+        // reordering cannot move it — only SVP's stride prediction can.
+        let step = 1 + (h4 % 16) / 15;
+        pos = pos + step;
+    }
+    return words * 7;
+}
+
+fn main(n: int) -> int {
+    fill(n);
+    let t = tokenize(n);
+    let s = 0;
+    for (let k = 0; k < 256; k = k + 1) { s = s + dict[k] % 4; }
+    return t * 5 + s;
+}
+"#,
+};
+
+/// twolf-like: simulated-annealing placement. The LCG random state is
+/// carried but cheap (movable); conditional swaps write the placement
+/// arrays with low cross-iteration read probability (dependence profiling
+/// territory), while the accept/reject branch is data-dependent.
+pub const TWOLF_S: Benchmark = Benchmark {
+    name: "twolf_s",
+    entry: "main",
+    train_arg: 700,
+    ref_arg: 2600,
+    description: "annealing swap loops with conditional placement updates",
+    source: r#"
+global px[4096]: int;
+global py[4096]: int;
+global netcost[4096]: int;
+
+fn init(cells: int) {
+    for (let i = 0; i < cells; i = i + 1) {
+        px[i] = (i * 7) % 64;
+        py[i] = (i * 13) % 64;
+        netcost[i] = (i * 31) % 257;
+    }
+}
+
+fn anneal(cells: int, moves: int) -> int {
+    let rng = 12345;
+    let accepted = 0;
+    let cost = 100000;
+    for (let m = 0; m < moves; m = m + 1) {
+        rng = (rng * 1103515245 + 12345) % 2147483648;
+        let a = (rng / 1024) % cells;
+        let b = (rng / 4096) % cells;
+        let dxa = px[a] - px[b];
+        let dya = py[a] - py[b];
+        let d2 = dxa * dxa + dya * dya;
+        let delta = (netcost[a] - netcost[b]) * (d2 % 17 - 8);
+        let threshold = (rng / 65536) % 1024;
+        if (delta < threshold - 512) {
+            let tx = px[a];
+            px[a] = px[b];
+            px[b] = tx;
+            let ty = py[a];
+            py[a] = py[b];
+            py[b] = ty;
+            cost = cost + delta % 251;
+            accepted = accepted + 1;
+        }
+    }
+    return cost * 3 + accepted;
+}
+
+fn main(n: int) -> int {
+    let cells = 4096;
+    init(cells);
+    let c = anneal(cells, n * 4);
+    let s = 0;
+    for (let k = 0; k < cells; k = k + 1) { s = s + px[k] % 3 + py[k] % 5; }
+    return c * 7 + s;
+}
+"#,
+};
+
+/// vortex-like: object-database record shuffling. Records move between
+/// tables through computed indices that almost never collide across
+/// adjacent iterations — static analysis sees may-dependences everywhere,
+/// the dependence profile sees almost none.
+pub const VORTEX_S: Benchmark = Benchmark {
+    name: "vortex_s",
+    entry: "main",
+    train_arg: 700,
+    ref_arg: 2600,
+    description: "object/record shuffling with profiled-disjoint writes",
+    source: r#"
+global table_a[16384]: int;
+global table_b[16384]: int;
+global index_map[4096]: int;
+
+fn setup(n: int) {
+    let v = 7919;
+    for (let i = 0; i < 4096; i = i + 1) {
+        v = (v * 48271) % 2147483647;
+        index_map[i] = v % 4096;
+        table_a[i * 4 % 16384] = v % 1000;
+    }
+}
+
+fn migrate(n: int) -> int {
+    let moved = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        let slot = i % 4096;
+        let target = index_map[slot];
+        let r0 = table_a[(slot * 4) % 16384];
+        let r1 = table_a[(slot * 4 + 1) % 16384];
+        let r2 = table_a[(slot * 4 + 2) % 16384];
+        let key = (r0 * 31 + r1 * 7 + r2) % 8191;
+        let enc = (key * key + r0) % 4093;
+        table_b[(target * 4) % 16384] = enc;
+        table_b[(target * 4 + 1) % 16384] = (enc + r1) % 2048;
+        table_b[(target * 4 + 2) % 16384] = (enc * 3 + r2) % 1024;
+        moved = moved + enc % 13 + key % 7;
+    }
+    return moved;
+}
+
+fn verify(n: int) -> int {
+    let bad = 0;
+    for (let k = 0; k < 4096; k = k + 1) {
+        let b0 = table_b[(k * 4) % 16384];
+        let b1 = table_b[(k * 4 + 1) % 16384];
+        if ((b0 + b1) % 7 == 3) { bad = bad + 1; }
+    }
+    return bad;
+}
+
+fn main(n: int) -> int {
+    setup(n);
+    let m = migrate(n);
+    let v = verify(n);
+    return m * 5 + v;
+}
+"#,
+};
+
+/// vpr-like: placement cost sweep — the paper's Figure 2 loop shape:
+/// floating-point error accumulation with the induction update at the end
+/// of the body, plus a global float accumulator that promotion rescues.
+pub const VPR_S: Benchmark = Benchmark {
+    name: "vpr_s",
+    entry: "main",
+    train_arg: 800,
+    ref_arg: 3000,
+    description: "float cost-accumulation sweep (the paper's Fig. 2 shape)",
+    source: r#"
+global error[16384]: float;
+global pvec[128]: float;
+global cost: float;
+
+fn seed(n: int) {
+    let v = 22695477;
+    for (let i = 0; i < n; i = i + 1) {
+        v = (v * 1103515245 + 12345) % 2147483648;
+        error[i % 16384] = float(v % 2000) / 37.0 - 27.0;
+    }
+    for (let j = 0; j < 128; j = j + 1) {
+        pvec[j] = float(j * 3 % 41) / 7.0;
+    }
+}
+
+fn sweep(n: int) -> float {
+    let i = 0;
+    while (i < n) {
+        let cost0 = 0.0;
+        let row = (i * 128) % 16384;
+        for (let j = 0; j < 24; j = j + 1) {
+            cost0 = cost0 + fabs(error[(row + j) % 16384] - pvec[j % 128]);
+        }
+        let scaled = cost0 / 24.0 + float(i % 3) * 0.125;
+        cost = cost + scaled;
+        i = i + 1;
+    }
+    return cost;
+}
+
+fn main(n: int) -> int {
+    seed(n);
+    let c = sweep(n);
+    return int(c * 16.0) + n % 7;
+}
+"#,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_nonempty_and_named() {
+        for b in suite() {
+            assert!(b.source.len() > 200, "{} too small", b.name);
+            assert!(b.name.ends_with("_s"));
+            assert_eq!(b.entry, "main");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the compiler substrate: frontend compilation,
+//! SSA construction, cleanup pipeline and the full SPT pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend_compile");
+    for name in ["gcc_s", "mcf_s", "vpr_s"] {
+        let bench = spt_bench_suite::benchmark(name).expect("exists");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &bench.source,
+            |b, src| b.iter(|| black_box(spt_frontend::compile(black_box(src)).expect("compiles"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ssa_and_cleanup(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("twolf_s").expect("exists");
+    // Raw (pre-SSA) module as input; measure mem2reg + cleanup.
+    c.bench_function("mem2reg_cleanup/twolf_s", |b| {
+        b.iter_with_setup(
+            || spt_frontend::compile_raw(bench.source).expect("compiles"),
+            |mut module| {
+                for func in &mut module.funcs {
+                    spt_ir::ssa::mem2reg(func);
+                    spt_ir::passes::cleanup(func);
+                }
+                black_box(module)
+            },
+        )
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("gcc_s").expect("exists");
+    let input = ProfilingInput::new(bench.entry, [bench.train_arg / 4]);
+    c.bench_function("pipeline/gcc_s(best)", |b| {
+        b.iter(|| {
+            black_box(
+                compile_and_transform(black_box(bench.source), &input, &CompilerConfig::best())
+                    .expect("pipeline"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_frontend, bench_ssa_and_cleanup, bench_full_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the misspeculation cost model: cost-graph
+//! propagation (§4.2.3) across graph sizes, and dependence-graph
+//! construction from IR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spt_cost::cost_graph::CostGraph;
+use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
+use spt_cost::{LoopCostModel, Partition};
+use spt_ir::loops::LoopId;
+use std::hint::black_box;
+
+/// A layered synthetic cost graph: `width` nodes per layer, `layers` deep,
+/// each node fed by two nodes of the previous layer, seeded by `width` VCs.
+fn layered_graph(width: usize, layers: usize) -> CostGraph {
+    let n = width * layers;
+    let mut g = CostGraph::with_unit_costs(n);
+    for k in 0..width {
+        let vc = g.add_vc(Some(k), 0.9);
+        g.add_vc_edge(vc, k, 0.5);
+    }
+    for layer in 1..layers {
+        for k in 0..width {
+            let dst = layer * width + k;
+            let src1 = (layer - 1) * width + k;
+            let src2 = (layer - 1) * width + (k + 1) % width;
+            g.add_edge(src1, dst, 0.6);
+            g.add_edge(src2, dst, 0.3);
+        }
+    }
+    g
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_propagation");
+    for (width, layers) in [(8, 8), (16, 16), (32, 32)] {
+        let g = layered_graph(width, layers);
+        let prefork = vec![false; g.num_nodes];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}x{layers}")),
+            &(g, prefork),
+            |b, (g, prefork)| b.iter(|| black_box(g.misspeculation_cost(black_box(prefork)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dep_graph_build(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("gcc_s").expect("exists");
+    let module = spt_frontend::compile(bench.source).expect("compiles");
+    let func = module.func_by_name("scan").expect("scan exists");
+    c.bench_function("dep_graph_build/gcc_s::scan", |b| {
+        b.iter(|| {
+            black_box(DepGraph::build(
+                black_box(&module),
+                func,
+                LoopId::new(0),
+                Profiles::default(),
+                &DepGraphConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_partition_eval(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("vpr_s").expect("exists");
+    let module = spt_frontend::compile(bench.source).expect("compiles");
+    let func = module.func_by_name("sweep").expect("sweep exists");
+    let graph = DepGraph::build(
+        &module,
+        func,
+        LoopId::new(0),
+        Profiles::default(),
+        &DepGraphConfig::default(),
+    );
+    let model = LoopCostModel::new(graph);
+    let vcs: Vec<usize> = model.vcs().to_vec();
+    c.bench_function("partition_eval/vpr_s::sweep", |b| {
+        b.iter(|| {
+            let p = Partition::from_seeds(&model.graph, black_box(&vcs));
+            if let Some(p) = p {
+                black_box(model.misspeculation_cost(&p));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_propagation, bench_dep_graph_build, bench_partition_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the execution substrates: the profiling
+//! interpreter and the SPT machine simulator (baseline and speculative
+//! modes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt_profile::{Interp, NoProfiler, ProfileCollector, Val};
+use spt_sim::SptSimulator;
+use std::hint::black_box;
+
+const N: i64 = 400;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("gcc_s").expect("exists");
+    let module = spt_frontend::compile(bench.source).expect("compiles");
+    c.bench_function("interp/gcc_s", |b| {
+        let interp = Interp::new(&module);
+        b.iter(|| {
+            black_box(
+                interp
+                    .run(bench.entry, &[Val::from_i64(N)], &mut NoProfiler)
+                    .expect("runs"),
+            )
+        })
+    });
+    c.bench_function("interp_profiled/gcc_s", |b| {
+        let interp = Interp::new(&module);
+        b.iter(|| {
+            let mut collector = ProfileCollector::new();
+            black_box(
+                interp
+                    .run(bench.entry, &[Val::from_i64(N)], &mut collector)
+                    .expect("runs"),
+            );
+            black_box(collector)
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let bench = spt_bench_suite::benchmark("gcc_s").expect("exists");
+    let input = ProfilingInput::new(bench.entry, [bench.train_arg / 4]);
+    let compiled =
+        compile_and_transform(bench.source, &input, &CompilerConfig::best()).expect("pipeline");
+    let sim = SptSimulator::new();
+    c.bench_function("sim_baseline/gcc_s", |b| {
+        b.iter(|| {
+            black_box(
+                sim.run(&compiled.baseline, bench.entry, &[N])
+                    .expect("runs"),
+            )
+        })
+    });
+    c.bench_function("sim_spt/gcc_s", |b| {
+        b.iter(|| black_box(sim.run(&compiled.module, bench.entry, &[N]).expect("runs")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_interpreter, bench_simulator
+}
+criterion_main!(benches);

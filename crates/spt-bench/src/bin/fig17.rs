@@ -1,0 +1,64 @@
+//! **Figure 17**: characteristics of the selected SPT loop partitions —
+//! dynamic loop body size (instructions per iteration) and the pre-fork
+//! region's share of the body.
+//!
+//! Paper shape: a selected loop executes ~400 instructions per iteration,
+//! and the pre-fork (sequential) region is a small fraction of the body —
+//! that is what leaves parallelism on the table for the speculative thread.
+//!
+//! Run: `cargo run --release -p spt-bench --bin fig17`
+
+use spt_bench::run_benchmark;
+use spt_core::{CompilerConfig, LoopOutcome};
+
+fn main() {
+    spt_bench::header(
+        "Figure 17",
+        "selected-loop body sizes and pre-fork shares (best config)",
+    );
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>12}",
+        "program", "loops", "insts/iter", "static-size", "prefork-frac"
+    );
+    let mut all_dyn = Vec::new();
+    let mut all_frac = Vec::new();
+    for b in spt_bench_suite::suite() {
+        let run = run_benchmark(&b, &CompilerConfig::best());
+        let selected: Vec<_> = run
+            .report
+            .loops
+            .iter()
+            .filter(|l| l.outcome == LoopOutcome::Selected)
+            .collect();
+        if selected.is_empty() {
+            println!("{:<12} {:>6}", b.name, 0);
+            continue;
+        }
+        let dyn_sz: f64 =
+            selected.iter().map(|l| l.dyn_body_insts).sum::<f64>() / selected.len() as f64;
+        let stat_sz: f64 =
+            selected.iter().map(|l| l.body_size as f64).sum::<f64>() / selected.len() as f64;
+        let frac: f64 = selected
+            .iter()
+            .map(|l| l.prefork_size as f64 / l.body_size.max(1) as f64)
+            .sum::<f64>()
+            / selected.len() as f64;
+        println!(
+            "{:<12} {:>6} {:>12.0} {:>12.0} {:>11.0}%",
+            b.name,
+            selected.len(),
+            dyn_sz,
+            stat_sz,
+            frac * 100.0
+        );
+        all_dyn.push(dyn_sz);
+        all_frac.push(frac);
+    }
+    let avg_dyn = all_dyn.iter().sum::<f64>() / all_dyn.len().max(1) as f64;
+    let avg_frac = all_frac.iter().sum::<f64>() / all_frac.len().max(1) as f64;
+    println!(
+        "\naverage dynamic body: {avg_dyn:.0} insts/iteration; average pre-fork share {:.0}%",
+        avg_frac * 100.0
+    );
+    println!("paper: ~400 instructions per iteration; small pre-fork share");
+}

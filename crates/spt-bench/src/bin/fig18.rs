@@ -1,0 +1,64 @@
+//! **Figure 18**: runtime behaviour of the generated SPT loops — the
+//! misspeculation ratio and the loop-level speedup over sequential execution
+//! of the same work.
+//!
+//! Paper shape: the cost-driven selection keeps the average misspeculation
+//! ratio tiny (~3%) while the selected loops run ~26% faster (1.26x). The
+//! reproduction target is "low misspeculation, solid per-loop speedup"; our
+//! synthetic loops have higher speculative coverage, so the speedups run
+//! higher.
+//!
+//! Run: `cargo run --release -p spt-bench --bin fig18`
+
+use spt_bench::run_benchmark;
+use spt_core::CompilerConfig;
+
+fn main() {
+    spt_bench::header(
+        "Figure 18",
+        "per-SPT-loop misspeculation ratio and loop speedup (best config)",
+    );
+    println!(
+        "{:<12} {:>5} {:>9} {:>9} {:>10} {:>10}",
+        "program", "tag", "commits", "misspec%", "speedup", "est.cost"
+    );
+    let mut ratios = Vec::new();
+    let mut speedups = Vec::new();
+    for b in spt_bench_suite::suite() {
+        let run = run_benchmark(&b, &CompilerConfig::best());
+        for sel in &run.report.selected {
+            let Some(stats) = run.spt.loops.get(&sel.loop_tag) else {
+                continue;
+            };
+            if stats.commits == 0 {
+                continue;
+            }
+            println!(
+                "{:<12} {:>5} {:>9} {:>8.1}% {:>9.2}x {:>10.2}",
+                b.name,
+                sel.loop_tag,
+                stats.commits,
+                stats.misspec_ratio() * 100.0,
+                stats.speedup(),
+                sel.est_cost
+            );
+            ratios.push(stats.misspec_ratio());
+            speedups.push(stats.speedup());
+        }
+    }
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    let avg_speed = spt_bench::geomean(speedups.iter().copied());
+    println!(
+        "\naverage misspeculation ratio {:.1}% (paper ~3%); per-loop speedup {:.2}x (paper ~1.26x)",
+        avg_ratio * 100.0,
+        avg_speed
+    );
+    println!(
+        "shape check: low misspeculation with positive loop speedups -> {}",
+        if avg_ratio < 0.15 && avg_speed > 1.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}

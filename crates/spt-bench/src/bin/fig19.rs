@@ -1,0 +1,77 @@
+//! **Figure 19**: compiler-estimated misspeculation cost versus the actual
+//! re-execution ratio, one point per SPT loop.
+//!
+//! Paper shape: the two are well correlated, the estimates are conservative
+//! (points cluster on the over-estimation side), and the worst outliers are
+//! loops containing function calls whose memory effects the compiler cannot
+//! see ("function-calls inside these loops, which will modify and use some
+//! global variables unknown to the caller").
+//!
+//! To populate the scatter with high-cost loops too, this experiment uses a
+//! permissive selection (the cost threshold disabled) so even loops the
+//! real compiler would reject get transformed and measured.
+//!
+//! Run: `cargo run --release -p spt-bench --bin fig19`
+
+use spt_bench::{run_benchmark, spearman};
+use spt_core::CompilerConfig;
+
+fn main() {
+    spt_bench::header(
+        "Figure 19",
+        "estimated misspeculation cost vs measured re-execution ratio",
+    );
+    let mut config = CompilerConfig::best();
+    config.cost_frac = 1e9; // transform everything transformable
+    config.name = "best-permissive";
+
+    println!(
+        "{:<12} {:>5} {:>12} {:>12} {:>12}",
+        "program", "tag", "est(cost/sz)", "measured", "overest?"
+    );
+    let mut est = Vec::new();
+    let mut act = Vec::new();
+    let mut overestimates = 0;
+    for b in spt_bench_suite::suite() {
+        let run = run_benchmark(&b, &config);
+        for sel in &run.report.selected {
+            let Some(stats) = run.spt.loops.get(&sel.loop_tag) else {
+                continue;
+            };
+            if stats.commits < 4 {
+                continue;
+            }
+            let estimated = sel.est_cost / sel.body_size.max(1) as f64;
+            let measured = stats.reexec_ratio();
+            let over = estimated >= measured - 0.02;
+            if over {
+                overestimates += 1;
+            }
+            println!(
+                "{:<12} {:>5} {:>12.3} {:>12.3} {:>12}",
+                b.name,
+                sel.loop_tag,
+                estimated,
+                measured,
+                if over { "yes" } else { "NO" }
+            );
+            est.push(estimated);
+            act.push(measured);
+        }
+    }
+    let rho = spearman(&est, &act);
+    println!("\n{} loops plotted", est.len());
+    println!("Spearman rank correlation: {rho:.3} (paper: 'generally well-correlated')");
+    println!(
+        "conservative estimates: {overestimates}/{} (paper: estimates over-estimate the ratio)",
+        est.len()
+    );
+    println!(
+        "shape check: positive correlation with mostly-conservative estimates -> {}",
+        if rho > 0.3 && overestimates * 2 > est.len() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}

@@ -1,0 +1,95 @@
+//! **Sensitivity**: how the headline speedup responds to the machine
+//! parameters the paper fixes — fork/commit overheads (6/5 cycles) and the
+//! speculative-execution size limit. This is the design-space ablation
+//! behind the paper's §6.1 criterion 3 ("the performance gain ... will not
+//! be enough to compensate for the overhead of forking a thread") and its
+//! max-loop-size limit of 1000.
+//!
+//! Run: `cargo run --release -p spt-bench --bin sensitivity`
+
+use spt_bench::geomean;
+use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt_sim::{MachineConfig, SptSimulator};
+
+const SAMPLE: [&str; 4] = ["gcc_s", "vpr_s", "twolf_s", "parser_s"];
+
+fn speedups(machine: MachineConfig) -> f64 {
+    let sim = SptSimulator::with_config(machine);
+    let mut out = Vec::new();
+    for name in SAMPLE {
+        let b = spt_bench_suite::benchmark(name).expect("exists");
+        let input = ProfilingInput::new(b.entry, [b.train_arg]);
+        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
+            .expect("pipeline");
+        let base = sim
+            .run(&compiled.baseline, b.entry, &[b.ref_arg])
+            .expect("baseline");
+        let spt = sim
+            .run(&compiled.module, b.entry, &[b.ref_arg])
+            .expect("spt");
+        assert_eq!(base.ret, spt.ret);
+        out.push(base.cycles as f64 / spt.cycles as f64);
+    }
+    geomean(out)
+}
+
+fn main() {
+    spt_bench::header(
+        "Sensitivity",
+        "speedup vs fork/commit overheads and speculation size limit",
+    );
+
+    println!("-- fork+commit overhead sweep (paper point: fork=6, commit=5)");
+    println!("{:>18} {:>10}", "fork/commit", "speedup");
+    let mut last = f64::MAX;
+    let mut monotone = true;
+    for (fork, commit) in [(0u64, 0u64), (6, 5), (20, 15), (60, 50), (200, 150)] {
+        let machine = MachineConfig {
+            fork_overhead: fork,
+            commit_overhead: commit,
+            ..MachineConfig::default()
+        };
+        let s = speedups(machine);
+        println!("{fork:>9}/{commit:<8} {s:>10.3}");
+        if s > last + 1e-9 {
+            monotone = false;
+        }
+        last = s;
+    }
+    println!(
+        "shape check: speedup decays as overheads grow -> {}",
+        if monotone { "HOLDS" } else { "VIOLATED" }
+    );
+
+    println!("\n-- speculative size limit sweep (paper: hardware-limited)");
+    println!("{:>12} {:>10}", "max ops", "speedup");
+    let mut prev = 0.0;
+    let mut nondecreasing = true;
+    for cap in [8usize, 32, 128, 512, 4000] {
+        let machine = MachineConfig {
+            max_spec_ops: cap,
+            ..MachineConfig::default()
+        };
+        let s = speedups(machine);
+        println!("{cap:>12} {s:>10.3}");
+        if s < prev - 0.02 {
+            nondecreasing = false;
+        }
+        prev = s;
+    }
+    println!(
+        "shape check: more speculation headroom never hurts (±2%) -> {}",
+        if nondecreasing { "HOLDS" } else { "VIOLATED" }
+    );
+
+    println!("\n-- speculative store buffer sweep");
+    println!("{:>12} {:>10}", "entries", "speedup");
+    for entries in [2usize, 8, 64, 512] {
+        let machine = MachineConfig {
+            spec_buffer_entries: entries,
+            ..MachineConfig::default()
+        };
+        let s = speedups(machine);
+        println!("{entries:>12} {s:>10.3}");
+    }
+}

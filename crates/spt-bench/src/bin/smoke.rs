@@ -1,0 +1,29 @@
+//! Quick whole-suite smoke: selection and speedup per benchmark/config.
+use spt_bench::{geomean, run_benchmark};
+use spt_core::CompilerConfig;
+
+fn main() {
+    for cfg in [
+        CompilerConfig::basic(),
+        CompilerConfig::best(),
+        CompilerConfig::anticipated(),
+    ] {
+        let mut speedups = Vec::new();
+        println!("== config {}", cfg.name);
+        for b in spt_bench_suite::suite() {
+            let t0 = std::time::Instant::now();
+            let run = run_benchmark(&b, &cfg);
+            let su = run.speedup();
+            speedups.push(su);
+            println!(
+                "  {:10} sel={:2} speedup={:.3} baseIPC={:.2} ({:?})",
+                b.name,
+                run.report.selected.len(),
+                su,
+                run.baseline.ipc(),
+                t0.elapsed()
+            );
+        }
+        println!("  geomean speedup: {:.4}", geomean(speedups));
+    }
+}

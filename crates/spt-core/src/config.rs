@@ -1,0 +1,117 @@
+//! Compiler configurations, mirroring the three compilations evaluated in
+//! §8 of the paper.
+
+/// Thresholds and feature toggles for the SPT pipeline.
+#[derive(Clone, Debug)]
+pub struct CompilerConfig {
+    /// Human-readable name shown in reports.
+    pub name: &'static str,
+    /// Feed data-dependence profiling into the cost model (§7.3; *best*
+    /// configuration and up). Without it, memory dependences come from
+    /// type-based disambiguation only.
+    pub use_dep_profile: bool,
+    /// Apply software value prediction (§7.2; *best* and up).
+    pub use_svp: bool,
+    /// Unroll counted (DO) loops whose bodies are too small (§7.1; always on
+    /// in the paper's experiments).
+    pub unroll_counted: bool,
+    /// Also unroll general `while` loops (the *anticipated* enabling
+    /// technique; ORC could not).
+    pub unroll_while: bool,
+    /// Promote global scalars to registers across loops ("export of global
+    /// variables"; *anticipated*).
+    pub promote_globals: bool,
+    /// Minimum static loop body size (latency units) for an SPT loop
+    /// (§6.1 criterion 3, lower bound); small bodies cannot amortize the
+    /// fork overhead.
+    pub min_body_size: u64,
+    /// Maximum loop body size (machine-dependent; the paper's experiments
+    /// use 1000).
+    pub max_body_size: u64,
+    /// Pre-fork region size threshold, as a fraction of the body size
+    /// (§6.1 criterion 2 and pruning heuristic 1).
+    pub prefork_frac: f64,
+    /// Misspeculation cost threshold, as a fraction of the body size
+    /// (§6.1 criterion 1).
+    pub cost_frac: f64,
+    /// Minimum average trip count (§6.1 criterion 4: below 2, the next
+    /// iteration rarely exists and speculative threads die).
+    pub min_trip_count: f64,
+    /// Skip loops with more violation candidates than this (§5.2.1; the
+    /// paper uses 30).
+    pub max_vcs: usize,
+    /// Cap on the unroll factor.
+    pub unroll_max_factor: usize,
+    /// Confidence bar for SVP value patterns.
+    pub svp_threshold: f64,
+}
+
+impl CompilerConfig {
+    /// The *basic* compilation: cost model, code reordering, counted-loop
+    /// unrolling, control-flow edge profiling, type-based alias analysis.
+    /// (§8: achieves only ~1% average speedup.)
+    pub fn basic() -> Self {
+        CompilerConfig {
+            name: "basic",
+            use_dep_profile: false,
+            use_svp: false,
+            unroll_counted: true,
+            unroll_while: false,
+            promote_globals: false,
+            min_body_size: 40,
+            max_body_size: 1000,
+            prefork_frac: 0.35,
+            cost_frac: 0.15,
+            min_trip_count: 2.0,
+            max_vcs: 30,
+            unroll_max_factor: 8,
+            svp_threshold: 0.9,
+        }
+    }
+
+    /// The *current best* compilation: basic + software value prediction +
+    /// data-dependence profiling feedback. (§8: ~8% average speedup.)
+    pub fn best() -> Self {
+        CompilerConfig {
+            name: "best",
+            use_dep_profile: true,
+            use_svp: true,
+            ..Self::basic()
+        }
+    }
+
+    /// The *anticipated best* compilation: best + while-loop unrolling +
+    /// privatization/global export. (§8: ~15.6% average speedup once the
+    /// manual techniques are automated.)
+    pub fn anticipated() -> Self {
+        CompilerConfig {
+            name: "anticipated",
+            unroll_while: true,
+            promote_globals: true,
+            ..Self::best()
+        }
+    }
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        Self::best()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_capability() {
+        let basic = CompilerConfig::basic();
+        let best = CompilerConfig::best();
+        let anticipated = CompilerConfig::anticipated();
+        assert!(!basic.use_dep_profile && !basic.use_svp);
+        assert!(best.use_dep_profile && best.use_svp && !best.unroll_while);
+        assert!(anticipated.unroll_while && anticipated.promote_globals);
+        assert_eq!(basic.max_vcs, 30);
+        assert_eq!(basic.max_body_size, 1000);
+    }
+}

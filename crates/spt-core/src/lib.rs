@@ -1,0 +1,31 @@
+//! The cost-driven SPT compilation pipeline — the paper's primary
+//! contribution (§3).
+//!
+//! Two key elements (§3): the compilation is **cost-driven** (every decision
+//! consults the misspeculation cost model of `spt-cost`) and performs
+//! **aggressive but careful selection** via a two-pass process:
+//!
+//! * **pass 1** tentatively evaluates *every* loop candidate — every nesting
+//!   level of every loop nest — finding its optimal SPT partition and cost
+//!   (`spt-partition`), without altering the program;
+//! * **pass 2** evaluates all candidates together, selects only the good
+//!   SPT loops (§6.1 criteria: misspeculation cost, pre-fork size, body
+//!   size, iteration count), and applies the final transformation
+//!   (`spt-transform`).
+//!
+//! The pipeline also hosts the enabling techniques (§7): loop unrolling
+//! before analysis, software value prediction with its own profiling round,
+//! dependence-profiling feedback, and (in the *anticipated* configuration)
+//! while-loop unrolling and global scalar promotion.
+//!
+//! Three [`CompilerConfig`] presets mirror the paper's evaluated compilers
+//! (§8): [`CompilerConfig::basic`], [`CompilerConfig::best`] and
+//! [`CompilerConfig::anticipated`].
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+
+pub use config::CompilerConfig;
+pub use pipeline::{compile_and_transform, PipelineError, ProfilingInput, SptCompilation};
+pub use report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};

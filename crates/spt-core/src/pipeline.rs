@@ -1,0 +1,920 @@
+//! The two-pass, cost-driven compilation driver (§3.2, Fig. 4).
+//!
+//! Stage order:
+//!
+//! 1. **compile** the source to SSA IR (the non-SPT baseline is kept for
+//!    speedup comparisons);
+//! 2. **preprocess** (§3.2 "loop preprocessing"): unroll small-bodied loops
+//!    (counted loops always; `while` loops in the *anticipated*
+//!    configuration) and promote global scalars (*anticipated*);
+//! 3. **profile** the preprocessed program: control-flow edges, data
+//!    dependences, loop statistics in one interpreter run;
+//! 4. **pass 1**: for every loop candidate (every nest level), build the
+//!    annotated dependence graph and cost model and search for the optimal
+//!    partition — tentatively, without changing the program;
+//! 5. **SVP** (§7.2, *best* and up): value-profile the carried definitions
+//!    of loops whose cost is still too high; rewrite the predictable ones
+//!    through predictor cells, then re-profile and re-run pass 1 (the
+//!    dependence profile of the rewritten code prices the predictor's rare
+//!    recovery store automatically);
+//! 6. **pass 2**: select the good SPT loops (§6.1 criteria; one loop per
+//!    nest) and emit the SPT transformation for each;
+//! 7. cleanup and verification.
+
+use crate::config::CompilerConfig;
+use crate::report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};
+use spt_cost::dep_graph::{DepGraph, DepGraphConfig, NodeClass, Profiles};
+use spt_cost::LoopCostModel;
+use spt_ir::loops::LoopId;
+use spt_ir::{BlockId, Cfg, DomTree, FuncId, InstId, LoopForest, Module, Ty};
+use spt_partition::{optimal_partition, SearchConfig};
+use spt_profile::{Interp, InterpError, ProfileCollector, Val, ValueProfile};
+use spt_transform::{
+    classify_loop, emit_spt_loop, unroll::choose_unroll_factor, unroll_loop, SptLoopSpec,
+    UnrollKind,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// How to run the program for profiling.
+#[derive(Clone, Debug)]
+pub struct ProfilingInput {
+    /// Entry function name.
+    pub entry: String,
+    /// Arguments passed to the entry function.
+    pub args: Vec<Val>,
+    /// Initial memory image (defaults to the module's global initializers).
+    pub memory: Option<Vec<u64>>,
+}
+
+impl ProfilingInput {
+    /// Profiling input calling `entry` with integer arguments.
+    pub fn new(entry: impl Into<String>, args: impl IntoIterator<Item = i64>) -> Self {
+        ProfilingInput {
+            entry: entry.into(),
+            args: args.into_iter().map(Val::from_i64).collect(),
+            memory: None,
+        }
+    }
+}
+
+/// Pipeline failure modes.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Frontend failure.
+    Compile(spt_frontend::CompileError),
+    /// A profiling run failed.
+    Interp(InterpError),
+    /// Internal invariant broke (verifier failure after transformation).
+    Verify(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+            PipelineError::Interp(e) => write!(f, "profiling run failed: {e}"),
+            PipelineError::Verify(e) => write!(f, "post-transform verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<spt_frontend::CompileError> for PipelineError {
+    fn from(e: spt_frontend::CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<InterpError> for PipelineError {
+    fn from(e: InterpError) -> Self {
+        PipelineError::Interp(e)
+    }
+}
+
+/// The result of a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct SptCompilation {
+    /// The SPT-transformed module.
+    pub module: Module,
+    /// The untouched baseline compile (the paper's non-SPT reference code).
+    pub baseline: Module,
+    /// Per-loop decisions and selection results.
+    pub report: CompilationReport,
+}
+
+/// Everything pass 1 learned about one candidate, with instruction-level
+/// move/replicate sets resolved (stable across later IR surgery).
+struct LoopAnalysis {
+    func: FuncId,
+    loop_id: LoopId,
+    header: BlockId,
+    depth: usize,
+    parent_header: Option<BlockId>,
+    body_size: u64,
+    num_vcs: usize,
+    cost: f64,
+    prefork_size: u64,
+    move_insts: HashSet<InstId>,
+    replicate_insts: HashSet<InstId>,
+    skipped_too_many_vcs: bool,
+    canonical: bool,
+    search_visited: u64,
+    svp_applied: bool,
+}
+
+/// Runs the full pipeline on `source`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on frontend errors, failed profiling runs, or
+/// (never expected) post-transformation verifier failures.
+pub fn compile_and_transform(
+    source: &str,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> Result<SptCompilation, PipelineError> {
+    let baseline = spt_frontend::compile(source)?;
+    let mut module = baseline.clone();
+    transform_module(&mut module, input, config).map(|report| SptCompilation {
+        module,
+        baseline,
+        report,
+    })
+}
+
+/// Runs preprocessing, analysis, selection and transformation on an
+/// already-compiled module in place, returning the report.
+///
+/// # Errors
+///
+/// See [`compile_and_transform`].
+pub fn transform_module(
+    module: &mut Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> Result<CompilationReport, PipelineError> {
+    // --- Stage 2: preprocessing.
+    let mut unroll_factors: HashMap<(FuncId, BlockId), usize> = HashMap::new();
+    preprocess(module, config, &mut unroll_factors);
+    spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
+
+    // --- Stage 3: profiling run A.
+    let mut collector = run_profile(module, input)?;
+
+    // --- Stage 4: pass 1 analysis.
+    let mut analyses = analyze_module(module, &collector, config);
+
+    // --- Stage 5: software value prediction.
+    let mut svp_headers: HashSet<(FuncId, BlockId)> = HashSet::new();
+    if config.use_svp {
+        let rewrote = svp_stage(module, input, config, &analyses, &mut svp_headers)?;
+        if rewrote {
+            for func in &mut module.funcs {
+                spt_ir::passes::cleanup(func);
+                spt_ir::passes::loop_simplify(func);
+            }
+            spt_ir::verify::verify_module(module)
+                .map_err(|e| PipelineError::Verify(e.to_string()))?;
+            collector = run_profile(module, input)?;
+            analyses = analyze_module(module, &collector, config);
+        }
+    }
+    for a in &mut analyses {
+        a.svp_applied = svp_headers.contains(&(a.func, a.header));
+    }
+
+    // --- Stage 6: pass 2 selection.
+    let mut records = select(module, config, &collector, &mut analyses, &unroll_factors);
+
+    // --- Emission.
+    let mut selected_out: Vec<SelectedLoop> = Vec::new();
+    let mut next_tag: u32 = 1;
+    for (idx, a) in analyses.iter().enumerate() {
+        if records[idx].outcome != LoopOutcome::Selected {
+            continue;
+        }
+        // Re-locate the loop by header in the current forest.
+        let func = module.func_mut(a.func);
+        let loop_id = {
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(func, &cfg, &dom);
+            let found = forest.ids().find(|&l| forest.get(l).header == a.header);
+            found
+        };
+        let Some(loop_id) = loop_id else {
+            records[idx].outcome = LoopOutcome::NotCanonical;
+            continue;
+        };
+        let spec = SptLoopSpec {
+            loop_id,
+            move_insts: a.move_insts.clone(),
+            replicate_insts: a.replicate_insts.clone(),
+            loop_tag: next_tag,
+        };
+        match emit_spt_loop(func, &spec) {
+            Ok(_info) => {
+                selected_out.push(SelectedLoop {
+                    func: a.func,
+                    header: a.header,
+                    loop_tag: next_tag,
+                    est_cost: a.cost,
+                    prefork_size: a.prefork_size,
+                    body_size: a.body_size,
+                });
+                next_tag += 1;
+            }
+            Err(_) => {
+                records[idx].outcome = LoopOutcome::NotCanonical;
+            }
+        }
+    }
+
+    // --- Stage 7: cleanup and verification.
+    for func in &mut module.funcs {
+        spt_ir::passes::cleanup(func);
+    }
+    spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
+
+    Ok(CompilationReport {
+        config_name: config.name.to_string(),
+        loops: records,
+        selected: selected_out,
+        profile_total_cycles: collector.loops.total_cycles,
+    })
+}
+
+/// Stage 2: unrolling and global promotion.
+fn preprocess(
+    module: &mut Module,
+    config: &CompilerConfig,
+    unroll_factors: &mut HashMap<(FuncId, BlockId), usize>,
+) {
+    let globals = module.globals.clone();
+    for fi in 0..module.funcs.len() {
+        let func_id = FuncId::new(fi);
+        let func = module.func_mut(func_id);
+
+        if config.promote_globals {
+            spt_transform::promote_global_scalars(&globals, func);
+            spt_ir::passes::cleanup(func);
+            spt_ir::passes::loop_simplify(func);
+        }
+
+        if config.unroll_counted || config.unroll_while {
+            // Attempt each loop once (identified by header).
+            let mut attempted: HashSet<BlockId> = HashSet::new();
+            loop {
+                let cfg = Cfg::compute(func);
+                let dom = DomTree::compute(&cfg);
+                let forest = LoopForest::compute(func, &cfg, &dom);
+                let mut did = false;
+                for lid in forest.ids() {
+                    let header = forest.get(lid).header;
+                    if attempted.contains(&header) {
+                        continue;
+                    }
+                    attempted.insert(header);
+                    let kind = classify_loop(func, &forest, lid);
+                    let allowed = match kind {
+                        UnrollKind::Counted => config.unroll_counted,
+                        UnrollKind::While => config.unroll_while,
+                    };
+                    if !allowed {
+                        continue;
+                    }
+                    let body = static_body_size(func, &forest, lid);
+                    let factor =
+                        choose_unroll_factor(body, config.min_body_size, config.unroll_max_factor);
+                    if factor < 2 {
+                        continue;
+                    }
+                    if unroll_loop(func, lid, factor).is_ok() {
+                        unroll_factors.insert((func_id, header), factor);
+                        spt_ir::passes::cleanup(func);
+                        spt_ir::passes::loop_simplify(func);
+                        did = true;
+                        break; // forest invalidated
+                    }
+                }
+                if !did {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One profiling run with the full collector.
+fn run_profile(module: &Module, input: &ProfilingInput) -> Result<ProfileCollector, PipelineError> {
+    let interp = Interp::new(module);
+    let mut collector = ProfileCollector::new();
+    match &input.memory {
+        Some(mem) => {
+            interp.run_with_memory(&input.entry, &input.args, mem.clone(), &mut collector)?
+        }
+        None => interp.run(&input.entry, &input.args, &mut collector)?,
+    };
+    Ok(collector)
+}
+
+/// Pass 1 over every loop of every function.
+fn analyze_module(
+    module: &Module,
+    collector: &ProfileCollector,
+    config: &CompilerConfig,
+) -> Vec<LoopAnalysis> {
+    let mut out = Vec::new();
+    for func_id in module.func_ids() {
+        let func = module.func(func_id);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        for lid in forest.ids() {
+            out.push(analyze_loop(
+                module, func_id, &cfg, &forest, lid, collector, config,
+            ));
+        }
+    }
+    out
+}
+
+/// Builds the cost model and searches the optimal partition for one loop.
+fn analyze_loop(
+    module: &Module,
+    func_id: FuncId,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_id: LoopId,
+    collector: &ProfileCollector,
+    config: &CompilerConfig,
+) -> LoopAnalysis {
+    let func = module.func(func_id);
+    let l = forest.get(loop_id);
+    let header = l.header;
+    let canonical = l.preheader(cfg).is_some() && l.latches.len() == 1;
+
+    let profiles = Profiles {
+        edges: Some(&collector.edges),
+        deps: config.use_dep_profile.then_some(&collector.deps),
+    };
+    let graph = DepGraph::build(
+        module,
+        func_id,
+        loop_id,
+        profiles,
+        &DepGraphConfig::default(),
+    );
+    let body_size = graph.body_size;
+    let model = LoopCostModel::new(graph);
+    let num_vcs = model.vcs().len();
+
+    let search_config = SearchConfig {
+        max_prefork_size: ((body_size as f64) * config.prefork_frac) as u64,
+        max_vcs: config.max_vcs,
+        ..SearchConfig::default()
+    };
+    let result = optimal_partition(&model, &search_config);
+
+    // Resolve node sets to instruction sets, forcing in (a) the header-test
+    // closure — the pre-fork region owns the per-iteration exit check — and
+    // (b) the closure of header-block definitions that are live outside the
+    // loop: after the transformation the loop exits from the *cloned*
+    // header, so the exiting iteration's value of such a definition only
+    // exists if the pre-fork region computes it.
+    let mut move_insts: HashSet<InstId> = HashSet::new();
+    let mut replicate_insts: HashSet<InstId> = HashSet::new();
+    let mut effective_nodes: Vec<usize> = result.partition.nodes();
+    let mut forced: Vec<usize> = Vec::new();
+    if let Some(term) = func.terminator(header) {
+        if let Some(&tnode) = model.graph.index.get(&term) {
+            forced.push(tnode);
+        }
+    }
+    {
+        let loop_blocks: std::collections::HashSet<BlockId> = {
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(func, &cfg, &dom);
+            let blocks: std::collections::HashSet<BlockId> = forest
+                .ids()
+                .find(|&l| forest.get(l).header == header)
+                .map(|l| forest.get(l).blocks.iter().copied().collect())
+                .unwrap_or_default();
+            blocks
+        };
+        let mut used_outside: HashSet<InstId> = HashSet::new();
+        for bb in func.block_ids() {
+            if loop_blocks.contains(&bb) {
+                continue;
+            }
+            for &i in &func.block(bb).insts {
+                func.inst(i).kind.for_each_operand(|op| {
+                    if let spt_ir::Operand::Inst(d) = op {
+                        used_outside.insert(d);
+                    }
+                });
+            }
+        }
+        for (k, &inst) in model.graph.nodes.iter().enumerate() {
+            if model.graph.node_block[k] == header && used_outside.contains(&inst) {
+                forced.push(k);
+            }
+        }
+    }
+    let mut live_out_closure_legal = true;
+    if !forced.is_empty() {
+        let cl = model.graph.closure(&forced);
+        live_out_closure_legal = model.graph.closure_is_legal(&cl);
+        for n in cl {
+            if !effective_nodes.contains(&n) {
+                effective_nodes.push(n);
+            }
+        }
+    }
+    for &n in &effective_nodes {
+        let inst = model.graph.nodes[n];
+        if model.graph.class[n] == NodeClass::Branch {
+            replicate_insts.insert(inst);
+        } else {
+            move_insts.insert(inst);
+        }
+    }
+    let prefork_size = model.graph.set_size(&effective_nodes);
+
+    LoopAnalysis {
+        func: func_id,
+        loop_id,
+        header,
+        depth: l.depth,
+        parent_header: l.parent.map(|p| forest.get(p).header),
+        body_size,
+        num_vcs,
+        cost: result.cost,
+        prefork_size,
+        move_insts,
+        replicate_insts,
+        skipped_too_many_vcs: result.skipped_too_many_vcs,
+        canonical: canonical && live_out_closure_legal,
+        search_visited: result.visited,
+        svp_applied: false,
+    }
+}
+
+/// Stage 5: identify SVP targets, value-profile them, rewrite the
+/// predictable ones. Returns `true` when anything was rewritten.
+fn svp_stage(
+    module: &mut Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+    analyses: &[LoopAnalysis],
+    svp_headers: &mut HashSet<(FuncId, BlockId)>,
+) -> Result<bool, PipelineError> {
+    // Candidate loops: plausible except for cost (or a too-large pre-fork
+    // region): SVP exists to remove exactly those residual dependences.
+    let mut targets: Vec<(FuncId, InstId, Ty)> = Vec::new();
+    let mut loop_phis: Vec<(FuncId, BlockId, InstId, InstId)> = Vec::new(); // (func, header, phi, carrier)
+    for a in analyses {
+        if !a.canonical || a.skipped_too_many_vcs {
+            continue;
+        }
+        if a.body_size < config.min_body_size || a.body_size > config.max_body_size {
+            continue;
+        }
+        let needs_help = a.cost > config.cost_frac * a.body_size as f64
+            || a.prefork_size as f64 > config.prefork_frac * a.body_size as f64;
+        if !needs_help {
+            continue;
+        }
+        let func = module.func(a.func);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        let Some(lid) = forest.ids().find(|&l| forest.get(l).header == a.header) else {
+            continue;
+        };
+        let l = forest.get(lid);
+        let latch = match l.latches.as_slice() {
+            [single] => *single,
+            _ => continue,
+        };
+        for &i in &func.block(a.header).insts {
+            if let spt_ir::InstKind::Phi { args } = &func.inst(i).kind {
+                let Some(ty) = func.inst(i).ty else { continue };
+                if ty != Ty::I64 {
+                    continue; // integer prediction only
+                }
+                for (pred, v) in args {
+                    if *pred == latch {
+                        if let spt_ir::Operand::Inst(carrier) = v {
+                            targets.push((a.func, *carrier, ty));
+                            loop_phis.push((a.func, a.header, i, *carrier));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Ok(false);
+    }
+
+    // Value-profiling run.
+    let mut vp = ValueProfile::new(targets);
+    vp.threshold = config.svp_threshold;
+    {
+        let interp = Interp::new(module);
+        match &input.memory {
+            Some(mem) => interp.run_with_memory(&input.entry, &input.args, mem.clone(), &mut vp)?,
+            None => interp.run(&input.entry, &input.args, &mut vp)?,
+        };
+    }
+
+    // Rewrite predictable carriers.
+    let mut rewrote = false;
+    for (func_id, header, phi, carrier) in loop_phis {
+        let (pattern, ratio) = vp.pattern(func_id, carrier);
+        if matches!(pattern, spt_profile::ValuePattern::Unpredictable) {
+            continue;
+        }
+        if vp.samples(func_id, carrier) < 8 {
+            continue; // not enough evidence
+        }
+        // Re-locate the loop (earlier rewrites may have restructured).
+        let lid = {
+            let func = module.func(func_id);
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(func, &cfg, &dom);
+            let found = forest.ids().find(|&l| forest.get(l).header == header);
+            found
+        };
+        let Some(lid) = lid else { continue };
+        let miss = (1.0 - ratio).clamp(0.0, 1.0);
+        if spt_transform::apply_svp(module, func_id, lid, phi, pattern, miss).is_ok() {
+            svp_headers.insert((func_id, header));
+            rewrote = true;
+        }
+    }
+    Ok(rewrote)
+}
+
+/// Pass 2: apply the §6.1 selection criteria and resolve nest conflicts.
+fn select(
+    module: &Module,
+    config: &CompilerConfig,
+    collector: &ProfileCollector,
+    analyses: &mut [LoopAnalysis],
+    unroll_factors: &HashMap<(FuncId, BlockId), usize>,
+) -> Vec<LoopRecord> {
+    // Loop-profile lookup keyed by (func, header): recompute forest per
+    // function to map headers to loop-profile ids.
+    let mut stats_by_header: HashMap<(FuncId, BlockId), spt_profile::loop_profile::LoopStats> =
+        HashMap::new();
+    let mut coverage_by_header: HashMap<(FuncId, BlockId), f64> = HashMap::new();
+    for func_id in module.func_ids() {
+        let func = module.func(func_id);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        for lid in forest.ids() {
+            let header = forest.get(lid).header;
+            stats_by_header.insert((func_id, header), collector.loops.stats(func_id, lid));
+            coverage_by_header.insert((func_id, header), collector.loops.coverage(func_id, lid));
+        }
+    }
+
+    let mut records: Vec<LoopRecord> = Vec::with_capacity(analyses.len());
+    for a in analyses.iter() {
+        let stats = stats_by_header
+            .get(&(a.func, a.header))
+            .copied()
+            .unwrap_or_default();
+        let coverage = coverage_by_header
+            .get(&(a.func, a.header))
+            .copied()
+            .unwrap_or(0.0);
+        let outcome = if !a.canonical {
+            LoopOutcome::NotCanonical
+        } else if a.skipped_too_many_vcs {
+            LoopOutcome::TooManyVcs
+        } else if stats.invocations == 0 {
+            LoopOutcome::NotProfiled
+        } else if a.body_size < config.min_body_size {
+            LoopOutcome::BodyTooSmall
+        } else if a.body_size > config.max_body_size {
+            LoopOutcome::BodyTooLarge
+        } else if stats.avg_trip_count() < config.min_trip_count {
+            LoopOutcome::TripCountTooSmall
+        } else if (a.prefork_size as f64) > config.prefork_frac * a.body_size as f64 {
+            LoopOutcome::PreForkTooLarge
+        } else if a.cost > config.cost_frac * a.body_size as f64 {
+            LoopOutcome::CostTooHigh
+        } else {
+            LoopOutcome::Selected
+        };
+        records.push(LoopRecord {
+            func: a.func,
+            func_name: module.func(a.func).name.clone(),
+            loop_id: a.loop_id,
+            header: a.header,
+            depth: a.depth,
+            body_size: a.body_size,
+            num_vcs: a.num_vcs,
+            cost: a.cost,
+            prefork_size: a.prefork_size,
+            avg_trip_count: stats.avg_trip_count(),
+            dyn_body_insts: stats.body_insts_per_iter(),
+            coverage,
+            svp_applied: a.svp_applied,
+            unroll_factor: unroll_factors
+                .get(&(a.func, a.header))
+                .copied()
+                .unwrap_or(1),
+            search_visited: a.search_visited,
+            outcome,
+        });
+    }
+
+    // Nest conflicts: among selected relatives keep the best benefit.
+    let benefit = |r: &LoopRecord| -> f64 {
+        let body = r.body_size.max(1) as f64;
+        r.coverage * ((body - r.prefork_size as f64 - r.cost).max(0.0) / body)
+    };
+    // Ancestor relation via parent chains captured at analysis time.
+    let parent_of: HashMap<(FuncId, BlockId), Option<BlockId>> = analyses
+        .iter()
+        .map(|a| ((a.func, a.header), a.parent_header))
+        .collect();
+    let is_ancestor = |anc: (FuncId, BlockId), desc: (FuncId, BlockId)| -> bool {
+        if anc.0 != desc.0 {
+            return false;
+        }
+        let mut cur = parent_of.get(&desc).copied().flatten();
+        while let Some(h) = cur {
+            if h == anc.1 {
+                return true;
+            }
+            cur = parent_of.get(&(desc.0, h)).copied().flatten();
+        }
+        false
+    };
+    let selected_idx: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.outcome == LoopOutcome::Selected)
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &selected_idx {
+        for &j in &selected_idx {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (&records[i], &records[j]);
+            if a.outcome != LoopOutcome::Selected || b.outcome != LoopOutcome::Selected {
+                continue;
+            }
+            let related = is_ancestor((a.func, a.header), (b.func, b.header))
+                || is_ancestor((b.func, b.header), (a.func, a.header));
+            if related {
+                let loser = if benefit(a) >= benefit(b) { j } else { i };
+                records[loser].outcome = LoopOutcome::NestConflict;
+            }
+        }
+    }
+    records
+}
+
+/// Static body size of a loop in latency units.
+fn static_body_size(func: &spt_ir::Function, forest: &LoopForest, loop_id: LoopId) -> u64 {
+    forest
+        .get(loop_id)
+        .blocks
+        .iter()
+        .map(|&bb| {
+            func.block(bb)
+                .insts
+                .iter()
+                .map(|&i| func.inst(i).latency().max(1))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "
+        global data[4096]: int;
+        global out[4096]: int;
+        fn seed_data(n: int) {
+            let v = 12345;
+            for (let i = 0; i < n; i = i + 1) {
+                v = (v * 1103515245 + 12345) % 65536;
+                data[i] = v;
+            }
+        }
+        fn kernel(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                let x = data[i];
+                let t = (x * x) % 97 + (x / 3) * 2 - (x % 7);
+                let u = (t * 13 + 7) % 1000;
+                let w = (u * u + x) % 4096;
+                out[i] = w + t - u + x * 2 + (w % 5) * (t % 11);
+                s = s + w % 17 + t % 19;
+            }
+            return s;
+        }
+        fn main(n: int) -> int {
+            seed_data(n);
+            return kernel(n);
+        }
+    ";
+
+    fn run_module(module: &Module, n: i64) -> i64 {
+        let interp = Interp::new(module);
+        interp
+            .run("main", &[Val::from_i64(n)], &mut spt_profile::NoProfiler)
+            .unwrap()
+            .ret
+            .unwrap()
+            .as_i64()
+    }
+
+    #[test]
+    fn best_config_selects_and_preserves_semantics() {
+        let input = ProfilingInput::new("main", [600]);
+        let result =
+            compile_and_transform(SIMPLE, &input, &CompilerConfig::best()).expect("pipeline");
+        assert!(
+            !result.report.selected.is_empty(),
+            "kernel loop should be selected: {:#?}",
+            result.report.loops
+        );
+        // Transformed module computes the same results as the baseline.
+        for n in [0i64, 5, 100, 999] {
+            assert_eq!(
+                run_module(&result.module, n),
+                run_module(&result.baseline, n)
+            );
+        }
+        // SPT markers present.
+        let has_fork = result.module.funcs.iter().any(|f| {
+            f.block_ids().any(|bb| {
+                f.block(bb)
+                    .insts
+                    .iter()
+                    .any(|&i| matches!(f.inst(i).kind, spt_ir::InstKind::SptFork { .. }))
+            })
+        });
+        assert!(has_fork);
+    }
+
+    #[test]
+    fn basic_config_is_more_conservative() {
+        let input = ProfilingInput::new("main", [600]);
+        let basic =
+            compile_and_transform(SIMPLE, &input, &CompilerConfig::basic()).expect("pipeline");
+        let best =
+            compile_and_transform(SIMPLE, &input, &CompilerConfig::best()).expect("pipeline");
+        assert!(basic.report.selected.len() <= best.report.selected.len());
+        for n in [0i64, 64] {
+            assert_eq!(run_module(&basic.module, n), run_module(&basic.baseline, n));
+        }
+    }
+
+    #[test]
+    fn report_covers_all_loops() {
+        let input = ProfilingInput::new("main", [300]);
+        let result =
+            compile_and_transform(SIMPLE, &input, &CompilerConfig::best()).expect("pipeline");
+        // Both functions' loops appear (seed_data's and kernel's).
+        assert!(result.report.loops.len() >= 2);
+        for l in &result.report.loops {
+            assert!(!l.func_name.is_empty());
+        }
+        assert!(result.report.profile_total_cycles > 0);
+    }
+
+    #[test]
+    fn pointer_chase_rejected_by_cost_model() {
+        // Every iteration truly depends on the previous through memory with
+        // probability 1; no partition helps. The cost-driven selection must
+        // refuse it.
+        let src = "
+            global next[512]: int;
+            global acc: int;
+            fn build(n: int) {
+                for (let i = 0; i < n; i = i + 1) { next[i] = (i + 7) % n; }
+            }
+            fn chase(n: int, steps: int) -> int {
+                let cur = 0;
+                let s = 0;
+                for (let k = 0; k < steps; k = k + 1) {
+                    cur = next[cur];
+                    next[cur] = (cur + s) % n;
+                    s = s + cur % 13 + (cur * cur) % 7 + (s % 11) * 3 + cur / 5 + (s / 7) % 23;
+                }
+                return s;
+            }
+            fn main(n: int) -> int {
+                build(n);
+                return chase(n, 400);
+            }
+        ";
+        let input = ProfilingInput::new("main", [256]);
+        let result = compile_and_transform(src, &input, &CompilerConfig::best()).expect("pipeline");
+        let chase_selected = result
+            .report
+            .loops
+            .iter()
+            .any(|l| l.func_name == "chase" && l.outcome == LoopOutcome::Selected);
+        assert!(
+            !chase_selected,
+            "true recurrence must not be speculated: {:#?}",
+            result.report.loops
+        );
+        for n in [8i64, 256] {
+            assert_eq!(
+                run_module(&result.module, n),
+                run_module(&result.baseline, n)
+            );
+        }
+    }
+
+    #[test]
+    fn svp_enables_strided_recurrence() {
+        // The carried index advances by a fixed stride through a call-free
+        // but division-heavy update that is too expensive to move; SVP
+        // predicts it.
+        let src = "
+            global table[8192]: int;
+            fn main(n: int) -> int {
+                let idx = 0;
+                let s = 0;
+                let k = 0;
+                while (k < n) {
+                    let a = table[idx % 8192];
+                    let b = (a * 3 + idx) % 257;
+                    let c = (b * b + a) % 127;
+                    s = s + b + c + (a % 31) * 2 + (c * b) % 19 + (s % 7);
+                    table[(idx + 13) % 8192] = s % 251;
+                    idx = idx + 3;
+                    k = k + 1;
+                }
+                return s;
+            }
+        ";
+        let input = ProfilingInput::new("main", [500]);
+        let best = compile_and_transform(src, &input, &CompilerConfig::best()).expect("pipeline");
+        for n in [0i64, 10, 333] {
+            assert_eq!(run_module(&best.module, n), run_module(&best.baseline, n));
+        }
+    }
+
+    #[test]
+    fn anticipated_unrolls_while_loops() {
+        // A small-bodied while loop: too small for basic/best, unrolled (and
+        // hence potentially selected) by anticipated.
+        let src = "
+            global a[4096]: int;
+            fn main(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    s = s + a[i] + i % 3;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let input = ProfilingInput::new("main", [2000]);
+        let best = compile_and_transform(src, &input, &CompilerConfig::best()).expect("ok");
+        let ant = compile_and_transform(src, &input, &CompilerConfig::anticipated()).expect("ok");
+        let best_small = best
+            .report
+            .loops
+            .iter()
+            .filter(|l| l.outcome == LoopOutcome::BodyTooSmall)
+            .count();
+        let ant_small = ant
+            .report
+            .loops
+            .iter()
+            .filter(|l| l.outcome == LoopOutcome::BodyTooSmall)
+            .count();
+        assert!(
+            ant_small < best_small || !ant.report.selected.is_empty(),
+            "while-unrolling must rescue small while loops: best={best:?} ant={ant:?}",
+            best = best.report.outcome_histogram(),
+            ant = ant.report.outcome_histogram()
+        );
+        for n in [0i64, 7, 1024] {
+            assert_eq!(run_module(&ant.module, n), run_module(&ant.baseline, n));
+        }
+    }
+}

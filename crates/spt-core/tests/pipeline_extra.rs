@@ -1,0 +1,226 @@
+//! Additional pipeline integration tests: selection-criteria boundaries,
+//! nest conflicts, unprofiled code, SVP bookkeeping and report integrity.
+
+use spt_core::{compile_and_transform, CompilerConfig, LoopOutcome, ProfilingInput};
+
+fn run(src: &str, entry: &str, train: i64, config: &CompilerConfig) -> spt_core::SptCompilation {
+    let input = ProfilingInput::new(entry, [train]);
+    compile_and_transform(src, &input, config).expect("pipeline")
+}
+
+#[test]
+fn unexecuted_loops_are_not_profiled() {
+    let src = "
+        global a[64]: int;
+        fn cold(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) { s = s + a[i % 64]; }
+            return s;
+        }
+        fn main(n: int) -> int {
+            if (n < 0) { return cold(n); }
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+    ";
+    let result = run(src, "main", 100, &CompilerConfig::best());
+    let cold = result
+        .report
+        .loops
+        .iter()
+        .find(|l| l.func_name == "cold")
+        .expect("cold analyzed");
+    assert_eq!(cold.outcome, LoopOutcome::NotProfiled);
+}
+
+#[test]
+fn trip_count_criterion_rejects_short_loops() {
+    // The inner loop runs a single iteration per invocation.
+    let src = "
+        global a[64]: int;
+        fn main(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                let j = 0;
+                while (j < 1) {
+                    s = s + a[(i + j) % 64] % 7 + (i * j) % 5 + (s % 11) + i % 3 + j;
+                    j = j + 1;
+                }
+            }
+            return s;
+        }
+    ";
+    let result = run(src, "main", 200, &CompilerConfig::best());
+    let short = result
+        .report
+        .loops
+        .iter()
+        .find(|l| l.depth == 2)
+        .expect("inner loop analyzed");
+    assert_eq!(
+        short.outcome,
+        LoopOutcome::TripCountTooSmall,
+        "{:#?}",
+        result.report.loops
+    );
+}
+
+#[test]
+fn nest_conflict_keeps_the_better_level() {
+    // Both levels are individually attractive; pass 2 must keep one.
+    let src = "
+        global a[4096]: int;
+        fn main(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                for (let j = 0; j < 32; j = j + 1) {
+                    let x = a[(i * 32 + j) % 4096];
+                    let t = (x * 13 + j) % 211;
+                    let u = (t * t + x) % 1009;
+                    a[(i * 32 + j) % 4096] = u % 251;
+                    s = s + t % 7 + u % 11;
+                }
+            }
+            return s;
+        }
+    ";
+    let result = run(src, "main", 60, &CompilerConfig::best());
+    let selected: Vec<_> = result
+        .report
+        .loops
+        .iter()
+        .filter(|l| l.outcome == LoopOutcome::Selected)
+        .collect();
+    let conflicts: Vec<_> = result
+        .report
+        .loops
+        .iter()
+        .filter(|l| l.outcome == LoopOutcome::NestConflict)
+        .collect();
+    assert_eq!(
+        selected.len() + conflicts.len(),
+        result.report.loops.len(),
+        "both levels plausible here: {:#?}",
+        result.report.loops
+    );
+    assert_eq!(selected.len(), 1, "exactly one level survives the nest");
+}
+
+#[test]
+fn max_body_size_rejects_giant_loops() {
+    // A loop body inflated far beyond the machine limit of 1000.
+    let mut body = String::new();
+    for k in 0..120 {
+        body.push_str(&format!("s = s + (i * {k} + {k}) % 97 + (s / 3) % 11;\n"));
+        body.push_str(&format!("s = s + a[(i + {k}) % 64] % 5;\n"));
+    }
+    let src = format!(
+        "global a[64]: int;
+         fn main(n: int) -> int {{
+             let s = 0;
+             for (let i = 0; i < n; i = i + 1) {{ {body} }}
+             return s;
+         }}"
+    );
+    let result = run(&src, "main", 50, &CompilerConfig::best());
+    let l = &result.report.loops[0];
+    assert!(l.body_size > 1000);
+    assert_eq!(l.outcome, LoopOutcome::BodyTooLarge);
+}
+
+#[test]
+fn too_many_vcs_skips_search() {
+    // 40 independent carried accumulators: above the paper's 30-candidate
+    // search limit.
+    let mut decls = String::new();
+    let mut body = String::new();
+    let mut ret = String::from("0");
+    for v in 0..40 {
+        decls.push_str(&format!("let x{v} = {v};\n"));
+        body.push_str(&format!("x{v} = x{v} + i % {};\n", v + 2));
+        ret.push_str(&format!(" + x{v}"));
+    }
+    let src = format!(
+        "fn main(n: int) -> int {{
+            {decls}
+            let i = 0;
+            while (i < n) {{ {body} i = i + 1; }}
+            return {ret};
+        }}"
+    );
+    let result = run(&src, "main", 100, &CompilerConfig::best());
+    let l = &result.report.loops[0];
+    assert_eq!(l.outcome, LoopOutcome::TooManyVcs);
+    assert!(l.num_vcs > 30, "{}", l.num_vcs);
+}
+
+#[test]
+fn unroll_factor_recorded_in_report() {
+    // A tiny counted loop: unrolling must fire and be recorded.
+    let src = "
+        global a[4096]: int;
+        fn main(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                s = s + a[i % 4096];
+            }
+            return s;
+        }
+    ";
+    let result = run(src, "main", 2000, &CompilerConfig::best());
+    let l = result
+        .report
+        .loops
+        .iter()
+        .max_by_key(|l| l.unroll_factor)
+        .unwrap();
+    assert!(l.unroll_factor >= 2, "{:#?}", result.report.loops);
+}
+
+#[test]
+fn svp_flag_set_only_on_rewritten_loops() {
+    let src = "
+        global text[4096]: int;
+        fn main(n: int) -> int {
+            let pos = 0;
+            let words = 0;
+            while (pos < n) {
+                let c = text[pos % 4096];
+                let h1 = (c * 33 + 7) % 65536;
+                let h2 = (h1 * 17 + c * 5) % 32749;
+                let h3 = (h2 * h2 + h1) % 16381;
+                words = words + h2 % 3 + h3 % 5;
+                let step = 1 + (h3 % 16) / 15;
+                pos = pos + step;
+            }
+            return words;
+        }
+    ";
+    let with_svp = run(src, "main", 800, &CompilerConfig::best());
+    let mut cfg = CompilerConfig::best();
+    cfg.use_svp = false;
+    let without = run(src, "main", 800, &cfg);
+    let svp_count = with_svp.report.loops.iter().filter(|l| l.svp_applied).count();
+    assert!(svp_count >= 1, "{:#?}", with_svp.report.loops);
+    assert_eq!(
+        without.report.loops.iter().filter(|l| l.svp_applied).count(),
+        0
+    );
+}
+
+#[test]
+fn report_selected_matches_selected_records() {
+    let b = spt_bench_suite::benchmark("gcc_s").unwrap();
+    let result = run(b.source, b.entry, b.train_arg, &CompilerConfig::best());
+    assert_eq!(
+        result.report.selected.len(),
+        result.report.selected_records().len()
+    );
+    // Tags are unique and dense from 1.
+    let mut tags: Vec<u32> = result.report.selected.iter().map(|s| s.loop_tag).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), result.report.selected.len());
+    assert_eq!(tags.first().copied(), Some(1));
+}

@@ -1,0 +1,29 @@
+//! The misspeculation cost model (§4 of the paper) — the central service
+//! component of the cost-driven SPT compilation framework.
+//!
+//! Three layers:
+//!
+//! * [`dep_graph`] — builds, for one loop, a data-dependence graph whose
+//!   true-dependence edges are annotated with probabilities (§4.1), from
+//!   static type-based disambiguation optionally refined by dependence
+//!   profiling (§7.3). Also computes per-node execution probabilities from
+//!   the control-flow edge profile, intra-iteration dependence closures
+//!   (used for partition legality) and movability.
+//! * [`cost_graph`] — the cost graph (§4.2.2): pseudo nodes for violation
+//!   candidates plus operation nodes, with the re-execution probability
+//!   propagation `x = 1 - (1-x)(1 - r·v(p))` evaluated in topological order
+//!   (§4.2.3) and the final cost `Σ v(c)·Cost(c)` (§4.2.4).
+//! * [`model`] — [`model::LoopCostModel`] ties the two together for a given
+//!   [`Partition`] (a pre-fork region), exposing the misspeculation cost and
+//!   pre-fork size queries that drive the optimal-partition search.
+//!
+//! The worked example of §4.2.5 (Figures 5–6, cost = 0.58) is reproduced in
+//! `cost_graph`'s tests and in the `cost_model_walkthrough` example.
+
+pub mod cost_graph;
+pub mod dep_graph;
+pub mod model;
+
+pub use cost_graph::{CostGraph, VcInfo};
+pub use dep_graph::{DepEdge, DepEdgeKind, DepGraph, DepGraphConfig, Profiles};
+pub use model::{LoopCostModel, Partition};

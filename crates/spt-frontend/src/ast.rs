@@ -1,0 +1,168 @@
+//! Abstract syntax tree for `minic`.
+
+/// A source type annotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeAnn {
+    /// `int` — 64-bit signed integer.
+    Int,
+    /// `float` — 64-bit float.
+    Float,
+}
+
+/// Binary operators at the AST level (including short-circuit forms, which
+/// lowering expands into control flow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators at the AST level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Not,
+    /// `!`
+    LogNot,
+}
+
+/// An expression with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Expression payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable or global scalar reference.
+    Name(String),
+    /// Global array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Binary(AstBinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(AstUnOp, Box<Expr>),
+    /// Function or intrinsic call.
+    Call(String, Vec<Expr>),
+}
+
+/// A statement with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// The node.
+    pub kind: StmtKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Statement payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `let name (: ty)? = expr;`
+    Let(String, Option<TypeAnn>, Expr),
+    /// `name = expr;` (local or global scalar)
+    Assign(String, Expr),
+    /// `name[index] = expr;`
+    StoreIndex(String, Expr, Expr),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }` — the countable "DO loop" form.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Expression statement (typically a call).
+    ExprStmt(Expr),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// `(name, type)` parameters.
+    pub params: Vec<(String, TypeAnn)>,
+    /// Return type, if any.
+    pub ret: Option<TypeAnn>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// 1-based line of the definition.
+    pub line: usize,
+}
+
+/// A global declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDef {
+    /// Global name.
+    pub name: String,
+    /// Number of cells (1 for scalars).
+    pub size: usize,
+    /// Element type.
+    pub ty: TypeAnn,
+    /// Scalar initializer, if present.
+    pub init: Option<f64>,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Global declarations in source order.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions in source order.
+    pub funcs: Vec<FuncDef>,
+}

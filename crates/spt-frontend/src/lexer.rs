@@ -1,0 +1,452 @@
+//! Lexer for `minic`.
+
+use crate::CompileError;
+use std::fmt;
+
+/// A token kind with payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.symbol()),
+        }
+    }
+}
+
+impl Tok {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::Fn => "fn",
+            Tok::Global => "global",
+            Tok::Let => "let",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::For => "for",
+            Tok::Return => "return",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::KwInt => "int",
+            Tok::KwFloat => "float",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Arrow => "->",
+            Tok::Assign => "=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Bang => "!",
+            Tok::Int(_) | Tok::Float(_) | Tok::Ident(_) => "<lit>",
+            Tok::Eof => "<eof>",
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated comments, malformed numbers or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, line: &mut usize, col: &mut usize| {
+            for k in 0..n {
+                if chars[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(1, &mut i, &mut line, &mut col),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                advance(2, &mut i, &mut line, &mut col);
+                let mut closed = false;
+                while i + 1 < chars.len() {
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        advance(2, &mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    return Err(CompileError::new("unterminated block comment", tl, tc));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                let is_float =
+                    i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit();
+                if is_float {
+                    advance(1, &mut i, &mut line, &mut col);
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        advance(1, &mut i, &mut line, &mut col);
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new("malformed float literal", tl, tc))?;
+                    push!(Tok::Float(v), tl, tc);
+                } else if i < chars.len() && chars[i] == '.' {
+                    // `1.` style float
+                    advance(1, &mut i, &mut line, &mut col);
+                    let text: String = chars[start..i - 1].iter().collect();
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new("malformed float literal", tl, tc))?;
+                    push!(Tok::Float(v), tl, tc);
+                } else {
+                    let text: String = chars[start..i].iter().collect();
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new("integer literal overflow", tl, tc))?;
+                    push!(Tok::Int(v), tl, tc);
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "fn" => Tok::Fn,
+                    "global" => Tok::Global,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    _ => Tok::Ident(text),
+                };
+                push!(tok, tl, tc);
+            }
+            _ => {
+                let two: Option<Tok> = if i + 1 < chars.len() {
+                    match (c, chars[i + 1]) {
+                        ('-', '>') => Some(Tok::Arrow),
+                        ('=', '=') => Some(Tok::EqEq),
+                        ('!', '=') => Some(Tok::NotEq),
+                        ('<', '=') => Some(Tok::Le),
+                        ('>', '=') => Some(Tok::Ge),
+                        ('<', '<') => Some(Tok::Shl),
+                        ('>', '>') => Some(Tok::Shr),
+                        ('&', '&') => Some(Tok::AndAnd),
+                        ('|', '|') => Some(Tok::OrOr),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(t) = two {
+                    push!(t, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    let one = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        ':' => Tok::Colon,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '~' => Tok::Tilde,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Bang,
+                        other => {
+                            return Err(CompileError::new(
+                                format!("unexpected character `{other}`"),
+                                tl,
+                                tc,
+                            ))
+                        }
+                    };
+                    push!(one, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo while whilex"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::While,
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.5 1. 0"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1.0),
+                Tok::Int(0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("-> == != <= >= << >> && || < > = ! ~"),
+            vec![
+                Tok::Arrow,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Bang,
+                Tok::Tilde,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+        assert_eq!(e.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn rejects_integer_overflow() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

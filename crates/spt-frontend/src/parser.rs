@@ -1,0 +1,546 @@
+//! Recursive-descent parser for `minic`.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Global => program.globals.push(p.global()?),
+            Tok::Fn => program.funcs.push(p.func()?),
+            other => {
+                return Err(p.error(format!("expected `global` or `fn`, found `{other}`")));
+            }
+        }
+    }
+    Ok(program)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        let (line, col) = self.here();
+        CompileError::new(message, line, col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), CompileError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{want}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn type_ann(&mut self) -> Result<TypeAnn, CompileError> {
+        match self.bump() {
+            Tok::KwInt => Ok(TypeAnn::Int),
+            Tok::KwFloat => Ok(TypeAnn::Float),
+            other => Err(self.error(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDef, CompileError> {
+        let (line, _) = self.here();
+        self.expect(&Tok::Global)?;
+        let name = self.ident()?;
+        let size = if self.peek() == &Tok::LBracket {
+            self.bump();
+            let n = match self.bump() {
+                Tok::Int(v) if v > 0 => v as usize,
+                _ => return Err(self.error("array size must be a positive integer literal")),
+            };
+            self.expect(&Tok::RBracket)?;
+            n
+        } else {
+            1
+        };
+        self.expect(&Tok::Colon)?;
+        let ty = self.type_ann()?;
+        let init = if self.peek() == &Tok::Assign {
+            self.bump();
+            let neg = if self.peek() == &Tok::Minus {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let raw = match self.bump() {
+                Tok::Int(v) => v as f64,
+                Tok::Float(v) => v,
+                _ => return Err(self.error("global initializer must be a literal")),
+            };
+            Some(if neg { -raw } else { raw })
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(GlobalDef {
+            name,
+            size,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    fn func(&mut self) -> Result<FuncDef, CompileError> {
+        let (line, _) = self.here();
+        self.expect(&Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let pty = self.type_ann()?;
+                params.push((pname, pty));
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let ret = if self.peek() == &Tok::Arrow {
+            self.bump();
+            Some(self.type_ann()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.error("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let (line, col) = self.here();
+        let kind = match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let ann = if self.peek() == &Tok::Colon {
+                    self.bump();
+                    Some(self.type_ann()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                StmtKind::Let(name, ann, e)
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = self.block()?;
+                let els = if self.peek() == &Tok::Else {
+                    self.bump();
+                    if self.peek() == &Tok::If {
+                        // else-if chain
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If(cond, then, els)
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::While(cond, body)
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = self.simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                let step = self.simple_stmt()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::For(Box::new(init), cond, Box::new(step), body)
+            }
+            Tok::Return => {
+                self.bump();
+                let e = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                StmtKind::Return(e)
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                StmtKind::Break
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                StmtKind::Continue
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                return Ok(s);
+            }
+        };
+        Ok(Stmt { kind, line, col })
+    }
+
+    /// Assignment / store / expression statement without trailing `;`
+    /// (shared by `for` headers and plain statements).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let (line, col) = self.here();
+        // `let` is allowed in for-init position.
+        if self.peek() == &Tok::Let {
+            self.bump();
+            let name = self.ident()?;
+            let ann = if self.peek() == &Tok::Colon {
+                self.bump();
+                Some(self.type_ann()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Assign)?;
+            let e = self.expr()?;
+            return Ok(Stmt {
+                kind: StmtKind::Let(name, ann, e),
+                line,
+                col,
+            });
+        }
+        // Lookahead to distinguish `x = e`, `a[i] = e`, from expressions.
+        if let Tok::Ident(name) = self.peek().clone() {
+            match self.peek2().clone() {
+                Tok::Assign => {
+                    self.bump();
+                    self.bump();
+                    let e = self.expr()?;
+                    return Ok(Stmt {
+                        kind: StmtKind::Assign(name, e),
+                        line,
+                        col,
+                    });
+                }
+                Tok::LBracket => {
+                    // Could be a store or an index expression; parse the
+                    // index and check for `=`.
+                    let save = self.pos;
+                    self.bump(); // ident
+                    self.bump(); // [
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    if self.peek() == &Tok::Assign {
+                        self.bump();
+                        let e = self.expr()?;
+                        return Ok(Stmt {
+                            kind: StmtKind::StoreIndex(name, idx, e),
+                            line,
+                            col,
+                        });
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt {
+            kind: StmtKind::ExprStmt(e),
+            line,
+            col,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (AstBinOp::LogOr, 1),
+                Tok::AndAnd => (AstBinOp::LogAnd, 2),
+                Tok::Pipe => (AstBinOp::Or, 3),
+                Tok::Caret => (AstBinOp::Xor, 4),
+                Tok::Amp => (AstBinOp::And, 5),
+                Tok::EqEq => (AstBinOp::Eq, 6),
+                Tok::NotEq => (AstBinOp::Ne, 6),
+                Tok::Lt => (AstBinOp::Lt, 7),
+                Tok::Le => (AstBinOp::Le, 7),
+                Tok::Gt => (AstBinOp::Gt, 7),
+                Tok::Ge => (AstBinOp::Ge, 7),
+                Tok::Shl => (AstBinOp::Shl, 8),
+                Tok::Shr => (AstBinOp::Shr, 8),
+                Tok::Plus => (AstBinOp::Add, 9),
+                Tok::Minus => (AstBinOp::Sub, 9),
+                Tok::Star => (AstBinOp::Mul, 10),
+                Tok::Slash => (AstBinOp::Div, 10),
+                Tok::Percent => (AstBinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let (line, col) = self.here();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+                col,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let (line, col) = self.here();
+        let op = match self.peek() {
+            Tok::Minus => Some(AstUnOp::Neg),
+            Tok::Tilde => Some(AstUnOp::Not),
+            Tok::Bang => Some(AstUnOp::LogNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(inner)),
+                line,
+                col,
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let (line, col) = self.here();
+        let kind = match self.bump() {
+            Tok::Int(v) => ExprKind::IntLit(v),
+            Tok::Float(v) => ExprKind::FloatLit(v),
+            // `int(expr)` / `float(expr)` conversion intrinsics reuse the
+            // type keywords.
+            t @ (Tok::KwInt | Tok::KwFloat) => {
+                self.expect(&Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let name = if t == Tok::KwInt { "int" } else { "float" };
+                ExprKind::Call(name.to_string(), vec![arg])
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                return Ok(e);
+            }
+            Tok::Ident(name) => match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    ExprKind::Call(name, args)
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    ExprKind::Index(name, Box::new(idx))
+                }
+                _ => ExprKind::Name(name),
+            },
+            other => {
+                return Err(CompileError::new(
+                    format!("expected expression, found `{other}`"),
+                    line,
+                    col,
+                ))
+            }
+        };
+        Ok(Expr { kind, line, col })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse_src("global a[10]: int; global b: float = 1.5; global c: int = -2;");
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].size, 10);
+        assert_eq!(p.globals[1].init, Some(1.5));
+        assert_eq!(p.globals[2].init, Some(-2.0));
+    }
+
+    #[test]
+    fn parses_function_and_loop() {
+        let p = parse_src(
+            "fn sum(n: int) -> int { let s = 0; for (let i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        );
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.params, vec![("n".to_string(), TypeAnn::Int)]);
+        assert_eq!(f.ret, Some(TypeAnn::Int));
+        assert!(matches!(f.body[1].kind, StmtKind::For(..)));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("fn f() -> int { return 1 + 2 * 3; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Binary(AstBinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary(AstBinOp::Mul, ..)));
+                }
+                other => panic!("wrong tree: {other:?}"),
+            },
+            _ => panic!("expected return"),
+        }
+    }
+
+    #[test]
+    fn array_store_vs_index_expr() {
+        let p = parse_src("global a[4]: int; fn f() { a[0] = a[1] + 1; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::StoreIndex(name, _, val) => {
+                assert_eq!(name, "a");
+                assert!(matches!(val.kind, ExprKind::Binary(..)));
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse_src("fn f(x: int) -> int { if (x > 1) { return 1; } else if (x > 0) { return 2; } else { return 3; } }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::If(_, _, els) => {
+                assert_eq!(els.len(), 1);
+                assert!(matches!(els[0].kind, StmtKind::If(..)));
+            }
+            _ => panic!("expected if"),
+        }
+    }
+
+    #[test]
+    fn while_with_logical_ops() {
+        let p = parse_src("fn f(x: int) { while (x > 0 && x < 10 || x == 42) { x = x - 1; } }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::While(cond, _) => {
+                assert!(matches!(cond.kind, ExprKind::Binary(AstBinOp::LogOr, ..)));
+            }
+            _ => panic!("expected while"),
+        }
+    }
+
+    #[test]
+    fn reports_syntax_error_position() {
+        let e = parse(&lex("fn f( {").unwrap()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = parse_src("fn f(x: int) -> int { return - - x + !x; }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn call_statement() {
+        let p = parse_src("fn g() {} fn f() { g(); }");
+        assert!(matches!(p.funcs[1].body[0].kind, StmtKind::ExprStmt(_)));
+    }
+}

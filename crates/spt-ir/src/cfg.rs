@@ -1,0 +1,166 @@
+//! Control-flow graph utilities: predecessor/successor maps, reachability
+//! and reverse postorder.
+
+use crate::ids::BlockId;
+use crate::module::Function;
+
+/// A snapshot of a function's control-flow graph.
+///
+/// The CFG is computed once from the function and does not track subsequent
+/// mutations; recompute after CFG surgery.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// absent).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` for unreachable blocks).
+    pub rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Computes the CFG of a function.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for bb in func.block_ids() {
+            for s in func.successors(bb) {
+                succs[bb.index()].push(s);
+                preds[s.index()].push(bb);
+            }
+        }
+
+        // Iterative DFS computing postorder.
+        let mut postorder = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack holds (block, next successor index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some((bb, si)) = stack.last_mut() {
+            let bb = *bb;
+            if *si < succs[bb.index()].len() {
+                let s = succs[bb.index()][*si];
+                *si += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(bb);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &bb) in rpo.iter().enumerate() {
+            rpo_index[bb.index()] = i;
+        }
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            entry: func.entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of `bb`.
+    pub fn succs(&self, bb: BlockId) -> &[BlockId] {
+        &self.succs[bb.index()]
+    }
+
+    /// Predecessors of `bb`.
+    pub fn preds(&self, bb: BlockId) -> &[BlockId] {
+        &self.preds[bb.index()]
+    }
+
+    /// Returns `true` if `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_index[bb.index()] != usize::MAX
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Operand;
+    use crate::types::Ty;
+
+    /// entry -> (a | b) -> join -> ret, plus an unreachable block.
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("d", vec![("c".into(), Ty::I64)], None);
+        let c = b.param(0);
+        let a_bb = b.add_block();
+        let b_bb = b.add_block();
+        let join = b.add_block();
+        let dead = b.add_block();
+        b.branch(c, a_bb, b_bb);
+        b.switch_to(a_bb);
+        b.jump(join);
+        b.switch_to(b_bb);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(f.entry).len(), 2);
+        let join = BlockId::new(3);
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert!(cfg.is_reachable(join));
+        assert!(!cfg.is_reachable(BlockId::new(4)));
+        // RPO starts at entry, and join comes after both arms.
+        assert_eq!(cfg.rpo[0], f.entry);
+        let ij = cfg.rpo_index[join.index()];
+        assert!(ij > cfg.rpo_index[BlockId::new(1).index()]);
+        assert!(ij > cfg.rpo_index[BlockId::new(2).index()]);
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn loop_rpo() {
+        // entry -> header <-> body; header -> exit
+        let mut b = FuncBuilder::new("l", vec![("c".into(), Ty::I64)], None);
+        let c = b.param(0);
+        let header = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(header).len(), 2);
+        assert!(cfg.rpo_index[header.index()] < cfg.rpo_index[body.index()]);
+        // self-check: rpo visits all 4 blocks
+        assert_eq!(cfg.rpo.len(), 4);
+        let _ = Operand::const_i64(0);
+    }
+}

@@ -1,0 +1,569 @@
+//! Instructions and operands.
+//!
+//! The IR is a conventional instruction-granular SSA: every value-producing
+//! instruction defines exactly one value named by its [`InstId`]. Operands
+//! are either references to defining instructions or immediate constants.
+//!
+//! Two instruction kinds are SPT-specific and correspond directly to the
+//! paper's new machine instructions (§1):
+//!
+//! * [`InstKind::SptFork`] — spawn a speculative thread that begins executing
+//!   at the loop header (the start of the next iteration);
+//! * [`InstKind::SptKill`] — kill any running speculative thread (emitted at
+//!   loop exits).
+
+use crate::ids::{BlockId, FuncId, InstId, RegionId, VarId};
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::types::Ty;
+use std::fmt;
+
+/// An instruction operand: either the value defined by another instruction or
+/// an immediate constant.
+///
+/// Float immediates are stored as raw bits so that operands are `Eq + Hash`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The value defined by the instruction with this id.
+    Inst(InstId),
+    /// An immediate 64-bit integer.
+    ConstI64(i64),
+    /// An immediate 64-bit float, stored as IEEE-754 bits.
+    ConstF64Bits(u64),
+}
+
+impl Operand {
+    /// Creates an integer immediate operand.
+    #[inline]
+    pub fn const_i64(v: i64) -> Self {
+        Operand::ConstI64(v)
+    }
+
+    /// Creates a float immediate operand.
+    #[inline]
+    pub fn const_f64(v: f64) -> Self {
+        Operand::ConstF64Bits(v.to_bits())
+    }
+
+    /// Returns the defining instruction if this operand is a value reference.
+    #[inline]
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Operand::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate float value if this operand is a float constant.
+    #[inline]
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Operand::ConstF64Bits(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate integer value if this operand is an integer
+    /// constant.
+    #[inline]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Operand::ConstI64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this operand is any immediate constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        !matches!(self, Operand::Inst(_))
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(id: InstId) -> Self {
+        Operand::Inst(id)
+    }
+}
+
+impl fmt::Debug for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Inst(id) => write!(f, "{id}"),
+            Operand::ConstI64(v) => write!(f, "{v}"),
+            Operand::ConstF64Bits(bits) => write!(f, "{:?}", f64::from_bits(*bits)),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The payload of an instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// The `index`-th function parameter. Parameter instructions live at the
+    /// top of the entry block.
+    Param {
+        /// Zero-based parameter index.
+        index: usize,
+    },
+    /// Binary arithmetic/logic on two operands of the instruction's type.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Unary arithmetic on one operand.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        val: Operand,
+    },
+    /// Comparison producing an `i64` 0/1.
+    Cmp {
+        /// The comparison.
+        op: CmpOp,
+        /// Operand type being compared (both sides share it).
+        operand_ty: Ty,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// SSA phi: selects a value according to the predecessor block control
+    /// arrived from. `args` is parallel to the block's predecessor list as
+    /// recorded here (block id per incoming edge).
+    Phi {
+        /// `(predecessor block, incoming value)` pairs.
+        args: Vec<(BlockId, Operand)>,
+    },
+    /// Copy of an operand (created by SPT code motion; removed by copy
+    /// propagation).
+    Copy {
+        /// Copied value.
+        val: Operand,
+    },
+    /// The base cell address of a memory region.
+    RegionBase {
+        /// The region whose base address is produced.
+        region: RegionId,
+    },
+    /// Load one cell from memory.
+    Load {
+        /// Cell address (an `i64` value).
+        addr: Operand,
+        /// Static region attribution, or [`RegionId::UNKNOWN`].
+        region: RegionId,
+    },
+    /// Store one cell to memory. Not value-producing.
+    Store {
+        /// Cell address (an `i64` value).
+        addr: Operand,
+        /// Stored value (interpreted per `Inst::ty` of the stored operand's
+        /// producer; stored as raw bits).
+        val: Operand,
+        /// Static region attribution, or [`RegionId::UNKNOWN`].
+        region: RegionId,
+    },
+    /// Direct call to another function in the module.
+    Call {
+        /// Callee.
+        callee: FuncId,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// Read of a frontend variable slot. Only present before SSA
+    /// construction; `mem2reg` removes all of these.
+    VarLoad {
+        /// The variable slot.
+        var: VarId,
+    },
+    /// Write of a frontend variable slot. Only present before SSA
+    /// construction. Not value-producing.
+    VarStore {
+        /// The variable slot.
+        var: VarId,
+        /// Value written.
+        val: Operand,
+    },
+    /// Unconditional jump. Terminator.
+    Jump {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Conditional branch on an `i64` condition (non-zero = taken).
+    /// Terminator.
+    Branch {
+        /// Condition value.
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Function return. Terminator.
+    Ret {
+        /// Returned value, if the function returns one.
+        val: Option<Operand>,
+    },
+    /// Spawn a speculative thread for the next iteration of loop `loop_tag`.
+    /// The speculative thread begins executing at `spawn_target` (the loop
+    /// header) with a copy of the current context. Not value-producing.
+    SptFork {
+        /// Identifies the SPT loop this fork belongs to.
+        loop_tag: u32,
+        /// Block where the speculative thread starts (the loop header).
+        spawn_target: BlockId,
+    },
+    /// Kill any running speculative thread of loop `loop_tag`; emitted at SPT
+    /// loop exits. Not value-producing.
+    SptKill {
+        /// Identifies the SPT loop being exited.
+        loop_tag: u32,
+    },
+}
+
+impl InstKind {
+    /// Returns `true` for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Ret { .. }
+        )
+    }
+
+    /// Returns `true` if the instruction has a side effect beyond defining a
+    /// value (memory writes, calls, control flow, SPT markers). Side-effecting
+    /// instructions are never removed by DCE.
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Store { .. }
+                | InstKind::Call { .. }
+                | InstKind::VarStore { .. }
+                | InstKind::Jump { .. }
+                | InstKind::Branch { .. }
+                | InstKind::Ret { .. }
+                | InstKind::SptFork { .. }
+                | InstKind::SptKill { .. }
+        )
+    }
+
+    /// Visits every operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            InstKind::Param { .. }
+            | InstKind::RegionBase { .. }
+            | InstKind::VarLoad { .. }
+            | InstKind::Jump { .. }
+            | InstKind::SptFork { .. }
+            | InstKind::SptKill { .. } => {}
+            InstKind::Binary { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Unary { val, .. }
+            | InstKind::Copy { val }
+            | InstKind::VarStore { val, .. } => f(*val),
+            InstKind::Phi { args } => {
+                for (_, v) in args {
+                    f(*v);
+                }
+            }
+            InstKind::Load { addr, .. } => f(*addr),
+            InstKind::Store { addr, val, .. } => {
+                f(*addr);
+                f(*val);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Branch { cond, .. } => f(*cond),
+            InstKind::Ret { val } => {
+                if let Some(v) = val {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every operand in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            InstKind::Param { .. }
+            | InstKind::RegionBase { .. }
+            | InstKind::VarLoad { .. }
+            | InstKind::Jump { .. }
+            | InstKind::SptFork { .. }
+            | InstKind::SptKill { .. } => {}
+            InstKind::Binary { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            InstKind::Unary { val, .. }
+            | InstKind::Copy { val }
+            | InstKind::VarStore { val, .. } => *val = f(*val),
+            InstKind::Phi { args } => {
+                for (_, v) in args {
+                    *v = f(*v);
+                }
+            }
+            InstKind::Load { addr, .. } => *addr = f(*addr),
+            InstKind::Store { addr, val, .. } => {
+                *addr = f(*addr);
+                *val = f(*val);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            InstKind::Branch { cond, .. } => *cond = f(*cond),
+            InstKind::Ret { val } => {
+                if let Some(v) = val {
+                    *v = f(*v);
+                }
+            }
+        }
+    }
+
+    /// Visits every block reference of a terminator (and the fork spawn
+    /// target).
+    pub fn for_each_target(&self, mut f: impl FnMut(BlockId)) {
+        match self {
+            InstKind::Jump { target } => f(*target),
+            InstKind::Branch {
+                then_bb, else_bb, ..
+            } => {
+                f(*then_bb);
+                f(*else_bb);
+            }
+            InstKind::SptFork { spawn_target, .. } => f(*spawn_target),
+            _ => {}
+        }
+    }
+
+    /// Rewrites every block reference in place (terminator targets, phi
+    /// incoming blocks and fork spawn targets). Used by CFG surgery and
+    /// block cloning.
+    pub fn map_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            InstKind::Jump { target } => *target = f(*target),
+            InstKind::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            InstKind::Phi { args } => {
+                for (bb, _) in args {
+                    *bb = f(*bb);
+                }
+            }
+            InstKind::SptFork { spawn_target, .. } => *spawn_target = f(*spawn_target),
+            _ => {}
+        }
+    }
+
+    /// A short mnemonic for diagnostics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            InstKind::Param { .. } => "param",
+            InstKind::Binary { .. } => "binary",
+            InstKind::Unary { .. } => "unary",
+            InstKind::Cmp { .. } => "cmp",
+            InstKind::Phi { .. } => "phi",
+            InstKind::Copy { .. } => "copy",
+            InstKind::RegionBase { .. } => "region_base",
+            InstKind::Load { .. } => "load",
+            InstKind::Store { .. } => "store",
+            InstKind::Call { .. } => "call",
+            InstKind::VarLoad { .. } => "var_load",
+            InstKind::VarStore { .. } => "var_store",
+            InstKind::Jump { .. } => "jump",
+            InstKind::Branch { .. } => "branch",
+            InstKind::Ret { .. } => "ret",
+            InstKind::SptFork { .. } => "spt_fork",
+            InstKind::SptKill { .. } => "spt_kill",
+        }
+    }
+}
+
+/// An instruction: kind plus result type (`None` for non-value-producing
+/// instructions such as stores, terminators and SPT markers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// The instruction payload.
+    pub kind: InstKind,
+    /// Result type, if the instruction produces a value.
+    pub ty: Option<Ty>,
+}
+
+impl Inst {
+    /// Creates an instruction.
+    pub fn new(kind: InstKind, ty: Option<Ty>) -> Self {
+        Inst { kind, ty }
+    }
+
+    /// Returns `true` if the instruction produces a value.
+    #[inline]
+    pub fn produces_value(&self) -> bool {
+        self.ty.is_some()
+    }
+
+    /// Static latency of the instruction in machine cycles; the unit of
+    /// `Cost(c)` in the paper's misspeculation cost (§4.2.4). Memory and call
+    /// latencies here are the *static estimates* used by the compiler; the
+    /// simulator refines loads with its cache model.
+    pub fn latency(&self) -> u64 {
+        match &self.kind {
+            InstKind::Binary { op, .. } => op.latency(self.ty.unwrap_or(Ty::I64)),
+            InstKind::Unary { op, .. } => op.latency(self.ty.unwrap_or(Ty::I64)),
+            InstKind::Cmp { .. } => 1,
+            InstKind::Load { .. } => 3,
+            InstKind::Store { .. } => 1,
+            InstKind::Call { .. } => 8,
+            InstKind::Phi { .. } | InstKind::Copy { .. } => 0,
+            InstKind::Param { .. } | InstKind::RegionBase { .. } => 0,
+            InstKind::VarLoad { .. } | InstKind::VarStore { .. } => 1,
+            InstKind::Jump { .. } => 1,
+            InstKind::Branch { .. } => 1,
+            InstKind::Ret { .. } => 1,
+            InstKind::SptFork { .. } | InstKind::SptKill { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(Operand::const_i64(7).as_i64(), Some(7));
+        assert_eq!(Operand::const_f64(1.5).as_f64(), Some(1.5));
+        assert!(Operand::const_i64(7).is_const());
+        let op: Operand = InstId::new(3).into();
+        assert_eq!(op.as_inst(), Some(InstId::new(3)));
+        assert!(!op.is_const());
+        assert_eq!(op.as_i64(), None);
+        assert_eq!(op.as_f64(), None);
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(format!("{}", Operand::const_i64(-3)), "-3");
+        assert_eq!(format!("{}", Operand::Inst(InstId::new(5))), "v5");
+        assert_eq!(format!("{}", Operand::const_f64(0.5)), "0.5");
+    }
+
+    #[test]
+    fn operand_traversal() {
+        let mut kind = InstKind::Binary {
+            op: BinOp::Add,
+            lhs: Operand::Inst(InstId::new(1)),
+            rhs: Operand::const_i64(2),
+        };
+        let mut seen = Vec::new();
+        kind.for_each_operand(|o| seen.push(o));
+        assert_eq!(seen.len(), 2);
+
+        kind.map_operands(|o| match o {
+            Operand::Inst(_) => Operand::Inst(InstId::new(9)),
+            other => other,
+        });
+        match kind {
+            InstKind::Binary { lhs, .. } => assert_eq!(lhs, Operand::Inst(InstId::new(9))),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn block_traversal() {
+        let mut kind = InstKind::Branch {
+            cond: Operand::const_i64(1),
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        let mut targets = Vec::new();
+        kind.for_each_target(|b| targets.push(b));
+        assert_eq!(targets, vec![BlockId::new(1), BlockId::new(2)]);
+        kind.map_blocks(|b| BlockId::new(b.index() + 10));
+        let mut targets = Vec::new();
+        kind.for_each_target(|b| targets.push(b));
+        assert_eq!(targets, vec![BlockId::new(11), BlockId::new(12)]);
+    }
+
+    #[test]
+    fn phi_blocks_remap() {
+        let mut kind = InstKind::Phi {
+            args: vec![
+                (BlockId::new(0), Operand::const_i64(1)),
+                (BlockId::new(1), Operand::Inst(InstId::new(4))),
+            ],
+        };
+        kind.map_blocks(|b| BlockId::new(b.index() + 1));
+        match &kind {
+            InstKind::Phi { args } => {
+                assert_eq!(args[0].0, BlockId::new(1));
+                assert_eq!(args[1].0, BlockId::new(2));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn terminator_and_effects() {
+        assert!(InstKind::Ret { val: None }.is_terminator());
+        assert!(!InstKind::Copy {
+            val: Operand::const_i64(0)
+        }
+        .is_terminator());
+        assert!(InstKind::Store {
+            addr: Operand::const_i64(0),
+            val: Operand::const_i64(0),
+            region: RegionId::UNKNOWN
+        }
+        .has_side_effect());
+        assert!(InstKind::SptFork {
+            loop_tag: 0,
+            spawn_target: BlockId::new(0)
+        }
+        .has_side_effect());
+        assert!(!InstKind::Load {
+            addr: Operand::const_i64(0),
+            region: RegionId::UNKNOWN
+        }
+        .has_side_effect());
+    }
+
+    #[test]
+    fn latency_of_insts() {
+        let mul = Inst::new(
+            InstKind::Binary {
+                op: BinOp::Mul,
+                lhs: Operand::const_i64(1),
+                rhs: Operand::const_i64(2),
+            },
+            Some(Ty::I64),
+        );
+        assert_eq!(mul.latency(), 3);
+        let fork = Inst::new(
+            InstKind::SptFork {
+                loop_tag: 0,
+                spawn_target: BlockId::new(0),
+            },
+            None,
+        );
+        assert_eq!(fork.latency(), 0);
+    }
+}

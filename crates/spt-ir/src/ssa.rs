@@ -1,0 +1,331 @@
+//! SSA construction (`mem2reg`): promotes frontend variable slots
+//! (`VarLoad`/`VarStore`) to SSA values with phi nodes.
+//!
+//! Classic algorithm: phi insertion at iterated dominance frontiers of the
+//! definition blocks, then renaming along a dominator-tree walk. `VarLoad`s
+//! are rewritten into `Copy`s of the reaching definition so existing operand
+//! references stay valid; `VarStore`s are deleted. Run
+//! [`crate::passes::copy_prop`] and [`crate::passes::dce`] afterwards to
+//! clean up, as the paper does after its own transformations ("the code is
+//! immediately cleaned and optimized by applying SSA renaming, copy
+//! propagation and dead code elimination", §6.2).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ids::{BlockId, InstId, VarId};
+use crate::inst::{Inst, InstKind, Operand};
+use crate::module::Function;
+use crate::types::Ty;
+use std::collections::{HashMap, HashSet};
+
+/// Converts all variable slots of `func` into SSA form.
+///
+/// Returns the number of phi nodes inserted.
+pub fn mem2reg(func: &mut Function) -> usize {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(&cfg);
+
+    // Gather variable types and definition sites.
+    let mut var_ty: HashMap<VarId, Ty> = HashMap::new();
+    let mut def_blocks: HashMap<VarId, Vec<BlockId>> = HashMap::new();
+    for bb in func.block_ids() {
+        for &i in &func.block(bb).insts {
+            match &func.inst(i).kind {
+                InstKind::VarLoad { var } => {
+                    let ty = func.inst(i).ty.unwrap_or(Ty::I64);
+                    var_ty.entry(*var).or_insert(ty);
+                }
+                InstKind::VarStore { var, val } => {
+                    let ty = operand_ty(func, *val).unwrap_or(Ty::I64);
+                    var_ty.entry(*var).or_insert(ty);
+                    def_blocks.entry(*var).or_default().push(bb);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Phi insertion at iterated dominance frontiers.
+    // phi_of[(block, var)] -> phi inst id
+    let mut phi_of: HashMap<(BlockId, VarId), InstId> = HashMap::new();
+    let mut phis_in_block: HashMap<BlockId, Vec<(InstId, VarId)>> = HashMap::new();
+    let mut vars: Vec<VarId> = var_ty.keys().copied().collect();
+    vars.sort();
+    for &var in &vars {
+        let Some(defs) = def_blocks.get(&var) else {
+            continue;
+        };
+        let ty = var_ty[&var];
+        let mut work: Vec<BlockId> = defs.clone();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        let mut ever_on_work: HashSet<BlockId> = work.iter().copied().collect();
+        while let Some(bb) = work.pop() {
+            if !cfg.is_reachable(bb) {
+                continue;
+            }
+            for &df in &dom.frontier[bb.index()] {
+                if placed.insert(df) {
+                    let phi =
+                        func.add_inst(Inst::new(InstKind::Phi { args: Vec::new() }, Some(ty)));
+                    phi_of.insert((df, var), phi);
+                    phis_in_block.entry(df).or_default().push((phi, var));
+                    if ever_on_work.insert(df) {
+                        work.push(df);
+                    }
+                }
+            }
+        }
+    }
+    let num_phis = phi_of.len();
+    let phi_var: HashMap<InstId, VarId> =
+        phi_of.iter().map(|(&(_, var), &phi)| (phi, var)).collect();
+
+    // Prepend phis to their blocks (in deterministic var order).
+    for (bb, mut phis) in phis_in_block.clone() {
+        phis.sort_by_key(|&(_, var)| var);
+        let block = func.block_mut(bb);
+        let old = std::mem::take(&mut block.insts);
+        block.insts = phis.iter().map(|&(id, _)| id).collect();
+        block.insts.extend(old);
+    }
+
+    // Renaming along the dominator tree.
+    // Per-var stack of current definitions.
+    let mut stacks: HashMap<VarId, Vec<Operand>> = HashMap::new();
+    let default_of = |var: VarId| -> Operand {
+        match var_ty.get(&var) {
+            Some(Ty::F64) => Operand::const_f64(0.0),
+            _ => Operand::const_i64(0),
+        }
+    };
+
+    enum Action {
+        Enter(BlockId),
+        Exit(Vec<(VarId, usize)>), // pop counts
+    }
+    let mut stack = vec![Action::Enter(dom.entry())];
+    while let Some(action) = stack.pop() {
+        match action {
+            Action::Exit(pops) => {
+                for (var, count) in pops {
+                    let s = stacks.get_mut(&var).expect("stack exists");
+                    for _ in 0..count {
+                        s.pop();
+                    }
+                }
+            }
+            Action::Enter(bb) => {
+                let mut pushed: HashMap<VarId, usize> = HashMap::new();
+                let insts: Vec<InstId> = func.block(bb).insts.clone();
+                let mut to_delete: HashSet<InstId> = HashSet::new();
+                for i in insts {
+                    let kind = func.inst(i).kind.clone();
+                    match kind {
+                        InstKind::Phi { .. } => {
+                            // If this phi belongs to a variable, it becomes
+                            // the current definition.
+                            if let Some(&var) = phi_var.get(&i) {
+                                stacks.entry(var).or_default().push(Operand::Inst(i));
+                                *pushed.entry(var).or_insert(0) += 1;
+                            }
+                        }
+                        InstKind::VarLoad { var } => {
+                            let cur = stacks
+                                .get(&var)
+                                .and_then(|s| s.last().copied())
+                                .unwrap_or_else(|| default_of(var));
+                            func.inst_mut(i).kind = InstKind::Copy { val: cur };
+                        }
+                        InstKind::VarStore { var, val } => {
+                            stacks.entry(var).or_default().push(val);
+                            *pushed.entry(var).or_insert(0) += 1;
+                            to_delete.insert(i);
+                        }
+                        _ => {}
+                    }
+                }
+                if !to_delete.is_empty() {
+                    func.block_mut(bb).insts.retain(|i| !to_delete.contains(i));
+                }
+
+                // Fill phi operands of successors.
+                for &succ in cfg.succs(bb) {
+                    let phi_ids: Vec<(InstId, VarId)> = phis_in_block
+                        .get(&succ).cloned()
+                        .unwrap_or_default();
+                    for (phi, var) in phi_ids {
+                        let cur = stacks
+                            .get(&var)
+                            .and_then(|s| s.last().copied())
+                            .unwrap_or_else(|| default_of(var));
+                        if let InstKind::Phi { args } = &mut func.inst_mut(phi).kind {
+                            args.push((bb, cur));
+                        }
+                    }
+                }
+
+                stack.push(Action::Exit(pushed.into_iter().collect()));
+                for &child in dom.children[bb.index()].iter().rev() {
+                    stack.push(Action::Enter(child));
+                }
+            }
+        }
+    }
+
+    num_phis
+}
+
+/// Returns `true` if the function contains no `VarLoad`/`VarStore`
+/// instructions (i.e. is in SSA form with respect to variable slots).
+pub fn is_ssa(func: &Function) -> bool {
+    for bb in func.block_ids() {
+        for &i in &func.block(bb).insts {
+            if matches!(
+                func.inst(i).kind,
+                InstKind::VarLoad { .. } | InstKind::VarStore { .. }
+            ) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn operand_ty(func: &Function, op: Operand) -> Option<Ty> {
+    match op {
+        Operand::Inst(id) => func.inst(id).ty,
+        Operand::ConstI64(_) => Some(Ty::I64),
+        Operand::ConstF64Bits(_) => Some(Ty::F64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::ops::{BinOp, CmpOp};
+    use crate::passes;
+
+    /// sum(n): s=0; i=0; while(i<n){s+=i; i+=1}; return s
+    fn sum_func() -> Function {
+        let mut b = FuncBuilder::new("sum", vec![("n".into(), Ty::I64)], Some(Ty::I64));
+        let n = b.param(0);
+        let s = b.declare_var(Ty::I64);
+        let i = b.declare_var(Ty::I64);
+        b.var_store(s, Operand::const_i64(0));
+        b.var_store(i, Operand::const_i64(0));
+        let header = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.var_load(i, Ty::I64);
+        let c = b.cmp(CmpOp::Lt, Ty::I64, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let sv = b.var_load(s, Ty::I64);
+        let iv2 = b.var_load(i, Ty::I64);
+        let s2 = b.binary(BinOp::Add, sv, iv2);
+        b.var_store(s, s2);
+        let i2 = b.binary(BinOp::Add, iv2, Operand::const_i64(1));
+        b.var_store(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        let out = b.var_load(s, Ty::I64);
+        b.ret(Some(out));
+        b.finish()
+    }
+
+    #[test]
+    fn promotes_loop_variables() {
+        let mut f = sum_func();
+        assert!(!is_ssa(&f));
+        let phis = mem2reg(&mut f);
+        assert!(is_ssa(&f));
+        // Two loop-carried variables => two phis at the header.
+        assert_eq!(phis, 2);
+        crate::verify::verify_func(&f).expect("ssa output verifies");
+    }
+
+    #[test]
+    fn phi_args_cover_all_preds() {
+        let mut f = sum_func();
+        mem2reg(&mut f);
+        let cfg = Cfg::compute(&f);
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                if let InstKind::Phi { args } = &f.inst(i).kind {
+                    assert_eq!(
+                        args.len(),
+                        cfg.preds(bb).len(),
+                        "phi {i} in {bb} must have one arg per pred"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cleanup_after_mem2reg_leaves_lean_ir() {
+        let mut f = sum_func();
+        mem2reg(&mut f);
+        passes::copy_prop(&mut f);
+        let removed = passes::dce(&mut f);
+        assert!(removed > 0, "copies should be cleaned up");
+        // No Copy instructions should survive in blocks.
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                assert!(
+                    !matches!(f.inst(i).kind, InstKind::Copy { .. }),
+                    "copy survived cleanup"
+                );
+            }
+        }
+        crate::verify::verify_func(&f).expect("clean ir verifies");
+    }
+
+    #[test]
+    fn uninitialized_var_reads_default() {
+        let mut b = FuncBuilder::new("u", vec![], Some(Ty::I64));
+        let x = b.declare_var(Ty::I64);
+        let v = b.var_load(x, Ty::I64);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        mem2reg(&mut f);
+        assert!(is_ssa(&f));
+        // The load became a copy of the default constant 0.
+        let has_zero_copy = f.insts.iter().any(|inst| {
+            matches!(
+                inst.kind,
+                InstKind::Copy {
+                    val: Operand::ConstI64(0)
+                }
+            )
+        });
+        assert!(has_zero_copy);
+    }
+
+    #[test]
+    fn diamond_merge_gets_phi() {
+        let mut b = FuncBuilder::new("d", vec![("c".into(), Ty::I64)], Some(Ty::I64));
+        let c = b.param(0);
+        let x = b.declare_var(Ty::I64);
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.var_store(x, Operand::const_i64(1));
+        b.jump(j);
+        b.switch_to(e);
+        b.var_store(x, Operand::const_i64(2));
+        b.jump(j);
+        b.switch_to(j);
+        let v = b.var_load(x, Ty::I64);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        let phis = mem2reg(&mut f);
+        assert_eq!(phis, 1);
+        crate::verify::verify_func(&f).expect("verifies");
+    }
+}

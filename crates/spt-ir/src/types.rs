@@ -1,0 +1,56 @@
+//! The scalar type system of the IR.
+
+use std::fmt;
+
+/// Scalar value types.
+///
+/// The source language (`minic`) has 64-bit integers and 64-bit floats;
+/// addresses are plain `I64` cell indices into the module's flat memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for booleans and addresses).
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl Ty {
+    /// Returns `true` for [`Ty::I64`].
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I64)
+    }
+
+    /// Returns `true` for [`Ty::F64`].
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "i64"),
+            Ty::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::I64.to_string(), "i64");
+        assert_eq!(Ty::F64.to_string(), "f64");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::I64.is_int());
+        assert!(!Ty::I64.is_float());
+        assert!(Ty::F64.is_float());
+    }
+}

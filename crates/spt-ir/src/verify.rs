@@ -1,0 +1,458 @@
+//! IR verifier: structural and SSA well-formedness checks.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ids::{BlockId, InstId};
+use crate::inst::{InstKind, Operand};
+use crate::module::{Function, Module};
+use crate::types::Ty;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verifier diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the problem was found.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function of a module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.funcs {
+        verify_func_in(func, Some(module))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function (without cross-function checks).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_func(func: &Function) -> Result<(), VerifyError> {
+    verify_func_in(func, None)
+}
+
+fn err(func: &Function, message: impl Into<String>) -> VerifyError {
+    VerifyError {
+        func: func.name.clone(),
+        message: message.into(),
+    }
+}
+
+fn verify_func_in(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let cfg = Cfg::compute(func);
+
+    // Each placed instruction appears exactly once; ids are in range.
+    let mut placed: HashMap<InstId, BlockId> = HashMap::new();
+    for bb in func.block_ids() {
+        for &i in &func.block(bb).insts {
+            if i.index() >= func.insts.len() {
+                return Err(err(func, format!("{i} out of range in {bb}")));
+            }
+            if let Some(prev) = placed.insert(i, bb) {
+                return Err(err(func, format!("{i} placed in both {prev} and {bb}")));
+            }
+        }
+    }
+
+    // Blocks: reachable blocks end in exactly one terminator, terminators
+    // only at the end; phis only at block start.
+    for bb in func.block_ids() {
+        let insts = &func.block(bb).insts;
+        if insts.is_empty() {
+            if cfg.is_reachable(bb) {
+                return Err(err(func, format!("reachable {bb} is empty")));
+            }
+            continue;
+        }
+        let last = *insts.last().expect("nonempty");
+        if !func.inst(last).kind.is_terminator() {
+            return Err(err(func, format!("{bb} does not end in a terminator")));
+        }
+        let mut seen_nonphi = false;
+        for (pos, &i) in insts.iter().enumerate() {
+            let kind = &func.inst(i).kind;
+            if kind.is_terminator() && pos + 1 != insts.len() {
+                return Err(err(func, format!("terminator {i} not at end of {bb}")));
+            }
+            match kind {
+                InstKind::Phi { .. } => {
+                    if seen_nonphi {
+                        return Err(err(func, format!("phi {i} not at start of {bb}")));
+                    }
+                }
+                InstKind::Param { .. } => {
+                    if bb != func.entry {
+                        return Err(err(func, format!("param {i} outside entry block")));
+                    }
+                }
+                _ => seen_nonphi = true,
+            }
+        }
+    }
+
+    // Branch/jump targets in range.
+    for bb in func.block_ids() {
+        if let Some(term) = func.terminator(bb) {
+            let mut bad = None;
+            func.inst(term).kind.for_each_target(|t| {
+                if t.index() >= func.blocks.len() {
+                    bad = Some(t);
+                }
+            });
+            if let Some(t) = bad {
+                return Err(err(func, format!("{bb} targets out-of-range block {t}")));
+            }
+        }
+    }
+
+    // Phi args match predecessors.
+    for bb in func.block_ids() {
+        if !cfg.is_reachable(bb) {
+            continue;
+        }
+        let preds: HashSet<BlockId> = cfg.preds(bb).iter().copied().collect();
+        for &i in &func.block(bb).insts {
+            if let InstKind::Phi { args } = &func.inst(i).kind {
+                let mut seen: HashSet<BlockId> = HashSet::new();
+                for (p, _) in args {
+                    if !preds.contains(p) {
+                        return Err(err(
+                            func,
+                            format!("phi {i} in {bb} has arg from non-pred {p}"),
+                        ));
+                    }
+                    if !seen.insert(*p) {
+                        return Err(err(
+                            func,
+                            format!("phi {i} in {bb} has duplicate arg for {p}"),
+                        ));
+                    }
+                }
+                for p in &preds {
+                    if !seen.contains(p) {
+                        return Err(err(
+                            func,
+                            format!("phi {i} in {bb} missing arg for pred {p}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // SSA dominance: every operand's definition dominates the use (with the
+    // usual phi-edge relaxation), and referenced values are placed and
+    // value-producing.
+    let dom = DomTree::compute(&cfg);
+    // Position index within block for intra-block ordering.
+    let mut pos_in_block: HashMap<InstId, usize> = HashMap::new();
+    for bb in func.block_ids() {
+        for (pos, &i) in func.block(bb).insts.iter().enumerate() {
+            pos_in_block.insert(i, pos);
+        }
+    }
+    for bb in func.block_ids() {
+        if !cfg.is_reachable(bb) {
+            continue;
+        }
+        for &i in &func.block(bb).insts {
+            let kind = &func.inst(i).kind;
+            let mut operands: Vec<(Option<BlockId>, Operand)> = Vec::new();
+            if let InstKind::Phi { args } = kind {
+                for (p, v) in args {
+                    operands.push((Some(*p), *v));
+                }
+            } else {
+                kind.for_each_operand(|o| operands.push((None, o)));
+            }
+            for (via_edge, op) in operands {
+                let Operand::Inst(def) = op else { continue };
+                if def.index() >= func.insts.len() {
+                    return Err(err(func, format!("{i} uses out-of-range value {def}")));
+                }
+                if !func.inst(def).produces_value() {
+                    return Err(err(func, format!("{i} uses non-value {def}")));
+                }
+                let Some(&def_bb) = placed.get(&def) else {
+                    return Err(err(func, format!("{i} uses unplaced value {def}")));
+                };
+                match via_edge {
+                    // Phi operand must dominate the incoming edge's source.
+                    Some(pred) => {
+                        if !dom.dominates(def_bb, pred) {
+                            return Err(err(
+                                func,
+                                format!("phi {i}: def {def} in {def_bb} does not dominate edge from {pred}"),
+                            ));
+                        }
+                    }
+                    None => {
+                        if def_bb == bb {
+                            if pos_in_block[&def] >= pos_in_block[&i] {
+                                return Err(err(
+                                    func,
+                                    format!("{i} uses {def} before its definition in {bb}"),
+                                ));
+                            }
+                        } else if !dom.dominates(def_bb, bb) {
+                            return Err(err(
+                                func,
+                                format!("{i}: def {def} in {def_bb} does not dominate use in {bb}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Type checks.
+    for bb in func.block_ids() {
+        for &i in &func.block(bb).insts {
+            let inst = func.inst(i);
+            let op_ty = |o: Operand| -> Option<Ty> {
+                match o {
+                    Operand::Inst(d) => func.inst(d).ty,
+                    Operand::ConstI64(_) => Some(Ty::I64),
+                    Operand::ConstF64Bits(_) => Some(Ty::F64),
+                }
+            };
+            match &inst.kind {
+                InstKind::Binary { op, lhs, rhs } => {
+                    let ty = inst.ty.ok_or_else(|| err(func, format!("{i} untyped")))?;
+                    if !op.supports(ty) {
+                        return Err(err(func, format!("{i}: {op} unsupported on {ty}")));
+                    }
+                    for o in [lhs, rhs] {
+                        if let Some(t) = op_ty(*o) {
+                            if t != ty {
+                                return Err(err(
+                                    func,
+                                    format!("{i}: operand type {t} != result type {ty}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                InstKind::Unary { op, val } => {
+                    let in_ty = op_ty(*val).unwrap_or(Ty::I64);
+                    if !op.supports(in_ty) {
+                        return Err(err(func, format!("{i}: {op} unsupported on {in_ty}")));
+                    }
+                    if inst.ty != Some(op.result_ty(in_ty)) {
+                        return Err(err(func, format!("{i}: wrong unary result type")));
+                    }
+                }
+                InstKind::Cmp {
+                    operand_ty,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    if inst.ty != Some(Ty::I64) {
+                        return Err(err(func, format!("{i}: cmp must produce i64")));
+                    }
+                    for o in [lhs, rhs] {
+                        if let Some(t) = op_ty(*o) {
+                            if t != *operand_ty {
+                                return Err(err(func, format!("{i}: cmp operand type mismatch")));
+                            }
+                        }
+                    }
+                }
+                InstKind::Load { addr, .. } => {
+                    if op_ty(*addr) != Some(Ty::I64) {
+                        return Err(err(func, format!("{i}: load address must be i64")));
+                    }
+                    if inst.ty.is_none() {
+                        return Err(err(func, format!("{i}: load must produce a value")));
+                    }
+                }
+                InstKind::Store { addr, .. }
+                    if op_ty(*addr) != Some(Ty::I64) => {
+                        return Err(err(func, format!("{i}: store address must be i64")));
+                    }
+                InstKind::Call { callee, args } => {
+                    if let Some(m) = module {
+                        if callee.index() >= m.funcs.len() {
+                            return Err(err(func, format!("{i}: call to unknown {callee}")));
+                        }
+                        let target = m.func(*callee);
+                        if target.params.len() != args.len() {
+                            return Err(err(
+                                func,
+                                format!(
+                                    "{i}: call to `{}` with {} args, expected {}",
+                                    target.name,
+                                    args.len(),
+                                    target.params.len()
+                                ),
+                            ));
+                        }
+                        if inst.ty != target.ret_ty {
+                            return Err(err(func, format!("{i}: call result type mismatch")));
+                        }
+                    }
+                }
+                InstKind::Branch { cond, .. }
+                    if op_ty(*cond) != Some(Ty::I64) => {
+                        return Err(err(func, format!("{i}: branch condition must be i64")));
+                    }
+                InstKind::Ret { val } => match (val, func.ret_ty) {
+                    (Some(v), Some(rt)) => {
+                        if let Some(t) = op_ty(*v) {
+                            if t != rt {
+                                return Err(err(func, format!("{i}: return type mismatch")));
+                            }
+                        }
+                    }
+                    (None, None) => {}
+                    (Some(_), None) => {
+                        return Err(err(func, format!("{i}: value returned from void fn")))
+                    }
+                    (None, Some(_)) => return Err(err(func, format!("{i}: missing return value"))),
+                },
+                InstKind::RegionBase { region } => {
+                    if let Some(m) = module {
+                        if !region.is_unknown() && region.index() >= m.globals.len() {
+                            return Err(err(func, format!("{i}: unknown region {region}")));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Inst;
+    use crate::ops::BinOp;
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut b = FuncBuilder::new("ok", vec![("x".into(), Ty::I64)], Some(Ty::I64));
+        let x = b.param(0);
+        let y = b.binary(BinOp::Add, x, Operand::const_i64(1));
+        b.ret(Some(y));
+        assert!(verify_func(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("bad", vec![], None);
+        f.append_inst(
+            f.entry,
+            Inst::new(
+                InstKind::Copy {
+                    val: Operand::const_i64(0),
+                },
+                Some(Ty::I64),
+            ),
+        );
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("ubd", vec![], Some(Ty::I64));
+        // v0 = add v1, 1 ; v1 = copy 0 ; ret v0  -- v0 uses v1 before def
+        let v0 = f.add_inst(Inst::new(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Operand::Inst(InstId::new(1)),
+                rhs: Operand::const_i64(1),
+            },
+            Some(Ty::I64),
+        ));
+        let v1 = f.add_inst(Inst::new(
+            InstKind::Copy {
+                val: Operand::const_i64(0),
+            },
+            Some(Ty::I64),
+        ));
+        let r = f.add_inst(Inst::new(
+            InstKind::Ret {
+                val: Some(Operand::Inst(v0)),
+            },
+            None,
+        ));
+        let entry = f.entry;
+        f.block_mut(entry).insts = vec![v0, v1, r];
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.message.contains("before its definition"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut b = FuncBuilder::new("ty", vec![("x".into(), Ty::F64)], Some(Ty::F64));
+        let x = b.param(0);
+        // i64-typed add over an f64 operand
+        let y = b.binary_ty(BinOp::Add, Ty::I64, x, Operand::const_i64(1));
+        let z = b.unary(crate::ops::UnOp::IntToFloat, y);
+        b.ret(Some(z));
+        let e = verify_func(&b.finish()).unwrap_err();
+        assert!(e.message.contains("operand type"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_phi() {
+        let mut b = FuncBuilder::new("phi", vec![("c".into(), Ty::I64)], Some(Ty::I64));
+        let c = b.param(0);
+        let t = b.add_block();
+        let j = b.add_block();
+        b.branch(c, t, j);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(j);
+        // Phi missing the edge from entry.
+        let p = b.phi(Ty::I64, vec![(t, Operand::const_i64(1))]);
+        b.ret(Some(p));
+        let e = verify_func(&b.finish()).unwrap_err();
+        assert!(e.message.contains("missing arg"), "{e}");
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new();
+        let mut callee = FuncBuilder::new("callee", vec![("a".into(), Ty::I64)], None);
+        callee.ret(None);
+        let callee_id = m.add_func(callee.finish());
+        let mut caller = FuncBuilder::new("caller", vec![], None);
+        caller.call(callee_id, vec![], None);
+        caller.ret(None);
+        m.add_func(caller.finish());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("args"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_mismatch() {
+        let mut b = FuncBuilder::new("r", vec![], None);
+        b.ret(Some(Operand::const_i64(1)));
+        let e = verify_func(&b.finish()).unwrap_err();
+        assert!(e.message.contains("void"), "{e}");
+    }
+}

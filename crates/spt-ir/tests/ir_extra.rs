@@ -1,0 +1,201 @@
+//! Additional IR-level integration tests: pass interactions, verifier
+//! rejections, printer goldens and loop-analysis edge cases.
+
+use spt_ir::passes;
+use spt_ir::{BinOp, Cfg, CmpOp, DomTree, FuncBuilder, LoopForest, Module, Operand, Ty, UnOp};
+
+#[test]
+fn const_fold_handles_conversions() {
+    let mut b = FuncBuilder::new("conv", vec![], Some(Ty::I64));
+    let f = b.unary(UnOp::IntToFloat, Operand::const_i64(3));
+    let g = b.binary(BinOp::Mul, f, Operand::const_f64(2.5));
+    let i = b.unary(UnOp::FloatToInt, g);
+    b.ret(Some(i));
+    let mut func = b.finish();
+    passes::cleanup(&mut func);
+    // Fully folds to ret 7 (3.0 * 2.5 = 7.5 truncated).
+    let term = func.terminator(func.entry).unwrap();
+    match &func.inst(term).kind {
+        spt_ir::InstKind::Ret { val } => assert_eq!(*val, Some(Operand::ConstI64(7))),
+        other => panic!("expected folded ret, got {other:?}"),
+    }
+}
+
+#[test]
+fn cleanup_preserves_infinite_loop() {
+    // while(1) { x = x + 1 } — the loop is unreachable-exit but must stay.
+    let mut b = FuncBuilder::new("inf", vec![], None);
+    let header = b.add_block();
+    b.jump(header);
+    b.switch_to(header);
+    let phi = b.phi(Ty::I64, vec![(b.entry(), Operand::const_i64(0))]);
+    let next = b.binary(BinOp::Add, phi, Operand::const_i64(1));
+    b.jump(header);
+    let mut func = b.finish();
+    // Complete the phi with the back edge.
+    if let spt_ir::InstKind::Phi { args } = &mut func
+        .inst_mut(phi.as_inst().unwrap())
+        .kind
+    {
+        args.push((header, next));
+    }
+    spt_ir::verify::verify_func(&func).expect("valid");
+    passes::cleanup(&mut func);
+    let cfg = Cfg::compute(&func);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(&func, &cfg, &dom);
+    assert_eq!(forest.len(), 1, "infinite loop survives cleanup");
+}
+
+#[test]
+fn verifier_rejects_param_outside_entry() {
+    let mut b = FuncBuilder::new("p", vec![("x".into(), Ty::I64)], None);
+    let other = b.add_block();
+    b.jump(other);
+    b.switch_to(other);
+    b.ret(None);
+    let mut func = b.finish();
+    // Manually move the param instruction into `other`.
+    let param = func.block(func.entry).insts[0];
+    func.block_mut(func.entry).insts.remove(0);
+    func.block_mut(other).insts.insert(0, param);
+    let err = spt_ir::verify::verify_func(&func).unwrap_err();
+    assert!(err.message.contains("outside entry"), "{err}");
+}
+
+#[test]
+fn printer_module_golden() {
+    let mut m = Module::new();
+    m.add_global("cells", 4, Ty::I64);
+    let mut b = FuncBuilder::new("touch", vec![("k".into(), Ty::I64)], Some(Ty::I64));
+    let k = b.param(0);
+    let r = spt_ir::RegionId::new(0);
+    let base = b.region_base(r);
+    let addr = b.binary(BinOp::Add, base, k);
+    let v = b.load(addr, r);
+    let c = b.cmp(CmpOp::Gt, Ty::I64, v, Operand::const_i64(0));
+    b.ret(Some(c));
+    m.add_func(b.finish());
+    let text = spt_ir::printer::print_module(&m);
+    let expected = "\
+global region0 cells: [i64; 4]
+
+fn touch(k: i64) -> i64 {
+bb0:
+  v0 = param 0 : i64
+  v1 = region_base region0 : i64
+  v2 = add v1, v0 : i64
+  v3 = load v2 @region0 : i64
+  v4 = cmp.gt.i64 v3, 0 : i64
+  ret v4
+}
+";
+    // print_module separates functions with a trailing blank line.
+    assert_eq!(text, format!("{expected}\n"));
+}
+
+#[test]
+fn effect_summaries_handle_recursion() {
+    // Mutually recursive functions: the fixed point must terminate and mark
+    // both impure when one touches memory.
+    let mut m = Module::new();
+    let g = m.add_global("g", 1, Ty::I64);
+    // Pre-declare both functions to allow mutual references.
+    let fa = m.add_func(spt_ir::Function::new("a", vec![], None));
+    let fb = m.add_func(spt_ir::Function::new("b", vec![], None));
+    {
+        let mut b = FuncBuilder::new("a", vec![], None);
+        b.call(fb, vec![], None);
+        b.ret(None);
+        *m.func_mut(fa) = b.finish();
+    }
+    {
+        let mut b = FuncBuilder::new("b", vec![], None);
+        let base = b.region_base(g);
+        b.store(base, Operand::const_i64(1), g);
+        b.call(fa, vec![], None);
+        b.ret(None);
+        *m.func_mut(fb) = b.finish();
+    }
+    let sums = m.effect_summaries();
+    assert!(sums[fa.index()].writes_memory);
+    assert!(sums[fb.index()].writes_memory);
+}
+
+#[test]
+fn simplify_cfg_cleans_constant_branch_phi_edges() {
+    // br 0, taken, nottaken — the dead edge's phi arg must disappear.
+    let mut b = FuncBuilder::new("cb", vec![], Some(Ty::I64));
+    let t = b.add_block();
+    let e = b.add_block();
+    let j = b.add_block();
+    b.branch(Operand::const_i64(0), t, e);
+    b.switch_to(t);
+    b.jump(j);
+    b.switch_to(e);
+    b.jump(j);
+    b.switch_to(j);
+    let p = b.phi(
+        Ty::I64,
+        vec![(t, Operand::const_i64(10)), (e, Operand::const_i64(20))],
+    );
+    b.ret(Some(p));
+    let mut func = b.finish();
+    passes::cleanup(&mut func);
+    spt_ir::verify::verify_func(&func).expect("verifies after cleanup");
+    let term = func.terminator(func.entry).unwrap();
+    match &func.inst(term).kind {
+        spt_ir::InstKind::Ret { val } => assert_eq!(*val, Some(Operand::ConstI64(20))),
+        other => panic!("expected ret of 20, got {other:?}"),
+    }
+}
+
+#[test]
+fn dom_tree_multiple_rets() {
+    let mut b = FuncBuilder::new("mr", vec![("c".into(), Ty::I64)], Some(Ty::I64));
+    let c = b.param(0);
+    let t = b.add_block();
+    let e = b.add_block();
+    b.branch(c, t, e);
+    b.switch_to(t);
+    b.ret(Some(Operand::const_i64(1)));
+    b.switch_to(e);
+    b.ret(Some(Operand::const_i64(2)));
+    let f = b.finish();
+    let cfg = Cfg::compute(&f);
+    let dom = DomTree::compute(&cfg);
+    assert!(dom.dominates(f.entry, t));
+    assert!(dom.dominates(f.entry, e));
+    assert!(!dom.dominates(t, e));
+    // Preorder covers everything reachable.
+    assert_eq!(dom.preorder().len(), 3);
+}
+
+#[test]
+fn loop_forest_triple_nest_depths() {
+    let src = "
+        fn f(n: int) -> int {
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                for (let j = 0; j < 3; j = j + 1) {
+                    for (let k = 0; k < 2; k = k + 1) {
+                        t = t + i + j + k;
+                    }
+                }
+            }
+            return t;
+        }
+    ";
+    let m = spt_frontend::compile(src).unwrap();
+    let f = &m.funcs[0];
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(f, &cfg, &dom);
+    assert_eq!(forest.len(), 3);
+    let mut depths: Vec<usize> = forest.ids().map(|l| forest.get(l).depth).collect();
+    depths.sort_unstable();
+    assert_eq!(depths, vec![1, 2, 3]);
+    let order = forest.inner_to_outer();
+    assert_eq!(forest.get(order[0]).depth, 3);
+    assert_eq!(forest.get(order[2]).depth, 1);
+}

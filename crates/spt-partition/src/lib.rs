@@ -1,0 +1,607 @@
+//! Optimal SPT loop partitioning (§5 of the paper).
+//!
+//! Formulation: *find a legal loop partition with minimum misspeculation
+//! cost, subject to the pre-fork region size being at most a threshold.* A
+//! partition is legal when it preserves all forward intra-iteration
+//! dependences — equivalently, when the pre-fork region is a
+//! dependence-closure of the violation candidates it contains.
+//!
+//! The search space is restricted to sets of violation candidates (the only
+//! statements whose placement changes the cost), organized by the
+//! [`VcDepGraph`]: candidate `N` is a successor of candidate `S` when `N`
+//! depends intra-iteration on `S`, so `S` must enter the pre-fork region
+//! before `N` can (§5.1). A branch-and-bound enumeration visits candidate
+//! sets in topological order — at each step only candidates with a larger
+//! topological number may be added, avoiding duplicate visits (§5.2) — with
+//! the paper's two pruning heuristics (§5.2.1):
+//!
+//! 1. **size pruning** — pre-fork size is monotone in the candidate set, so
+//!    once a set exceeds the size threshold its whole subtree is dead;
+//! 2. **bound pruning** — misspeculation cost is monotone *decreasing* in
+//!    the candidate set, so the cost with *all* still-addable candidates
+//!    included lower-bounds every descendant; if that bound is no better
+//!    than the best found, the subtree is dead.
+//!
+//! Loops with more than [`SearchConfig::max_vcs`] candidates are skipped,
+//! exactly as the paper skips loops with more than 30.
+
+use spt_cost::{LoopCostModel, Partition};
+
+/// The violation-candidate dependence graph (§5.1).
+#[derive(Clone, Debug)]
+pub struct VcDepGraph {
+    /// Violation candidates as dep-graph node indices, ascending (this is a
+    /// topological order: intra edges only go forward in node order).
+    pub vcs: Vec<usize>,
+    /// `preds[k]` = positions (into `vcs`) of candidates that candidate `k`
+    /// transitively depends on intra-iteration.
+    pub preds: Vec<Vec<usize>>,
+    /// Positions of candidates that can never be moved (their closure
+    /// contains a pinned node).
+    pub immovable: Vec<bool>,
+}
+
+impl VcDepGraph {
+    /// Builds the VC-dep graph from a loop cost model.
+    pub fn build(model: &LoopCostModel) -> Self {
+        let vcs: Vec<usize> = model.vcs().to_vec();
+        let pos_of = |node: usize| vcs.iter().position(|&v| v == node);
+        let mut preds: Vec<Vec<usize>> = Vec::with_capacity(vcs.len());
+        let mut immovable = Vec::with_capacity(vcs.len());
+        for &vc in &vcs {
+            let closure = model.graph.closure(&[vc]);
+            immovable.push(!model.graph.closure_is_legal(&closure));
+            let mut ps = Vec::new();
+            for &n in &closure {
+                if n != vc {
+                    if let Some(p) = pos_of(n) {
+                        ps.push(p);
+                    }
+                }
+            }
+            ps.sort_unstable();
+            preds.push(ps);
+        }
+        VcDepGraph {
+            vcs,
+            preds,
+            immovable,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Returns `true` when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.vcs.is_empty()
+    }
+}
+
+/// Search parameters.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Maximum pre-fork region size (absolute, in the cost model's latency
+    /// units). The driver derives it as a fraction of the loop body size
+    /// (§6.1 criterion 2).
+    pub max_prefork_size: u64,
+    /// Skip loops with more candidates than this (paper: 30).
+    pub max_vcs: usize,
+    /// Enable pruning heuristic 1 (size). Disable only for ablation.
+    pub prune_size: bool,
+    /// Enable pruning heuristic 2 (cost lower bound). Disable only for
+    /// ablation.
+    pub prune_bound: bool,
+    /// Hard cap on visited search nodes (defensive; the paper's cap is the
+    /// VC limit).
+    pub max_visited: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_prefork_size: u64::MAX,
+            max_vcs: 30,
+            prune_size: true,
+            prune_bound: true,
+            max_visited: 1_000_000,
+        }
+    }
+}
+
+/// The outcome of an optimal-partition search.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The best legal partition within the size threshold.
+    pub partition: Partition,
+    /// Its misspeculation cost.
+    pub cost: f64,
+    /// Candidate positions chosen into the pre-fork region.
+    pub chosen: Vec<usize>,
+    /// Search-tree nodes visited (ablation metric).
+    pub visited: u64,
+    /// Subtrees cut by size pruning.
+    pub pruned_size: u64,
+    /// Subtrees cut by bound pruning.
+    pub pruned_bound: u64,
+    /// `true` when the loop was skipped for having too many candidates; the
+    /// returned partition is then the empty one.
+    pub skipped_too_many_vcs: bool,
+}
+
+/// Finds the minimum-misspeculation-cost legal partition of the loop, via
+/// branch-and-bound over violation-candidate sets.
+pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> SearchResult {
+    let vc_graph = VcDepGraph::build(model);
+    let empty = Partition::empty(&model.graph);
+    let empty_cost = model.misspeculation_cost(&empty);
+
+    if vc_graph.len() > config.max_vcs {
+        return SearchResult {
+            partition: empty,
+            cost: empty_cost,
+            chosen: Vec::new(),
+            visited: 0,
+            pruned_size: 0,
+            pruned_bound: 0,
+            skipped_too_many_vcs: true,
+        };
+    }
+
+    struct Ctx<'a> {
+        model: &'a LoopCostModel,
+        vc_graph: &'a VcDepGraph,
+        config: &'a SearchConfig,
+        best_cost: f64,
+        best_size: u64,
+        best_set: Vec<usize>,
+        visited: u64,
+        pruned_size: u64,
+        pruned_bound: u64,
+    }
+
+    impl Ctx<'_> {
+        /// The seeds (dep-graph nodes) for a candidate-position set.
+        fn seeds(&self, set: &[usize]) -> Vec<usize> {
+            set.iter().map(|&p| self.vc_graph.vcs[p]).collect()
+        }
+
+        fn consider(&mut self, set: &[usize], partition: &Partition, cost: f64) {
+            let better = cost < self.best_cost - 1e-12
+                || (cost < self.best_cost + 1e-12 && partition.size() < self.best_size);
+            if better {
+                self.best_cost = cost;
+                self.best_size = partition.size();
+                self.best_set = set.to_vec();
+            }
+        }
+
+        /// Explores descendants of `set` (whose max position is `max_pos`).
+        fn search(&mut self, set: &mut Vec<usize>, max_pos: Option<usize>) {
+            if self.visited >= self.config.max_visited {
+                return;
+            }
+            // Bound pruning: the best any descendant can do is the cost with
+            // every still-addable candidate included.
+            if self.config.prune_bound {
+                let mut all: Vec<usize> = set.clone();
+                for p in max_pos.map_or(0, |m| m + 1)..self.vc_graph.len() {
+                    if !self.vc_graph.immovable[p] {
+                        all.push(p);
+                    }
+                }
+                if all.len() > set.len() {
+                    let seeds = self.seeds(&all);
+                    if let Some(part) = Partition::from_seeds(&self.model.graph, &seeds) {
+                        let bound = self.model.misspeculation_cost(&part);
+                        if bound >= self.best_cost - 1e-12 {
+                            self.pruned_bound += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+
+            let start = max_pos.map_or(0, |m| m + 1);
+            for p in start..self.vc_graph.len() {
+                if self.visited >= self.config.max_visited {
+                    return;
+                }
+                if self.vc_graph.immovable[p] {
+                    continue;
+                }
+                // All VC-dep predecessors must already be in the set.
+                if !self.vc_graph.preds[p].iter().all(|q| set.contains(q)) {
+                    continue;
+                }
+                set.push(p);
+                self.visited += 1;
+                let seeds = self.seeds(set);
+                match Partition::from_seeds(&self.model.graph, &seeds) {
+                    Some(partition) => {
+                        let oversize = partition.size() > self.config.max_prefork_size;
+                        if oversize {
+                            if self.config.prune_size {
+                                // Size is monotone: the whole subtree is dead.
+                                self.pruned_size += 1;
+                                set.pop();
+                                continue;
+                            }
+                            // Ablation mode: not a candidate answer, but
+                            // descendants are still (pointlessly) explored.
+                            self.search(set, Some(p));
+                        } else {
+                            let cost = self.model.misspeculation_cost(&partition);
+                            self.consider(set, &partition, cost);
+                            self.search(set, Some(p));
+                        }
+                    }
+                    None => {
+                        // Illegal closure; supersets stay illegal.
+                    }
+                }
+                set.pop();
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        model,
+        vc_graph: &vc_graph,
+        config,
+        best_cost: empty_cost,
+        best_size: 0,
+        best_set: Vec::new(),
+        visited: 0,
+        pruned_size: 0,
+        pruned_bound: 0,
+    };
+    let mut set = Vec::new();
+    ctx.search(&mut set, None);
+
+    let chosen = ctx.best_set.clone();
+    let seeds: Vec<usize> = chosen.iter().map(|&p| vc_graph.vcs[p]).collect();
+    let partition = if seeds.is_empty() {
+        Partition::empty(&model.graph)
+    } else {
+        Partition::from_seeds(&model.graph, &seeds).expect("best set was legal during search")
+    };
+    SearchResult {
+        cost: ctx.best_cost,
+        partition,
+        chosen,
+        visited: ctx.visited,
+        pruned_size: ctx.pruned_size,
+        pruned_bound: ctx.pruned_bound,
+        skipped_too_many_vcs: false,
+    }
+}
+
+/// A greedy baseline for ablation: repeatedly add the single candidate that
+/// most reduces cost, while the size threshold holds.
+pub fn greedy_partition(model: &LoopCostModel, config: &SearchConfig) -> SearchResult {
+    let vc_graph = VcDepGraph::build(model);
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut best_partition = Partition::empty(&model.graph);
+    let mut best_cost = model.misspeculation_cost(&best_partition);
+    let mut visited = 0u64;
+    loop {
+        let mut improved: Option<(usize, Partition, f64)> = None;
+        for p in 0..vc_graph.len() {
+            if chosen.contains(&p) || vc_graph.immovable[p] {
+                continue;
+            }
+            if !vc_graph.preds[p].iter().all(|q| chosen.contains(q)) {
+                continue;
+            }
+            let mut candidate = chosen.clone();
+            candidate.push(p);
+            let seeds: Vec<usize> = candidate.iter().map(|&q| vc_graph.vcs[q]).collect();
+            visited += 1;
+            if let Some(part) = Partition::from_seeds(&model.graph, &seeds) {
+                if part.size() > config.max_prefork_size {
+                    continue;
+                }
+                let cost = model.misspeculation_cost(&part);
+                if cost < best_cost - 1e-12 && improved.as_ref().is_none_or(|(_, _, c)| cost < *c)
+                {
+                    improved = Some((p, part, cost));
+                }
+            }
+        }
+        match improved {
+            Some((p, part, cost)) => {
+                chosen.push(p);
+                best_partition = part;
+                best_cost = cost;
+            }
+            None => break,
+        }
+    }
+    SearchResult {
+        partition: best_partition,
+        cost: best_cost,
+        chosen,
+        visited,
+        pruned_size: 0,
+        pruned_bound: 0,
+        skipped_too_many_vcs: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
+    use spt_ir::loops::LoopId;
+
+    fn model_for(src: &str, fname: &str) -> LoopCostModel {
+        let module = spt_frontend::compile(src).unwrap();
+        let func = module.func_by_name(fname).unwrap();
+        let graph = DepGraph::build(
+            &module,
+            func,
+            LoopId::new(0),
+            Profiles::default(),
+            &DepGraphConfig::default(),
+        );
+        LoopCostModel::new(graph)
+    }
+
+    const INDUCTION: &str = "
+        fn f(n: int) -> int {
+            let i = 0;
+            let s = 0;
+            while (i < n) {
+                s = s + i * 3;
+                i = i + 1;
+            }
+            return s;
+        }
+    ";
+
+    #[test]
+    fn finds_zero_cost_partition_when_unconstrained() {
+        let m = model_for(INDUCTION, "f");
+        let r = optimal_partition(&m, &SearchConfig::default());
+        assert!(!r.skipped_too_many_vcs);
+        assert!(r.cost < 1e-9, "cost = {}", r.cost);
+        assert!(!r.partition.is_empty());
+        assert!(r.visited > 0);
+    }
+
+    #[test]
+    fn size_threshold_constrains_result() {
+        let m = model_for(INDUCTION, "f");
+        let unconstrained = optimal_partition(&m, &SearchConfig::default());
+        let tight = SearchConfig {
+            max_prefork_size: 1,
+            ..SearchConfig::default()
+        };
+        let r = optimal_partition(&m, &tight);
+        assert!(r.partition.size() <= 1);
+        assert!(r.cost >= unconstrained.cost - 1e-12);
+    }
+
+    #[test]
+    fn optimal_matches_exhaustive_without_pruning() {
+        let m = model_for(INDUCTION, "f");
+        let with = optimal_partition(&m, &SearchConfig::default());
+        let without = optimal_partition(
+            &m,
+            &SearchConfig {
+                prune_bound: false,
+                prune_size: false,
+                ..SearchConfig::default()
+            },
+        );
+        assert!((with.cost - without.cost).abs() < 1e-12);
+        assert!(with.visited <= without.visited);
+    }
+
+    #[test]
+    fn bound_pruning_reduces_visits() {
+        // A loop with several independent violation candidates.
+        let src = "
+            fn f(n: int) -> int {
+                let a = 0; let b = 0; let c = 0; let d = 1; let i = 0;
+                while (i < n) {
+                    a = a + 1;
+                    b = b + 2;
+                    c = c + 3;
+                    d = d * 2;
+                    i = i + 1;
+                }
+                return a + b + c + d;
+            }
+        ";
+        let m = model_for(src, "f");
+        let pruned = optimal_partition(&m, &SearchConfig::default());
+        let unpruned = optimal_partition(
+            &m,
+            &SearchConfig {
+                prune_bound: false,
+                ..SearchConfig::default()
+            },
+        );
+        assert!((pruned.cost - unpruned.cost).abs() < 1e-12, "same optimum");
+        assert!(
+            pruned.visited < unpruned.visited,
+            "pruning must help: {} vs {}",
+            pruned.visited,
+            unpruned.visited
+        );
+    }
+
+    #[test]
+    fn too_many_vcs_skips() {
+        let m = model_for(INDUCTION, "f");
+        let r = optimal_partition(
+            &m,
+            &SearchConfig {
+                max_vcs: 0,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(r.skipped_too_many_vcs);
+        assert!(r.partition.is_empty());
+    }
+
+    #[test]
+    fn vc_dep_graph_orders_dependent_candidates() {
+        // b depends on a (same iteration): a must precede b in any set.
+        let src = "
+            fn f(n: int) -> int {
+                let a = 0; let b = 0; let i = 0;
+                while (i < n) {
+                    a = a + 1;
+                    b = b + a;
+                    i = i + 1;
+                }
+                return b;
+            }
+        ";
+        let m = model_for(src, "f");
+        let g = VcDepGraph::build(&m);
+        assert!(g.len() >= 2);
+        // At least one candidate has a predecessor.
+        assert!(g.preds.iter().any(|p| !p.is_empty()));
+        // And the search still finds the zero-cost answer.
+        let r = optimal_partition(&m, &SearchConfig::default());
+        assert!(r.cost < 1e-9);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let src = "
+            global a[512]: int;
+            fn f(n: int) -> int {
+                let s = 0; let t = 0; let i = 0;
+                while (i < n) {
+                    t = s / 7 + t;
+                    s = s + a[i];
+                    i = i + 1;
+                }
+                return t;
+            }
+        ";
+        let m = model_for(src, "f");
+        let cfg = SearchConfig::default();
+        let opt = optimal_partition(&m, &cfg);
+        let greedy = greedy_partition(&m, &cfg);
+        assert!(opt.cost <= greedy.cost + 1e-12);
+    }
+
+    #[test]
+    fn pinned_candidates_are_never_chosen() {
+        let src = "
+            global t: int;
+            fn bump(v: int) -> int { t = t + v; return t; }
+            fn f(n: int) -> int {
+                let s = 0;
+                let i = 0;
+                while (i < n) {
+                    s = s + bump(i);
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let m = model_for(src, "f");
+        let r = optimal_partition(&m, &SearchConfig::default());
+        // The call's cross deps can't be removed, so cost stays positive,
+        // but the induction update can still move.
+        assert!(r.cost > 0.0);
+        let module = spt_frontend::compile(src).unwrap();
+        let f = module.func(module.func_by_name("f").unwrap());
+        for n in r.partition.nodes() {
+            assert!(
+                !matches!(f.inst(m.graph.nodes[n]).kind, spt_ir::InstKind::Call { .. }),
+                "pinned call moved into pre-fork region"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
+    use spt_ir::loops::LoopId;
+
+    /// Generates a random scalar-update loop in minic and checks search
+    /// invariants on it.
+    fn random_loop_source(updates: &[(usize, i64)]) -> String {
+        let mut body = String::new();
+        let mut decls = String::new();
+        let n_vars = updates.iter().map(|&(v, _)| v).max().unwrap_or(0) + 1;
+        for v in 0..n_vars {
+            decls.push_str(&format!("let x{v} = {v};\n"));
+        }
+        for &(v, k) in updates {
+            let src = (v + 1) % n_vars;
+            body.push_str(&format!("x{v} = x{v} + x{src} * {k};\n"));
+        }
+        let mut ret = String::from("0");
+        for v in 0..n_vars {
+            ret.push_str(&format!(" + x{v}"));
+        }
+        format!(
+            "fn f(n: int) -> int {{ {decls} let i = 0; while (i < n) {{ {body} i = i + 1; }} return {ret}; }}"
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The search result never exceeds the size bound, and its cost never
+        /// exceeds the empty partition's.
+        #[test]
+        fn search_respects_constraints(
+            updates in proptest::collection::vec((0usize..4, 1i64..5), 1..5),
+            max_size in 1u64..40,
+        ) {
+            let src = random_loop_source(&updates);
+            let module = spt_frontend::compile(&src).unwrap();
+            let func = module.func_by_name("f").unwrap();
+            let graph = DepGraph::build(
+                &module, func, LoopId::new(0),
+                Profiles::default(), &DepGraphConfig::default(),
+            );
+            let model = LoopCostModel::new(graph);
+            let empty_cost =
+                model.misspeculation_cost(&spt_cost::Partition::empty(&model.graph));
+            let cfg = SearchConfig { max_prefork_size: max_size, ..SearchConfig::default() };
+            let r = optimal_partition(&model, &cfg);
+            prop_assert!(r.partition.size() <= max_size || r.partition.is_empty());
+            prop_assert!(r.cost <= empty_cost + 1e-9);
+        }
+
+        /// Pruning never changes the optimum (both heuristics are exact).
+        #[test]
+        fn pruning_is_exact(
+            updates in proptest::collection::vec((0usize..4, 1i64..5), 1..5),
+            max_size in 1u64..60,
+        ) {
+            let src = random_loop_source(&updates);
+            let module = spt_frontend::compile(&src).unwrap();
+            let func = module.func_by_name("f").unwrap();
+            let graph = DepGraph::build(
+                &module, func, LoopId::new(0),
+                Profiles::default(), &DepGraphConfig::default(),
+            );
+            let model = LoopCostModel::new(graph);
+            let base = SearchConfig { max_prefork_size: max_size, ..SearchConfig::default() };
+            let none = SearchConfig {
+                prune_bound: false, prune_size: false, ..base.clone()
+            };
+            let with = optimal_partition(&model, &base);
+            let without = optimal_partition(&model, &none);
+            prop_assert!((with.cost - without.cost).abs() < 1e-9,
+                "pruned {} vs unpruned {}", with.cost, without.cost);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Additional partition-search integration tests: visited-node caps,
+//! dependent-candidate ordering, and threshold interactions.
+
+use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
+use spt_cost::LoopCostModel;
+use spt_ir::loops::LoopId;
+use spt_partition::{optimal_partition, SearchConfig, VcDepGraph};
+
+fn model_with_k_vcs(k: usize) -> LoopCostModel {
+    let mut decls = String::new();
+    let mut body = String::new();
+    let mut ret = String::from("0");
+    for v in 0..k {
+        decls.push_str(&format!("let x{v} = {v};\n"));
+        body.push_str(&format!("x{v} = x{v} + i % {};\n", v + 2));
+        ret.push_str(&format!(" + x{v}"));
+    }
+    let src = format!(
+        "fn f(n: int) -> int {{ {decls} let i = 0; while (i < n) {{ {body} i = i + 1; }} return {ret}; }}"
+    );
+    let module = spt_frontend::compile(&src).unwrap();
+    let func = module.func_by_name("f").unwrap();
+    let graph = DepGraph::build(
+        &module,
+        func,
+        LoopId::new(0),
+        Profiles::default(),
+        &DepGraphConfig::default(),
+    );
+    LoopCostModel::new(graph)
+}
+
+#[test]
+fn visited_cap_bounds_the_search() {
+    let model = model_with_k_vcs(14);
+    let capped = SearchConfig {
+        max_visited: 50,
+        prune_bound: false,
+        prune_size: false,
+        ..SearchConfig::default()
+    };
+    let r = optimal_partition(&model, &capped);
+    assert!(r.visited <= 60, "cap respected (approximately): {}", r.visited);
+    // Still returns *a* legal answer no worse than doing nothing.
+    let empty_cost =
+        model.misspeculation_cost(&spt_cost::Partition::empty(&model.graph));
+    assert!(r.cost <= empty_cost + 1e-9);
+}
+
+#[test]
+fn chained_candidates_enter_in_dependency_order() {
+    // x0 <- x1 <- x2 dependency chain within the iteration.
+    let src = "
+        fn f(n: int) -> int {
+            let x0 = 1; let x1 = 1; let x2 = 1; let i = 0;
+            while (i < n) {
+                x0 = x0 + 1;
+                x1 = x1 + x0;
+                x2 = x2 + x1;
+                i = i + 1;
+            }
+            return x2;
+        }
+    ";
+    let module = spt_frontend::compile(src).unwrap();
+    let func = module.func_by_name("f").unwrap();
+    let graph = DepGraph::build(
+        &module,
+        func,
+        LoopId::new(0),
+        Profiles::default(),
+        &DepGraphConfig::default(),
+    );
+    let model = LoopCostModel::new(graph);
+    let vc_graph = VcDepGraph::build(&model);
+    // The chain forces at least two candidates to have predecessors.
+    let with_preds = vc_graph.preds.iter().filter(|p| !p.is_empty()).count();
+    assert!(with_preds >= 2, "{:?}", vc_graph.preds);
+    // Zero-cost optimum still reachable.
+    let r = optimal_partition(&model, &SearchConfig::default());
+    assert!(r.cost < 1e-9, "cost = {}", r.cost);
+    // And the chosen set is closed under VC-dep predecessors.
+    for &p in &r.chosen {
+        for &q in &vc_graph.preds[p] {
+            assert!(r.chosen.contains(&q), "{:?} missing pred {q}", r.chosen);
+        }
+    }
+}
+
+#[test]
+fn zero_size_threshold_forces_empty_partition() {
+    let model = model_with_k_vcs(4);
+    let r = optimal_partition(
+        &model,
+        &SearchConfig {
+            max_prefork_size: 0,
+            ..SearchConfig::default()
+        },
+    );
+    assert!(r.partition.is_empty());
+    assert!(r.pruned_size > 0, "every child pruned by size");
+}
+
+#[test]
+fn search_statistics_are_consistent() {
+    let model = model_with_k_vcs(8);
+    let r = optimal_partition(&model, &SearchConfig::default());
+    assert!(!r.skipped_too_many_vcs);
+    assert!(r.visited >= r.chosen.len() as u64);
+    // Chosen positions are strictly increasing (topological order).
+    for w in r.chosen.windows(2) {
+        assert!(w[0] < w[1], "{:?}", r.chosen);
+    }
+}

@@ -1,0 +1,357 @@
+//! Data-dependence profiling (§7.3 of the paper).
+//!
+//! For every dynamic load, the profiler finds the store that last wrote the
+//! accessed cell and classifies the dependence *per enclosing loop level*:
+//!
+//! * **intra-iteration** — store and load happened in the same iteration of
+//!   that loop;
+//! * **cross-adjacent** — the load's iteration is exactly one after the
+//!   store's (the dependence an SPT speculative thread can violate);
+//! * **cross-far** — two or more iterations apart (harmless for the paper's
+//!   one-iteration-ahead speculation, but recorded for diagnostics).
+//!
+//! The probability annotation the cost model consumes is
+//! `p(W -> R) = matched reads at R / executions of W` — "for every N writes
+//! at W, only pN reads will access the same memory location at R" (§4.1).
+
+use crate::interp::{LoopActivation, Profiler, Val};
+use spt_ir::loops::LoopId;
+use spt_ir::{FuncId, InstId};
+use std::collections::HashMap;
+
+/// Dependence classification relative to one loop level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Same iteration.
+    Intra,
+    /// Exactly one iteration apart.
+    CrossAdjacent,
+    /// Two or more iterations apart.
+    CrossFar,
+}
+
+/// Identifies a profiled dependence: a `(store, load)` instruction pair
+/// within one loop of one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DepKey {
+    /// Function containing both instructions.
+    pub func: FuncId,
+    /// The loop level relative to which the dependence is classified.
+    pub loop_id: LoopId,
+    /// The writing instruction.
+    pub store: InstId,
+    /// The reading instruction.
+    pub load: InstId,
+    /// The classification.
+    pub kind: DepKind,
+}
+
+#[derive(Clone, Debug)]
+struct StoreRec {
+    func: FuncId,
+    inst: InstId,
+    stack: Vec<LoopActivation>,
+}
+
+/// Collected dependence counts.
+#[derive(Clone, Debug, Default)]
+pub struct DepProfile {
+    dep_counts: HashMap<DepKey, u64>,
+    store_exec: HashMap<(FuncId, InstId), u64>,
+    load_exec: HashMap<(FuncId, InstId), u64>,
+    last_writer: HashMap<i64, StoreRec>,
+    /// Loads whose producing store lives in a different function (observed
+    /// through calls); counted but not classified per loop.
+    pub interproc_deps: u64,
+}
+
+impl DepProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times the pair `(store, load)` matched with classification `kind`
+    /// relative to `loop_id`.
+    pub fn count(&self, key: &DepKey) -> u64 {
+        self.dep_counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Executions of a store instruction.
+    pub fn store_count(&self, func: FuncId, store: InstId) -> u64 {
+        self.store_exec.get(&(func, store)).copied().unwrap_or(0)
+    }
+
+    /// Executions of a load instruction.
+    pub fn load_count(&self, func: FuncId, load: InstId) -> u64 {
+        self.load_exec.get(&(func, load)).copied().unwrap_or(0)
+    }
+
+    /// The paper's dependence probability for an edge `store -> load` with
+    /// classification `kind` in `loop_id`:
+    /// `count(matches) / executions(store)`, clamped to `[0, 1]`.
+    /// Returns `None` if the store was never executed.
+    pub fn dep_prob(&self, key: &DepKey) -> Option<f64> {
+        let writes = self.store_count(key.func, key.store);
+        if writes == 0 {
+            None
+        } else {
+            Some((self.count(key) as f64 / writes as f64).clamp(0.0, 1.0))
+        }
+    }
+
+    /// All profiled pairs for one loop, aggregated over classifications:
+    /// `(store, load) -> (intra, cross_adjacent, cross_far)` counts.
+    pub fn pairs_for_loop(
+        &self,
+        func: FuncId,
+        loop_id: LoopId,
+    ) -> HashMap<(InstId, InstId), (u64, u64, u64)> {
+        let mut out: HashMap<(InstId, InstId), (u64, u64, u64)> = HashMap::new();
+        for (key, &count) in &self.dep_counts {
+            if key.func == func && key.loop_id == loop_id {
+                let entry = out.entry((key.store, key.load)).or_insert((0, 0, 0));
+                match key.kind {
+                    DepKind::Intra => entry.0 += count,
+                    DepKind::CrossAdjacent => entry.1 += count,
+                    DepKind::CrossFar => entry.2 += count,
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if no dependences were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.dep_counts.is_empty()
+    }
+}
+
+impl Profiler for DepProfile {
+    fn on_load(
+        &mut self,
+        func: FuncId,
+        inst: InstId,
+        addr: i64,
+        _value: Val,
+        loops: &[LoopActivation],
+    ) {
+        *self.load_exec.entry((func, inst)).or_insert(0) += 1;
+        let Some(rec) = self.last_writer.get(&addr) else {
+            return;
+        };
+        if rec.func != func {
+            self.interproc_deps += 1;
+            return;
+        }
+        // Classify against every loop level active at both endpoints (same
+        // activation = same dynamic instance of the loop).
+        for cur in loops {
+            if let Some(at_store) = rec
+                .stack
+                .iter()
+                .find(|a| a.loop_id == cur.loop_id && a.activation == cur.activation)
+            {
+                let delta = cur.iter.saturating_sub(at_store.iter);
+                let kind = match delta {
+                    0 => DepKind::Intra,
+                    1 => DepKind::CrossAdjacent,
+                    _ => DepKind::CrossFar,
+                };
+                let key = DepKey {
+                    func,
+                    loop_id: cur.loop_id,
+                    store: rec.inst,
+                    load: inst,
+                    kind,
+                };
+                *self.dep_counts.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn on_store(
+        &mut self,
+        func: FuncId,
+        inst: InstId,
+        addr: i64,
+        _value: Val,
+        loops: &[LoopActivation],
+    ) {
+        *self.store_exec.entry((func, inst)).or_insert(0) += 1;
+        self.last_writer.insert(
+            addr,
+            StoreRec {
+                func,
+                inst,
+                stack: loops.to_vec(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, Val};
+    use spt_ir::InstKind;
+
+    fn profile(src: &str, entry: &str, args: &[Val]) -> (spt_ir::Module, DepProfile) {
+        let module = spt_frontend::compile(src).unwrap();
+        let mut prof = DepProfile::new();
+        {
+            let interp = Interp::new(&module);
+            interp.run(entry, args, &mut prof).unwrap();
+        }
+        (module, prof)
+    }
+
+    /// Finds the single loop of `func` in the module.
+    fn only_loop(module: &spt_ir::Module, name: &str) -> (FuncId, LoopId) {
+        let func = module.func_by_name(name).unwrap();
+        let f = module.func(func);
+        let cfg = spt_ir::Cfg::compute(f);
+        let dom = spt_ir::DomTree::compute(&cfg);
+        let forest = spt_ir::LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.len(), 1, "expected exactly one loop");
+        (func, LoopId::new(0))
+    }
+
+    #[test]
+    fn cross_iteration_dependence_detected() {
+        // a[i] depends on a[i-1] written in the previous iteration.
+        let src = "
+            global a[64]: int;
+            fn f(n: int) -> int {
+                a[0] = 1;
+                for (let i = 1; i < n; i = i + 1) {
+                    a[i] = a[i - 1] + 1;
+                }
+                return a[n - 1];
+            }
+        ";
+        let (module, prof) = profile(src, "f", &[Val::from_i64(32)]);
+        let (func, lid) = only_loop(&module, "f");
+        let pairs = prof.pairs_for_loop(func, lid);
+        // There is a (store a[i], load a[i-1]) pair that is cross-adjacent.
+        let cross_total: u64 = pairs.values().map(|(_, c, _)| *c).sum();
+        assert!(
+            cross_total >= 30,
+            "expected ~30 cross-adjacent matches, got {cross_total}"
+        );
+        let intra_total: u64 = pairs.values().map(|(i, _, _)| *i).sum();
+        assert_eq!(intra_total, 0);
+    }
+
+    #[test]
+    fn intra_iteration_dependence_detected() {
+        let src = "
+            global t: int;
+            fn f(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    t = i * 2;
+                    s = s + t;
+                }
+                return s;
+            }
+        ";
+        let (module, prof) = profile(src, "f", &[Val::from_i64(16)]);
+        let (func, lid) = only_loop(&module, "f");
+        let pairs = prof.pairs_for_loop(func, lid);
+        let intra_total: u64 = pairs.values().map(|(i, _, _)| *i).sum();
+        assert_eq!(intra_total, 16, "t written then read in the same iteration");
+    }
+
+    #[test]
+    fn dep_prob_matches_pattern() {
+        // Store hits the same slot every iteration; load reads it in the next
+        // iteration only when i % 4 == 0 -> p ~= 1/4.
+        let src = "
+            global t: int;
+            global sink: int;
+            fn f(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    if (i % 4 == 0) { s = s + t; }
+                    t = i;
+                }
+                return s;
+            }
+        ";
+        let (module, prof) = profile(src, "f", &[Val::from_i64(400)]);
+        let (func, lid) = only_loop(&module, "f");
+        let f = module.func(func);
+        // Find the store to `t` and the load of `t` inside the loop.
+        let mut store = None;
+        let mut load = None;
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                match f.inst(i).kind {
+                    InstKind::Store { region, .. }
+                        if region == module.global_by_name("t").unwrap() =>
+                    {
+                        store = Some(i)
+                    }
+                    InstKind::Load { region, .. }
+                        if region == module.global_by_name("t").unwrap() =>
+                    {
+                        load = Some(i)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let key = DepKey {
+            func,
+            loop_id: lid,
+            store: store.unwrap(),
+            load: load.unwrap(),
+            kind: DepKind::CrossAdjacent,
+        };
+        let p = prof.dep_prob(&key).unwrap();
+        assert!((p - 0.25).abs() < 0.02, "p = {p}, expected ~0.25");
+    }
+
+    #[test]
+    fn far_dependences_classified() {
+        // a[i] reads a[i-8]: eight iterations apart.
+        let src = "
+            global a[128]: int;
+            fn f(n: int) -> int {
+                for (let i = 8; i < n; i = i + 1) {
+                    a[i] = a[i - 8] + 1;
+                }
+                return a[n - 1];
+            }
+        ";
+        let (module, prof) = profile(src, "f", &[Val::from_i64(64)]);
+        let (func, lid) = only_loop(&module, "f");
+        let pairs = prof.pairs_for_loop(func, lid);
+        let far_total: u64 = pairs.values().map(|(_, _, f)| *f).sum();
+        assert!(
+            far_total >= 40,
+            "expected many cross-far matches, got {far_total}"
+        );
+        let adj_total: u64 = pairs.values().map(|(_, c, _)| *c).sum();
+        assert_eq!(adj_total, 0);
+    }
+
+    #[test]
+    fn interprocedural_deps_counted_separately() {
+        let src = "
+            global t: int;
+            fn set(v: int) { t = v; }
+            fn f(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    set(i);
+                    s = s + t;
+                }
+                return s;
+            }
+        ";
+        let (_module, prof) = profile(src, "f", &[Val::from_i64(10)]);
+        assert_eq!(prof.interproc_deps, 10);
+    }
+}

@@ -1,0 +1,275 @@
+//! Software-value-prediction profiling (§7.2 of the paper).
+//!
+//! The compiler "instruments the program to profile the value patterns of
+//! the corresponding variables" — the SSA definitions whose cross-iteration
+//! dependences dominate the misspeculation cost. This collector records the
+//! dynamic value sequence of each target definition and classifies it:
+//!
+//! * [`ValuePattern::Constant`] — the same value every time;
+//! * [`ValuePattern::Stride`] — `v[n+1] = v[n] + d` (the paper's `x + 2`
+//!   example in Fig. 13);
+//! * [`ValuePattern::LastValue`] — repeats with occasional changes
+//!   (predict-last-value profitable);
+//! * [`ValuePattern::Unpredictable`] — nothing reached the confidence bar.
+
+use crate::interp::{LoopActivation, Profiler, Val};
+use spt_ir::{FuncId, InstId, Ty};
+use std::collections::{HashMap, HashSet};
+
+/// A detected value pattern with its hit ratio over the profiled run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValuePattern {
+    /// Always the same 64-bit value.
+    Constant(u64),
+    /// Integer stride: next = previous + `stride`.
+    Stride(i64),
+    /// The previous value repeats often (ratio of repeats given).
+    LastValue,
+    /// No pattern above the confidence threshold.
+    Unpredictable,
+}
+
+#[derive(Clone, Debug, Default)]
+struct SeqStats {
+    count: u64,
+    first: Option<u64>,
+    last: Option<u64>,
+    const_hits: u64,
+    repeat_hits: u64,
+    delta_counts: HashMap<i64, u64>,
+}
+
+impl SeqStats {
+    fn observe(&mut self, bits: u64, is_float: bool) {
+        if let Some(first) = self.first {
+            if bits == first {
+                self.const_hits += 1;
+            }
+        } else {
+            self.first = Some(bits);
+        }
+        if let Some(last) = self.last {
+            if bits == last {
+                self.repeat_hits += 1;
+            }
+            if !is_float {
+                let delta = (bits as i64).wrapping_sub(last as i64);
+                if self.delta_counts.len() < 64 || self.delta_counts.contains_key(&delta) {
+                    *self.delta_counts.entry(delta).or_insert(0) += 1;
+                }
+            }
+        }
+        self.last = Some(bits);
+        self.count += 1;
+    }
+
+    fn classify(&self, threshold: f64) -> (ValuePattern, f64) {
+        if self.count == 0 {
+            return (ValuePattern::Unpredictable, 0.0);
+        }
+        let transitions = (self.count - 1).max(1) as f64;
+        // Constant: every observation equals the first.
+        let const_ratio = (self.const_hits + 1) as f64 / self.count as f64;
+        if const_ratio >= threshold {
+            return (
+                ValuePattern::Constant(self.first.expect("count > 0")),
+                const_ratio,
+            );
+        }
+        // Stride: the dominant delta (non-zero) covers most transitions.
+        if let Some((&delta, &hits)) = self.delta_counts.iter().max_by_key(|(_, &hits)| hits) {
+            let ratio = hits as f64 / transitions;
+            if delta != 0 && ratio >= threshold {
+                return (ValuePattern::Stride(delta), ratio);
+            }
+        }
+        // Last-value: repeats dominate.
+        let repeat_ratio = self.repeat_hits as f64 / transitions;
+        if repeat_ratio >= threshold {
+            return (ValuePattern::LastValue, repeat_ratio);
+        }
+        (ValuePattern::Unpredictable, 0.0)
+    }
+}
+
+/// Value-sequence profile for a set of target definitions.
+#[derive(Clone, Debug)]
+pub struct ValueProfile {
+    targets: HashSet<(FuncId, InstId)>,
+    float_targets: HashSet<(FuncId, InstId)>,
+    stats: HashMap<(FuncId, InstId), SeqStats>,
+    /// Confidence bar for pattern classification (default 0.95; the paper
+    /// requires "acceptably low" misprediction cost).
+    pub threshold: f64,
+}
+
+impl ValueProfile {
+    /// Creates a profile that records the given `(func, inst)` definitions.
+    /// `tys` marks which targets are floats (strides are integer-only).
+    pub fn new(targets: impl IntoIterator<Item = (FuncId, InstId, Ty)>) -> Self {
+        let mut set = HashSet::new();
+        let mut floats = HashSet::new();
+        for (f, i, ty) in targets {
+            set.insert((f, i));
+            if ty == Ty::F64 {
+                floats.insert((f, i));
+            }
+        }
+        ValueProfile {
+            targets: set,
+            float_targets: floats,
+            stats: HashMap::new(),
+            threshold: 0.95,
+        }
+    }
+
+    /// The classified pattern and its hit ratio for one target.
+    pub fn pattern(&self, func: FuncId, inst: InstId) -> (ValuePattern, f64) {
+        match self.stats.get(&(func, inst)) {
+            Some(s) => s.classify(self.threshold),
+            None => (ValuePattern::Unpredictable, 0.0),
+        }
+    }
+
+    /// Number of observations for a target.
+    pub fn samples(&self, func: FuncId, inst: InstId) -> u64 {
+        self.stats.get(&(func, inst)).map_or(0, |s| s.count)
+    }
+
+    /// Iterates over all targets with a predictable pattern.
+    pub fn predictable(&self) -> Vec<(FuncId, InstId, ValuePattern, f64)> {
+        let mut out = Vec::new();
+        for &(f, i) in &self.targets {
+            let (pat, ratio) = self.pattern(f, i);
+            if !matches!(pat, ValuePattern::Unpredictable) {
+                out.push((f, i, pat, ratio));
+            }
+        }
+        out.sort_by_key(|&(f, i, _, _)| (f, i));
+        out
+    }
+}
+
+impl Profiler for ValueProfile {
+    fn on_def(&mut self, func: FuncId, inst: InstId, value: Val, _loops: &[LoopActivation]) {
+        if self.targets.contains(&(func, inst)) {
+            let is_float = self.float_targets.contains(&(func, inst));
+            self.stats
+                .entry((func, inst))
+                .or_default()
+                .observe(value.0, is_float);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(values: &[i64], threshold: f64) -> (ValuePattern, f64) {
+        let mut s = SeqStats::default();
+        for &v in values {
+            s.observe(v as u64, false);
+        }
+        s.classify(threshold)
+    }
+
+    #[test]
+    fn detects_constant() {
+        let (p, r) = feed(&[7, 7, 7, 7, 7, 7], 0.9);
+        assert_eq!(p, ValuePattern::Constant(7));
+        assert!(r >= 0.99);
+    }
+
+    #[test]
+    fn detects_stride() {
+        let vals: Vec<i64> = (0..100).map(|i| 3 + 2 * i).collect();
+        let (p, r) = feed(&vals, 0.9);
+        assert_eq!(p, ValuePattern::Stride(2));
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn detects_stride_with_noise() {
+        let mut vals: Vec<i64> = (0..100).map(|i| 10 * i).collect();
+        vals[50] = 0; // one irregularity
+        vals[51] = 510;
+        let (p, _) = feed(&vals, 0.9);
+        assert_eq!(p, ValuePattern::Stride(10));
+    }
+
+    #[test]
+    fn detects_last_value() {
+        // Long runs of repeats with occasional jumps.
+        let mut vals = Vec::new();
+        for block in 0..10 {
+            for _ in 0..20 {
+                vals.push(block * 100);
+            }
+        }
+        let (p, r) = feed(&vals, 0.9);
+        assert_eq!(p, ValuePattern::LastValue);
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn unpredictable_sequence() {
+        // Multiplicative pseudo-random walk: no constant stride.
+        let mut v = 1i64;
+        let mut vals = Vec::new();
+        for _ in 0..200 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            vals.push(v);
+        }
+        let (p, _) = feed(&vals, 0.9);
+        assert_eq!(p, ValuePattern::Unpredictable);
+    }
+
+    #[test]
+    fn end_to_end_on_interpreter() {
+        use crate::interp::{Interp, Val};
+        // x advances by 2 every iteration (Fig. 13's pattern).
+        let src = "
+            global sink: int;
+            fn f(n: int) -> int {
+                let x = 0;
+                let s = 0;
+                while (x < n) {
+                    s = s + x;
+                    x = x + 2;
+                }
+                return s;
+            }
+        ";
+        let module = spt_frontend::compile(src).unwrap();
+        let func = module.func_by_name("f").unwrap();
+        // Profile every i64 binary add in the function (the x update among
+        // them).
+        let f = module.func(func);
+        let targets: Vec<(FuncId, InstId, Ty)> = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| {
+                matches!(
+                    f.inst(i).kind,
+                    spt_ir::InstKind::Binary {
+                        op: spt_ir::BinOp::Add,
+                        ..
+                    }
+                )
+            })
+            .map(|i| (func, i, Ty::I64))
+            .collect();
+        let mut prof = ValueProfile::new(targets);
+        let interp = Interp::new(&module);
+        interp.run("f", &[Val::from_i64(1000)], &mut prof).unwrap();
+        let strided = prof
+            .predictable()
+            .into_iter()
+            .filter(|(_, _, p, _)| matches!(p, ValuePattern::Stride(2)))
+            .count();
+        assert!(strided >= 1, "x = x + 2 detected as stride-2");
+    }
+}

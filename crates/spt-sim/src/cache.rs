@@ -1,0 +1,191 @@
+//! A two-level set-associative cache model with LRU replacement.
+//!
+//! The paper's machine shares an Itanium2-like memory hierarchy between the
+//! two cores; this model captures the load-latency structure (L1 hit / L2
+//! hit / memory) at cell granularity. Addresses are 8-byte cell indices.
+
+/// Cache hierarchy parameters.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// L1 line size in cells.
+    pub l1_line_cells: usize,
+    /// L1 number of sets.
+    pub l1_sets: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 line size in cells.
+    pub l2_line_cells: usize,
+    /// L2 number of sets.
+    pub l2_sets: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // Itanium2-flavoured: 16KB L1 (2-cycle), 256KB L2 (~14 cycles),
+        // ~120-cycle memory. Line size 64B = 8 cells.
+        CacheConfig {
+            l1_line_cells: 8,
+            l1_sets: 64,
+            l1_ways: 4,
+            l1_latency: 2,
+            l2_line_cells: 16,
+            l2_sets: 256,
+            l2_ways: 8,
+            l2_latency: 14,
+            memory_latency: 120,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Level {
+    line_cells: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set]` = lines in LRU order (front = most recent).
+    tags: Vec<Vec<u64>>,
+}
+
+impl Level {
+    fn new(line_cells: usize, sets: usize, ways: usize) -> Self {
+        Level {
+            line_cells,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets],
+        }
+    }
+
+    /// Returns `true` on hit; inserts the line either way.
+    fn access(&mut self, cell: u64) -> bool {
+        let line = cell / self.line_cells as u64;
+        let set = (line % self.sets as u64) as usize;
+        let lines = &mut self.tags[set];
+        if let Some(pos) = lines.iter().position(|&t| t == line) {
+            let t = lines.remove(pos);
+            lines.insert(0, t);
+            true
+        } else {
+            lines.insert(0, line);
+            lines.truncate(self.ways);
+            false
+        }
+    }
+}
+
+/// A two-level cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    l1: Level,
+    l2: Level,
+    config: CacheConfig,
+    /// Total accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit L2).
+    pub l2_hits: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            l1: Level::new(config.l1_line_cells, config.l1_sets, config.l1_ways),
+            l2: Level::new(config.l2_line_cells, config.l2_sets, config.l2_ways),
+            config,
+            accesses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+        }
+    }
+
+    /// Performs an access to `cell` and returns its latency.
+    pub fn access(&mut self, cell: u64) -> u64 {
+        self.accesses += 1;
+        if self.l1.access(cell) {
+            self.l1_hits += 1;
+            self.config.l1_latency
+        } else if self.l2.access(cell) {
+            self.l2_hits += 1;
+            self.config.l2_latency
+        } else {
+            self.config.memory_latency
+        }
+    }
+
+    /// Overall hit rate (either level).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.l1_hits + self.l2_hits) as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut c = Cache::new(CacheConfig::default());
+        let first = c.access(100);
+        assert_eq!(first, 120, "cold miss goes to memory");
+        let second = c.access(100);
+        assert_eq!(second, 2, "now in L1");
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.l1_hits, 1);
+    }
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = Cache::new(CacheConfig::default());
+        c.access(0);
+        assert_eq!(c.access(7), 2, "same 8-cell L1 line");
+        assert_ne!(c.access(8), 2, "next line misses L1");
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let cfg = CacheConfig::default();
+        let mut c = Cache::new(cfg.clone());
+        // Touch enough distinct lines mapping to one L1 set to evict, but
+        // few enough that L2 keeps them.
+        let stride = (cfg.l1_sets * cfg.l1_line_cells) as u64;
+        for k in 0..(cfg.l1_ways as u64 + 1) {
+            c.access(k * stride);
+        }
+        // First line evicted from L1 but should be in L2.
+        let lat = c.access(0);
+        assert_eq!(lat, cfg.l2_latency);
+    }
+
+    #[test]
+    fn working_set_hit_rates() {
+        let mut c = Cache::new(CacheConfig::default());
+        // Small working set: high hit rate after warmup.
+        for _ in 0..10 {
+            for a in 0..64u64 {
+                c.access(a);
+            }
+        }
+        assert!(c.hit_rate() > 0.9, "hit rate = {}", c.hit_rate());
+
+        // Huge streaming scan touching each L2 line once: all misses.
+        let mut c2 = Cache::new(CacheConfig::default());
+        for a in (0..4_000_000u64).step_by(16) {
+            c2.access(a);
+        }
+        assert!(c2.hit_rate() < 0.05, "hit rate = {}", c2.hit_rate());
+    }
+}

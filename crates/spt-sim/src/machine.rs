@@ -1,0 +1,54 @@
+//! Machine configuration: the paper's SPT hardware parameters.
+
+use crate::cache::CacheConfig;
+
+/// Parameters of the simulated two-core SPT machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Cycles to spawn a speculative thread (paper: 6).
+    pub fork_overhead: u64,
+    /// Cycles to commit a speculative thread's results (paper: 5).
+    pub commit_overhead: u64,
+    /// Branch misprediction penalty (paper: 5).
+    pub branch_mispredict_penalty: u64,
+    /// Maximum operations a speculative thread may run ahead (hardware
+    /// buffering limit; "hardware resources can only support speculative
+    /// execution of limited size", §6.1).
+    pub max_spec_ops: usize,
+    /// Maximum distinct cells in the speculative store buffer.
+    pub spec_buffer_entries: usize,
+    /// Cache hierarchy parameters.
+    pub cache: CacheConfig,
+    /// Abort runs longer than this many retired instructions.
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            fork_overhead: 6,
+            commit_overhead: 5,
+            branch_mispredict_penalty: 5,
+            max_spec_ops: 4000,
+            spec_buffer_entries: 512,
+            cache: CacheConfig::default(),
+            fuel: 500_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overheads_are_defaults() {
+        let c = MachineConfig::default();
+        assert_eq!(c.fork_overhead, 6);
+        assert_eq!(c.commit_overhead, 5);
+        assert_eq!(c.branch_mispredict_penalty, 5);
+    }
+}

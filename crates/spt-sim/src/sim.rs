@@ -1,0 +1,769 @@
+//! The SPT machine simulation driver: episodes, validation and commit.
+//!
+//! One *episode* is the life of a speculative thread: spawned at `SPT_FORK`
+//! with a copy of the main thread's context, it executes the next iteration
+//! against the fork-time memory snapshot, buffering writes. Its trace is
+//! produced eagerly (deterministically) on the speculative core's own clock.
+//! When the main thread arrives at the iteration boundary, the trace prefix
+//! that fits the elapsed wall-clock is *validated*: the main thread steps
+//! through the same instructions, committing value-identical results for
+//! free and re-executing mismatches at full cost; a control divergence
+//! discards the rest of the trace. Commit costs
+//! [`MachineConfig::commit_overhead`] cycles; if the speculative thread had
+//! passed the next `SPT_FORK`, the next episode spawns at commit.
+
+use crate::cache::Cache;
+use crate::machine::MachineConfig;
+use crate::predictor::BranchPredictor;
+use crate::stats::LoopSimStats;
+use crate::thread::{ExecError, ExecRecord, MemView, StepEvent, Thread, Timing};
+use spt_ir::{BlockId, Cfg, DomTree, FuncId, Module};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulation failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Unknown entry function.
+    NoSuchFunction(String),
+    /// The (non-speculative) program faulted.
+    Exec(ExecError),
+    /// Retired-instruction budget exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            SimError::Exec(e) => write!(f, "execution fault: {e}"),
+            SimError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+/// The outcome of a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Entry function's return value bits.
+    pub ret: Option<u64>,
+    /// Total main-core cycles.
+    pub cycles: u64,
+    /// Instructions retired (committed), including free speculative ones.
+    pub insts: u64,
+    /// Final memory image.
+    pub memory: Vec<u64>,
+    /// Per-loop-tag statistics.
+    pub loops: HashMap<u32, LoopSimStats>,
+    /// Shared-cache hit rate over the run.
+    pub cache_hit_rate: f64,
+    /// Branch-predictor miss rate over the run.
+    pub branch_miss_rate: f64,
+}
+
+impl SimResult {
+    /// Instructions per cycle (the paper's Table 1 metric, at IR-op
+    /// granularity).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct Episode {
+    tag: u32,
+    spawn_func: FuncId,
+    spawn_target: BlockId,
+    depth: usize,
+    trace: Vec<ExecRecord>,
+}
+
+/// The SPT machine simulator.
+pub struct SptSimulator {
+    /// Machine parameters.
+    pub config: MachineConfig,
+}
+
+impl SptSimulator {
+    /// A simulator with the paper's default machine.
+    pub fn new() -> Self {
+        SptSimulator {
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// A simulator with custom parameters.
+    pub fn with_config(config: MachineConfig) -> Self {
+        SptSimulator { config }
+    }
+
+    /// Runs `entry(args)` with the module's initial memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on unknown entry, program faults or fuel
+    /// exhaustion.
+    pub fn run(&self, module: &Module, entry: &str, args: &[i64]) -> Result<SimResult, SimError> {
+        let (bases, size) = module.memory_layout();
+        let mut memory = vec![0u64; size];
+        for (gi, g) in module.globals.iter().enumerate() {
+            if let Some(init) = &g.init {
+                for (k, &b) in init.iter().take(g.size).enumerate() {
+                    memory[bases[gi] + k] = b;
+                }
+            }
+        }
+        self.run_with_memory(module, entry, args, memory)
+    }
+
+    /// Runs with a caller-provided memory image.
+    ///
+    /// # Errors
+    ///
+    /// See [`SptSimulator::run`].
+    pub fn run_with_memory(
+        &self,
+        module: &Module,
+        entry: &str,
+        args: &[i64],
+        memory: Vec<u64>,
+    ) -> Result<SimResult, SimError> {
+        let func = module
+            .func_by_name(entry)
+            .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
+        let (bases, _) = module.memory_layout();
+        Run {
+            module,
+            bases,
+            config: &self.config,
+            memory,
+            cycle: 0,
+            insts: 0,
+            cache: Cache::new(self.config.cache.clone()),
+            predictor: BranchPredictor::new(),
+            loops: HashMap::new(),
+            active_tags: Vec::new(),
+            latch_cache: HashMap::new(),
+        }
+        .run(func, args)
+    }
+}
+
+impl Default for SptSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Run<'m> {
+    module: &'m Module,
+    bases: Vec<usize>,
+    config: &'m MachineConfig,
+    memory: Vec<u64>,
+    cycle: u64,
+    insts: u64,
+    cache: Cache,
+    predictor: BranchPredictor,
+    loops: HashMap<u32, LoopSimStats>,
+    /// `(tag, entry cycle)` of loops the main thread is currently inside.
+    active_tags: Vec<(u32, u64)>,
+    /// Cached latch block per `(func, header)` for spec-thread phi startup.
+    latch_cache: HashMap<(FuncId, BlockId), Option<BlockId>>,
+}
+
+impl Run<'_> {
+    fn run(mut self, func: FuncId, args: &[i64]) -> Result<SimResult, SimError> {
+        let mut thread = Thread::start(self.module, func, args.iter().map(|&a| a as u64).collect());
+        thread.max_depth = self.config.max_depth;
+        let mut episode: Option<Episode> = None;
+
+        let ret = loop {
+            if self.insts > self.config.fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            let rec_event = {
+                let mut view = MemView::Direct(&mut self.memory);
+                let mut timing = Timing {
+                    cycle: &mut self.cycle,
+                    cache: &mut self.cache,
+                    predictor: &mut self.predictor,
+                    mispredict_penalty: self.config.branch_mispredict_penalty,
+                };
+                thread.step(self.module, &self.bases, &mut view, Some(&mut timing))?
+            };
+            let (rec, event) = rec_event;
+            self.insts += 1;
+            self.attribute_main(&rec);
+
+            match event {
+                StepEvent::Continue => {}
+                StepEvent::Fork { tag, target, func } => {
+                    if episode.is_none() {
+                        self.activate(tag);
+                        episode = Some(self.spawn(&thread, func, target, tag));
+                    }
+                }
+                StepEvent::Kill { tag } => {
+                    if let Some(ep) = &episode {
+                        if ep.tag == tag {
+                            let wasted = ep.trace.len() as u64;
+                            let s = self.loops.entry(tag).or_default();
+                            s.kills += 1;
+                            s.wasted_insts += wasted;
+                            episode = None;
+                        }
+                    }
+                    self.deactivate(tag);
+                }
+                StepEvent::Transfer { to, func } => {
+                    let matches = episode.as_ref().is_some_and(|ep| {
+                        ep.spawn_func == func && ep.spawn_target == to && ep.depth == thread.depth()
+                    });
+                    if matches {
+                        let ep = episode.take().expect("matched episode");
+                        let (next, finished) = self.validate(&mut thread, ep)?;
+                        episode = next;
+                        if let Some(value) = finished {
+                            break value;
+                        }
+                    }
+                }
+                StepEvent::Finished { value } => break value,
+            }
+        };
+
+        // Close any still-active loop attributions.
+        let cycle = self.cycle;
+        while let Some((tag, entered)) = self.active_tags.pop() {
+            self.loops.entry(tag).or_default().loop_cycles += cycle - entered;
+        }
+
+        Ok(SimResult {
+            ret,
+            cycles: self.cycle,
+            insts: self.insts,
+            memory: self.memory,
+            loops: self.loops,
+            cache_hit_rate: self.cache.hit_rate(),
+            branch_miss_rate: self.predictor.miss_rate(),
+        })
+    }
+
+    fn activate(&mut self, tag: u32) {
+        if !self.active_tags.iter().any(|&(t, _)| t == tag) {
+            self.active_tags.push((tag, self.cycle));
+            self.loops.entry(tag).or_default();
+        }
+    }
+
+    fn deactivate(&mut self, tag: u32) {
+        if let Some(pos) = self.active_tags.iter().position(|&(t, _)| t == tag) {
+            let (_, entered) = self.active_tags.remove(pos);
+            self.loops.entry(tag).or_default().loop_cycles += self.cycle - entered;
+        }
+    }
+
+    /// Adds a main-thread instruction to every active loop's accounting.
+    fn attribute_main(&mut self, rec: &ExecRecord) {
+        for &(tag, _) in &self.active_tags {
+            let s = self.loops.entry(tag).or_default();
+            s.main_insts += 1;
+            s.seq_cycles += rec.latency;
+        }
+    }
+
+    /// Adds validated (free or re-executed) work to active loops.
+    fn attribute_committed(&mut self, latency: u64) {
+        for &(tag, _) in &self.active_tags {
+            self.loops.entry(tag).or_default().seq_cycles += latency;
+        }
+    }
+
+    /// Finds the latch predecessor of `header` in `func` (the in-loop
+    /// predecessor), for speculative-thread phi startup.
+    fn latch_of(&mut self, func: FuncId, header: BlockId) -> Option<BlockId> {
+        let module = self.module;
+        *self.latch_cache.entry((func, header)).or_insert_with(|| {
+            let f = module.func(func);
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            cfg.preds(header)
+                .iter()
+                .copied()
+                .find(|&p| dom.dominates(header, p))
+        })
+    }
+
+    /// Spawns an episode: runs the speculative core eagerly against the
+    /// current memory snapshot, producing its trace on its own clock.
+    fn spawn(&mut self, main: &Thread, func: FuncId, target: BlockId, tag: u32) -> Episode {
+        self.cycle += self.config.fork_overhead;
+        self.loops.entry(tag).or_default().forks += 1;
+
+        let main_depth = main.depth();
+        let (context, args) = main.context();
+        let latch = self.latch_of(func, target).unwrap_or(target);
+        let mut spec = Thread::start_spec(self.module, func, &context, args, target, latch);
+        spec.max_depth = self.config.max_depth;
+
+        let mut buf: HashMap<u64, u64> = HashMap::new();
+        let mut spec_cycle = self.cycle;
+        let mut trace: Vec<ExecRecord> = Vec::new();
+        let depth0 = spec.depth();
+
+        loop {
+            if trace.len() >= self.config.max_spec_ops {
+                break;
+            }
+            let step = {
+                let mut view = MemView::Overlay {
+                    base: &self.memory,
+                    buf: &mut buf,
+                    cap: self.config.spec_buffer_entries,
+                };
+                let mut timing = Timing {
+                    cycle: &mut spec_cycle,
+                    cache: &mut self.cache,
+                    predictor: &mut self.predictor,
+                    mispredict_penalty: self.config.branch_mispredict_penalty,
+                };
+                spec.step(self.module, &self.bases, &mut view, Some(&mut timing))
+            };
+            match step {
+                Ok((rec, event)) => match event {
+                    StepEvent::Transfer { to, func: tf }
+                        if tf == func && to == target && spec.depth() == depth0 =>
+                    {
+                        // Completed the next iteration.
+                        trace.push(rec);
+                        break;
+                    }
+                    StepEvent::Kill { tag: kt } if kt == tag => {
+                        // Speculative thread left the loop; the kill itself is
+                        // re-executed by the main thread.
+                        break;
+                    }
+                    StepEvent::Fork { .. } => {
+                        // Speculative forks are recorded (no-ops) and become
+                        // effective at commit via the validation replay.
+                        trace.push(rec);
+                    }
+                    StepEvent::Finished { .. } => {
+                        // Returning out of the spawning frame ends speculation;
+                        // the return is not part of the trace.
+                        break;
+                    }
+                    _ => trace.push(rec),
+                },
+                // Any speculative fault (OOB from a wild speculative address,
+                // buffer overflow) silently stops speculation.
+                Err(_) => break,
+            }
+        }
+        Episode {
+            tag,
+            spawn_func: func,
+            spawn_target: target,
+            depth: main_depth,
+            trace,
+        }
+    }
+
+    /// Validates an episode at the iteration boundary: steps the main thread
+    /// through the trace, committing matches for free. Returns the next
+    /// episode (if the speculative thread had passed the fork point) and the
+    /// program's return value if the thread finished during validation.
+    #[allow(clippy::type_complexity)]
+    fn validate(
+        &mut self,
+        thread: &mut Thread,
+        ep: Episode,
+    ) -> Result<(Option<Episode>, Option<Option<u64>>), SimError> {
+        let arrival = self.cycle;
+        let stats = self.loops.entry(ep.tag).or_default();
+        stats.commits += 1;
+
+        let mut k = 0usize;
+        let mut pending_fork = false;
+        let mut killed = false;
+        let mut finished: Option<Option<u64>> = None;
+
+        while k < ep.trace.len() && ep.trace[k].cycle_end <= arrival {
+            let expected = &ep.trace[k];
+            let step = {
+                let mut view = MemView::Direct(&mut self.memory);
+                thread.step(self.module, &self.bases, &mut view, None)?
+            };
+            let (rec, event) = step;
+            self.insts += 1;
+
+            let same_site = rec.func == expected.func && rec.inst == expected.inst;
+            if same_site {
+                let equal = rec.result == expected.result && rec.store == expected.store;
+                let s = self.loops.entry(ep.tag).or_default();
+                if equal {
+                    s.free_insts += 1;
+                } else {
+                    s.reexec_insts += 1;
+                    s.reexec_cycles += expected.latency.max(1);
+                    self.cycle += expected.latency.max(1);
+                }
+                self.attribute_committed(expected.latency.max(1));
+                k += 1;
+            } else {
+                // Control divergence: this instruction and everything after
+                // is executed non-speculatively.
+                let s = self.loops.entry(ep.tag).or_default();
+                s.reexec_insts += 1;
+                s.reexec_cycles += rec.latency.max(1);
+                s.wasted_insts += (ep.trace.len() - k) as u64;
+                self.cycle += rec.latency.max(1);
+                self.attribute_committed(rec.latency.max(1));
+                k = ep.trace.len(); // discard the rest
+            }
+
+            match event {
+                StepEvent::Fork { tag, .. } if tag == ep.tag => pending_fork = true,
+                StepEvent::Kill { tag } => {
+                    if tag == ep.tag {
+                        killed = true;
+                    }
+                    self.deactivate(tag);
+                    if killed {
+                        let s = self.loops.entry(ep.tag).or_default();
+                        s.wasted_insts += (ep.trace.len() - k) as u64;
+                        k = ep.trace.len();
+                    }
+                }
+                StepEvent::Finished { value } => {
+                    finished = Some(value);
+                    break;
+                }
+                _ => {}
+            }
+            if k >= ep.trace.len() {
+                break;
+            }
+        }
+
+        // Work the speculative core did beyond the catch-up point is wasted.
+        if k < ep.trace.len() {
+            let s = self.loops.entry(ep.tag).or_default();
+            s.wasted_insts += (ep.trace.len() - k) as u64;
+        }
+
+        self.cycle += self.config.commit_overhead;
+
+        if let Some(value) = finished {
+            return Ok((None, Some(value)));
+        }
+
+        // Spawn the next episode only when the main thread is back in the
+        // loop's own frame (validation may have stopped inside a callee, in
+        // which case the context is not the loop's and the fork is dropped).
+        if pending_fork
+            && !killed
+            && thread.depth() == ep.depth
+            && thread.current_func() == ep.spawn_func
+        {
+            let ep2 = self.spawn(thread, ep.spawn_func, ep.spawn_target, ep.tag);
+            return Ok((Some(ep2), None));
+        }
+        Ok((None, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        spt_frontend::compile(src).unwrap()
+    }
+
+    #[test]
+    fn baseline_module_runs_and_matches_interpreter() {
+        let src = "
+            global a[64]: int;
+            fn main(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    a[i % 64] = i * i;
+                    s = s + a[i % 64] % 7;
+                }
+                return s;
+            }
+        ";
+        let module = compile(src);
+        let sim = SptSimulator::new();
+        let r = sim.run(&module, "main", &[100]).unwrap();
+        let expected = spt_profile::Interp::new(&module)
+            .run(
+                "main",
+                &[spt_profile::Val::from_i64(100)],
+                &mut spt_profile::NoProfiler,
+            )
+            .unwrap();
+        assert_eq!(r.ret.unwrap(), expected.ret.unwrap().0);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.memory, expected.memory);
+    }
+
+    #[test]
+    fn fuel_guard() {
+        let src = "fn main() -> int { let x = 1; while (x > 0) { x = x + 1; } return x; }";
+        let module = compile(src);
+        let sim = SptSimulator::with_config(MachineConfig {
+            fuel: 5000,
+            ..MachineConfig::default()
+        });
+        assert_eq!(
+            sim.run(&module, "main", &[]).unwrap_err(),
+            SimError::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn unknown_entry() {
+        let module = compile("fn main() -> int { return 1; }");
+        let sim = SptSimulator::new();
+        assert!(matches!(
+            sim.run(&module, "nope", &[]),
+            Err(SimError::NoSuchFunction(_))
+        ));
+    }
+
+    /// Hand-transforms a loop with an *empty* partition (only the forced
+    /// header-test closure moves): the carried accumulator stays post-fork,
+    /// so every speculative iteration misspeculates its accumulator chain —
+    /// and validation must both catch it and keep results exact.
+    fn force_transform(src: &str, fname: &str) -> Module {
+        use spt_cost::dep_graph::{DepGraph, DepGraphConfig, NodeClass, Profiles};
+        use spt_transform::{emit_spt_loop, SptLoopSpec};
+        let mut module = spt_frontend::compile(src).unwrap();
+        let fid = module.func_by_name(fname).unwrap();
+        // Minimal pre-fork set: the header-test closure (as the pipeline
+        // forces) and nothing else, so every other carried value stays
+        // speculative.
+        let graph = DepGraph::build(
+            &module,
+            fid,
+            spt_ir::loops::LoopId::new(0),
+            Profiles::default(),
+            &DepGraphConfig::default(),
+        );
+        let func = module.func(fid);
+        let header = {
+            let cfg = spt_ir::Cfg::compute(func);
+            let dom = spt_ir::DomTree::compute(&cfg);
+            let forest = spt_ir::LoopForest::compute(func, &cfg, &dom);
+            forest.get(spt_ir::loops::LoopId::new(0)).header
+        };
+        let term = func.terminator(header).unwrap();
+        let mut move_insts = std::collections::HashSet::new();
+        let mut replicate_insts = std::collections::HashSet::new();
+        if let Some(&tnode) = graph.index.get(&term) {
+            for n in graph.closure(&[tnode]) {
+                let inst = graph.nodes[n];
+                if graph.class[n] == NodeClass::Branch {
+                    replicate_insts.insert(inst);
+                } else {
+                    move_insts.insert(inst);
+                }
+            }
+        }
+        let spec = SptLoopSpec {
+            loop_id: spt_ir::loops::LoopId::new(0),
+            move_insts,
+            replicate_insts,
+            loop_tag: 9,
+        };
+        emit_spt_loop(module.func_mut(fid), &spec).expect("emit");
+        spt_ir::passes::cleanup(module.func_mut(fid));
+        spt_ir::verify::verify_module(&module).expect("verifies");
+        module
+    }
+
+    #[test]
+    fn forced_misspeculation_is_detected_and_repaired() {
+        // `s` is carried and stays post-fork: the speculative thread always
+        // reads a stale `s`, so its accumulator chain re-executes. The `i`
+        // chain is carried too but the header-test closure moves it.
+        let src = "
+            global sink[64]: int;
+            fn f(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    let a = (i * 17 + 3) % 97;
+                    let b = (a * a + i) % 211;
+                    sink[i % 64] = b;
+                    s = s + b % 13;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let module = force_transform(src, "f");
+        let sim = SptSimulator::new();
+        let r = sim.run(&module, "f", &[300]).unwrap();
+        // Exactness first.
+        let expected = spt_profile::Interp::new(&module)
+            .run(
+                "f",
+                &[spt_profile::Val::from_i64(300)],
+                &mut spt_profile::NoProfiler,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .0;
+        assert_eq!(r.ret.unwrap(), expected);
+        let stats = r.loops.get(&9).expect("loop stats");
+        assert!(stats.commits > 100, "{stats:?}");
+        assert!(
+            stats.reexec_insts > 0,
+            "stale accumulator must be re-executed: {stats:?}"
+        );
+        // With only the exit test pre-forked, both the accumulator and the
+        // induction chain are stale in the speculative thread, so most
+        // instructions re-execute — but the header phi evaluations and the
+        // iteration-independent fragments still commit free.
+        assert!(stats.free_insts > 0, "{stats:?}");
+        assert!(
+            stats.misspec_ratio() > 0.3 && stats.misspec_ratio() < 0.95,
+            "mostly misspeculating: {stats:?}"
+        );
+        assert_eq!(stats.forks, stats.commits, "every episode validates");
+    }
+
+    #[test]
+    fn tiny_spec_buffer_limits_but_never_breaks() {
+        let src = "
+            global a[512]: int;
+            fn f(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    a[i % 512] = i * 3;
+                    a[(i + 7) % 512] = i * 5;
+                    a[(i + 13) % 512] = i * 7;
+                    s = s + a[(i + 1) % 512] % 11;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let module = force_transform(src, "f");
+        // Overflow on the second store.
+        let sim = SptSimulator::with_config(MachineConfig {
+            spec_buffer_entries: 1,
+            ..MachineConfig::default()
+        });
+        let r = sim.run(&module, "f", &[200]).unwrap();
+        let expected = spt_profile::Interp::new(&module)
+            .run(
+                "f",
+                &[spt_profile::Val::from_i64(200)],
+                &mut spt_profile::NoProfiler,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .0;
+        assert_eq!(r.ret.unwrap(), expected, "overflow must only stop, not corrupt");
+    }
+
+    #[test]
+    fn spec_ops_cap_shortens_traces() {
+        let src = "
+            global a[256]: int;
+            fn f(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    let x = (i * 31 + 7) % 256;
+                    a[x] = x;
+                    s = s + a[(x + 3) % 256] % 7 + (x * x) % 13;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let module = force_transform(src, "f");
+        let run_with_cap = |cap: usize| {
+            SptSimulator::with_config(MachineConfig {
+                max_spec_ops: cap,
+                ..MachineConfig::default()
+            })
+            .run(&module, "f", &[300])
+            .unwrap()
+        };
+        let tight = run_with_cap(4);
+        let loose = run_with_cap(4000);
+        assert_eq!(tight.ret, loose.ret);
+        let tight_free: u64 = tight.loops.values().map(|s| s.free_insts).sum();
+        let loose_free: u64 = loose.loops.values().map(|s| s.free_insts).sum();
+        assert!(
+            loose_free > tight_free,
+            "more headroom commits more: {tight_free} vs {loose_free}"
+        );
+        assert!(loose.cycles <= tight.cycles, "headroom never slows the run");
+    }
+
+    #[test]
+    fn control_divergence_discards_speculative_tail() {
+        // The branch direction depends on the carried `s` (post-fork), so
+        // the speculative thread frequently guesses the wrong arm; the
+        // divergence must be caught and the tail discarded.
+        let src = "
+            global a[128]: int;
+            fn f(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    let x = (i * 13 + 5) % 128;
+                    if (s % 3 == 0) {
+                        s = s + a[x] % 7 + x;
+                    } else {
+                        s = s + 1;
+                    }
+                    a[(x + 1) % 128] = s % 251;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let module = force_transform(src, "f");
+        let sim = SptSimulator::new();
+        let r = sim.run(&module, "f", &[400]).unwrap();
+        let expected = spt_profile::Interp::new(&module)
+            .run(
+                "f",
+                &[spt_profile::Val::from_i64(400)],
+                &mut spt_profile::NoProfiler,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .0;
+        assert_eq!(r.ret.unwrap(), expected);
+        let stats = r.loops.get(&9).expect("stats");
+        assert!(
+            stats.wasted_insts > 0,
+            "wrong-arm speculation must be discarded: {stats:?}"
+        );
+    }
+}

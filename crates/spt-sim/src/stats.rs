@@ -1,0 +1,90 @@
+//! Per-SPT-loop runtime statistics (Figures 16–19 inputs).
+
+/// Counters for one SPT loop (identified by its `loop_tag`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoopSimStats {
+    /// Speculative threads spawned.
+    pub forks: u64,
+    /// Episodes validated/committed at the iteration boundary.
+    pub commits: u64,
+    /// Episodes discarded by `SPT_KILL` (loop exits).
+    pub kills: u64,
+    /// Speculative instructions whose results were committed for free.
+    pub free_insts: u64,
+    /// Speculative instructions re-executed after validation failed.
+    pub reexec_insts: u64,
+    /// Cycles spent re-executing misspeculated instructions.
+    pub reexec_cycles: u64,
+    /// Instructions executed non-speculatively while inside the loop.
+    pub main_insts: u64,
+    /// Wall-clock cycles attributed to the loop (main-core time from entry
+    /// to exit).
+    pub loop_cycles: u64,
+    /// Sequential-equivalent cycles: the time the same committed work would
+    /// have taken on one core under the same latency model.
+    pub seq_cycles: u64,
+    /// Speculative work discarded (instructions beyond divergences, killed
+    /// episodes, or past the catch-up point).
+    pub wasted_insts: u64,
+}
+
+impl LoopSimStats {
+    /// Misspeculation ratio: fraction of speculatively executed instructions
+    /// that had to be re-executed (Fig. 18 reports ~3% on average).
+    pub fn misspec_ratio(&self) -> f64 {
+        let total = self.free_insts + self.reexec_insts;
+        if total == 0 {
+            0.0
+        } else {
+            self.reexec_insts as f64 / total as f64
+        }
+    }
+
+    /// Re-execution ratio: the fraction of a loop's computation re-executed
+    /// due to misspeculation (Fig. 19's y-axis).
+    pub fn reexec_ratio(&self) -> f64 {
+        if self.seq_cycles == 0 {
+            0.0
+        } else {
+            (self.reexec_cycles as f64 / self.seq_cycles as f64).min(1.0)
+        }
+    }
+
+    /// Loop speedup over sequential execution of the same work (Fig. 18
+    /// reports ~26% = 1.26x on average for selected loops).
+    pub fn speedup(&self) -> f64 {
+        if self.loop_cycles == 0 {
+            1.0
+        } else {
+            self.seq_cycles as f64 / self.loop_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = LoopSimStats {
+            free_insts: 97,
+            reexec_insts: 3,
+            reexec_cycles: 30,
+            seq_cycles: 1000,
+            loop_cycles: 800,
+            ..Default::default()
+        };
+        assert!((s.misspec_ratio() - 0.03).abs() < 1e-12);
+        assert!((s.reexec_ratio() - 0.03).abs() < 1e-12);
+        assert!((s.speedup() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = LoopSimStats::default();
+        assert_eq!(s.misspec_ratio(), 0.0);
+        assert_eq!(s.reexec_ratio(), 0.0);
+        assert_eq!(s.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,664 @@
+//! The stepping executor shared by the main core, the speculative core and
+//! validation replay.
+//!
+//! A [`Thread`] holds a call-frame stack and executes one instruction per
+//! [`Thread::step`], reporting what it executed (for trace recording and
+//! validation comparison) and any control event (block transfer, fork,
+//! kill, return). Memory is accessed through a [`MemView`] — direct for the
+//! main core, a write-buffer overlay for the speculative core.
+
+use crate::cache::Cache;
+use crate::predictor::BranchPredictor;
+use spt_ir::{BlockId, FuncId, InstId, InstKind, Module, Operand, Ty};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Execution faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Memory access out of bounds.
+    OutOfBounds(i64),
+    /// Call depth exceeded.
+    StackOverflow,
+    /// The speculative store buffer overflowed (speculation must stop; not a
+    /// program error).
+    SpecBufferFull,
+    /// Structurally invalid IR reached at runtime.
+    Malformed(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds(a) => write!(f, "memory access out of bounds: {a}"),
+            ExecError::StackOverflow => write!(f, "call depth exceeded"),
+            ExecError::SpecBufferFull => write!(f, "speculative store buffer full"),
+            ExecError::Malformed(m) => write!(f, "malformed IR: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Memory as seen by a core.
+pub enum MemView<'a> {
+    /// Committed memory (main core, replay).
+    Direct(&'a mut Vec<u64>),
+    /// Fork-time snapshot + speculative store buffer (speculative core).
+    Overlay {
+        /// Committed memory at fork time.
+        base: &'a [u64],
+        /// Buffered speculative writes.
+        buf: &'a mut HashMap<u64, u64>,
+        /// Buffer capacity.
+        cap: usize,
+    },
+}
+
+impl MemView<'_> {
+    fn read(&self, cell: i64) -> Result<u64, ExecError> {
+        let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
+        match self {
+            MemView::Direct(m) => m.get(idx).copied().ok_or(ExecError::OutOfBounds(cell)),
+            MemView::Overlay { base, buf, .. } => match buf.get(&(idx as u64)) {
+                Some(&v) => Ok(v),
+                None => base.get(idx).copied().ok_or(ExecError::OutOfBounds(cell)),
+            },
+        }
+    }
+
+    fn write(&mut self, cell: i64, bits: u64) -> Result<(), ExecError> {
+        let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
+        match self {
+            MemView::Direct(m) => {
+                let slot = m.get_mut(idx).ok_or(ExecError::OutOfBounds(cell))?;
+                *slot = bits;
+                Ok(())
+            }
+            MemView::Overlay { base, buf, cap } => {
+                if idx >= base.len() {
+                    return Err(ExecError::OutOfBounds(cell));
+                }
+                if buf.len() >= *cap && !buf.contains_key(&(idx as u64)) {
+                    return Err(ExecError::SpecBufferFull);
+                }
+                buf.insert(idx as u64, bits);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Cycle accounting shared by a core.
+pub struct Timing<'a> {
+    /// The core's cycle counter.
+    pub cycle: &'a mut u64,
+    /// Shared cache.
+    pub cache: &'a mut Cache,
+    /// Shared branch predictor.
+    pub predictor: &'a mut BranchPredictor,
+    /// Misprediction penalty.
+    pub mispredict_penalty: u64,
+}
+
+/// What one step executed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecRecord {
+    /// Function of the executed instruction.
+    pub func: FuncId,
+    /// The instruction.
+    pub inst: InstId,
+    /// Defined value bits, if any.
+    pub result: Option<u64>,
+    /// `(cell, bits)` when the instruction stored.
+    pub store: Option<(i64, u64)>,
+    /// Latency charged (0 under validation).
+    pub latency: u64,
+    /// Core cycle at completion (meaningful when timed).
+    pub cycle_end: u64,
+}
+
+/// Control event accompanying a step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepEvent {
+    /// Plain instruction.
+    Continue,
+    /// Control moved between blocks of the current frame.
+    Transfer {
+        /// Destination block.
+        to: BlockId,
+        /// Function it happened in.
+        func: FuncId,
+    },
+    /// An `SPT_FORK` executed.
+    Fork {
+        /// Loop tag.
+        tag: u32,
+        /// Spawn target (loop header).
+        target: BlockId,
+        /// Function containing the fork.
+        func: FuncId,
+    },
+    /// An `SPT_KILL` executed.
+    Kill {
+        /// Loop tag.
+        tag: u32,
+    },
+    /// The outermost frame returned; the thread is finished.
+    Finished {
+        /// Return value bits.
+        value: Option<u64>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FuncId,
+    values: Vec<u64>,
+    args: Vec<u64>,
+    block: BlockId,
+    pos: usize,
+    ret_slot: Option<InstId>,
+    pending_phis: VecDeque<(InstId, u64)>,
+}
+
+/// A core's architectural state: a stack of call frames.
+pub struct Thread {
+    frames: Vec<Frame>,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Thread {
+    /// Starts a thread at `func`'s entry with the given arguments.
+    pub fn start(module: &Module, func: FuncId, args: Vec<u64>) -> Self {
+        let f = module.func(func);
+        Thread {
+            frames: vec![Frame {
+                func,
+                values: vec![0; f.insts.len()],
+                args,
+                block: f.entry,
+                pos: 0,
+                ret_slot: None,
+                pending_phis: VecDeque::new(),
+            }],
+            max_depth: 256,
+        }
+    }
+
+    /// Starts a *speculative* thread at block `header` of `func`, with a
+    /// copy of the forking frame's context. Header phis take their
+    /// latch-edge operand values from the copied context — the hardware
+    /// semantics of "the context of the main thread is copied to the
+    /// speculative thread" (§1).
+    pub fn start_spec(
+        module: &Module,
+        func: FuncId,
+        context: &[u64],
+        args: Vec<u64>,
+        header: BlockId,
+        latch: BlockId,
+    ) -> Self {
+        let f = module.func(func);
+        let mut frame = Frame {
+            func,
+            values: context.to_vec(),
+            args,
+            block: header,
+            pos: 0,
+            ret_slot: None,
+            pending_phis: VecDeque::new(),
+        };
+        // Atomically evaluate header phis from the latch edge.
+        let mut nphis = 0;
+        let mut pending = Vec::new();
+        for &i in &f.block(header).insts {
+            if let InstKind::Phi { args } = &f.inst(i).kind {
+                nphis += 1;
+                let v = args
+                    .iter()
+                    .find(|(p, _)| *p == latch)
+                    .map(|(_, op)| read_operand(*op, &frame.values))
+                    .unwrap_or(0);
+                pending.push((i, v));
+            } else {
+                break;
+            }
+        }
+        frame.pos = nphis;
+        frame.pending_phis = pending.into();
+        Thread {
+            frames: vec![frame],
+            max_depth: 256,
+        }
+    }
+
+    /// Current function of the innermost frame.
+    pub fn current_func(&self) -> FuncId {
+        self.frames.last().expect("live thread").func
+    }
+
+    /// Current block of the innermost frame.
+    pub fn current_block(&self) -> BlockId {
+        self.frames.last().expect("live thread").block
+    }
+
+    /// Call depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A copy of the innermost frame's SSA values (the "context" copied on
+    /// fork).
+    pub fn context(&self) -> (Vec<u64>, Vec<u64>) {
+        let f = self.frames.last().expect("live thread");
+        (f.values.clone(), f.args.clone())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on faults; speculative callers treat faults as
+    /// "stop speculating here".
+    pub fn step(
+        &mut self,
+        module: &Module,
+        region_bases: &[usize],
+        mem: &mut MemView<'_>,
+        mut timing: Option<&mut Timing<'_>>,
+    ) -> Result<(ExecRecord, StepEvent), ExecError> {
+        let depth = self.frames.len();
+        let frame = self
+            .frames
+            .last_mut()
+            .ok_or_else(|| ExecError::Malformed("step on finished thread".into()))?;
+        let func_id = frame.func;
+        let f = module.func(func_id);
+
+        // Deferred phi writes from the last transfer.
+        if let Some((phi, bits)) = frame.pending_phis.pop_front() {
+            frame.values[phi.index()] = bits;
+            let cycle_end = timing.as_ref().map(|t| *t.cycle).unwrap_or(0);
+            return Ok((
+                ExecRecord {
+                    func: func_id,
+                    inst: phi,
+                    result: Some(bits),
+                    store: None,
+                    latency: 0,
+                    cycle_end,
+                },
+                StepEvent::Continue,
+            ));
+        }
+
+        let insts = &f.block(frame.block).insts;
+        let inst_id = *insts.get(frame.pos).ok_or_else(|| {
+            ExecError::Malformed(format!("fell off block {} in {}", frame.block, f.name))
+        })?;
+        frame.pos += 1;
+        let inst = f.inst(inst_id);
+        let mut latency = inst.latency();
+        let mut result: Option<u64> = None;
+        let mut store: Option<(i64, u64)> = None;
+        let mut event = StepEvent::Continue;
+
+        macro_rules! op {
+            ($o:expr) => {
+                read_operand($o, &frame.values)
+            };
+        }
+
+        match &inst.kind {
+            InstKind::Param { index } => {
+                let v = frame.args.get(*index).copied().unwrap_or(0);
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            InstKind::Binary { op, lhs, rhs } => {
+                let (a, b) = (op!(*lhs), op!(*rhs));
+                let v = match inst.ty.unwrap_or(Ty::I64) {
+                    Ty::I64 => op.eval_i64(a as i64, b as i64) as u64,
+                    Ty::F64 => op.eval_f64(f64::from_bits(a), f64::from_bits(b)).to_bits(),
+                };
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            InstKind::Unary { op, val } => {
+                let a = op!(*val);
+                let v = match (inst.ty.unwrap_or(Ty::I64), op) {
+                    (Ty::F64, spt_ir::UnOp::IntToFloat) => ((a as i64) as f64).to_bits(),
+                    (Ty::I64, spt_ir::UnOp::FloatToInt) => (f64::from_bits(a) as i64) as u64,
+                    (Ty::I64, _) => op.eval_i64(a as i64) as u64,
+                    (Ty::F64, _) => op.eval_f64(f64::from_bits(a)).to_bits(),
+                };
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            InstKind::Cmp {
+                op,
+                operand_ty,
+                lhs,
+                rhs,
+            } => {
+                let (a, b) = (op!(*lhs), op!(*rhs));
+                let t = match operand_ty {
+                    Ty::I64 => op.eval_i64(a as i64, b as i64),
+                    Ty::F64 => op.eval_f64(f64::from_bits(a), f64::from_bits(b)),
+                };
+                let v = t as u64;
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            InstKind::Copy { val } => {
+                let v = op!(*val);
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            InstKind::Phi { .. } => {
+                return Err(ExecError::Malformed(format!(
+                    "unscheduled phi {inst_id} executed directly"
+                )));
+            }
+            InstKind::RegionBase { region } => {
+                let base = if region.is_unknown() {
+                    0
+                } else {
+                    region_bases[region.index()] as u64
+                };
+                frame.values[inst_id.index()] = base;
+                result = Some(base);
+            }
+            InstKind::Load { addr, .. } => {
+                let cell = op!(*addr) as i64;
+                let v = mem.read(cell)?;
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+                if let Some(t) = timing.as_mut() {
+                    latency = t.cache.access(cell as u64).max(1);
+                }
+            }
+            InstKind::Store { addr, val, .. } => {
+                let cell = op!(*addr) as i64;
+                let bits = op!(*val);
+                mem.write(cell, bits)?;
+                store = Some((cell, bits));
+                if let Some(t) = timing.as_mut() {
+                    latency = t.cache.access(cell as u64).clamp(1, 4);
+                }
+            }
+            InstKind::Call { callee, args } => {
+                if depth >= self.max_depth {
+                    return Err(ExecError::StackOverflow);
+                }
+                let callee_func = module.func(*callee);
+                let call_args: Vec<u64> = args.iter().map(|a| op!(*a)).collect();
+                let new_frame = Frame {
+                    func: *callee,
+                    values: vec![0; callee_func.insts.len()],
+                    args: call_args,
+                    block: callee_func.entry,
+                    pos: 0,
+                    ret_slot: Some(inst_id),
+                    pending_phis: VecDeque::new(),
+                };
+                self.frames.push(new_frame);
+                event = StepEvent::Transfer {
+                    to: callee_func.entry,
+                    func: *callee,
+                };
+            }
+            InstKind::VarLoad { .. } | InstKind::VarStore { .. } => {
+                return Err(ExecError::Malformed("non-SSA IR in simulator".into()));
+            }
+            InstKind::Jump { target } => {
+                let target = *target;
+                transfer(frame, f, target);
+                event = StepEvent::Transfer {
+                    to: target,
+                    func: func_id,
+                };
+            }
+            InstKind::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let taken = op!(*cond) != 0;
+                let target = if taken { *then_bb } else { *else_bb };
+                if let Some(t) = timing.as_mut() {
+                    if t.predictor.mispredicted(func_id, inst_id, taken) {
+                        latency += t.mispredict_penalty;
+                    }
+                }
+                transfer(frame, f, target);
+                event = StepEvent::Transfer {
+                    to: target,
+                    func: func_id,
+                };
+            }
+            InstKind::Ret { val } => {
+                let bits = val.map(|v| op!(v));
+                let ret_slot = frame.ret_slot;
+                self.frames.pop();
+                match self.frames.last_mut() {
+                    Some(parent) => {
+                        if let (Some(slot), Some(bits)) = (ret_slot, bits) {
+                            parent.values[slot.index()] = bits;
+                        }
+                        event = StepEvent::Transfer {
+                            to: parent.block,
+                            func: parent.func,
+                        };
+                    }
+                    None => {
+                        event = StepEvent::Finished { value: bits };
+                    }
+                }
+            }
+            InstKind::SptFork {
+                loop_tag,
+                spawn_target,
+            } => {
+                event = StepEvent::Fork {
+                    tag: *loop_tag,
+                    target: *spawn_target,
+                    func: func_id,
+                };
+            }
+            InstKind::SptKill { loop_tag } => {
+                event = StepEvent::Kill { tag: *loop_tag };
+            }
+        }
+
+        let cycle_end = match timing.as_mut() {
+            Some(t) => {
+                *t.cycle += latency;
+                *t.cycle
+            }
+            None => 0,
+        };
+        Ok((
+            ExecRecord {
+                func: func_id,
+                inst: inst_id,
+                result,
+                store,
+                latency,
+                cycle_end,
+            },
+            event,
+        ))
+    }
+}
+
+/// Performs an intra-function block transfer: schedules the target's phi
+/// writes (evaluated atomically against the pre-transfer values) and points
+/// the frame at the first non-phi instruction.
+fn transfer(frame: &mut Frame, f: &spt_ir::Function, target: BlockId) {
+    let from = frame.block;
+    let mut pending = Vec::new();
+    let mut nphis = 0;
+    for &i in &f.block(target).insts {
+        if let InstKind::Phi { args } = &f.inst(i).kind {
+            nphis += 1;
+            let v = args
+                .iter()
+                .find(|(p, _)| *p == from)
+                .map(|(_, op)| read_operand(*op, &frame.values))
+                .unwrap_or(0);
+            pending.push((i, v));
+        } else {
+            break;
+        }
+    }
+    frame.block = target;
+    frame.pos = nphis;
+    frame.pending_phis = pending.into();
+}
+
+#[inline]
+fn read_operand(op: Operand, values: &[u64]) -> u64 {
+    match op {
+        Operand::Inst(id) => values[id.index()],
+        Operand::ConstI64(v) => v as u64,
+        Operand::ConstF64Bits(b) => b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig};
+    use crate::predictor::BranchPredictor;
+
+    fn run_to_end(module: &Module, entry: &str, args: Vec<u64>) -> (Option<u64>, u64, Vec<u64>) {
+        let func = module.func_by_name(entry).unwrap();
+        let (bases, size) = module.memory_layout();
+        let mut memory = vec![0u64; size];
+        for (gi, g) in module.globals.iter().enumerate() {
+            if let Some(init) = &g.init {
+                for (k, &b) in init.iter().take(g.size).enumerate() {
+                    memory[bases[gi] + k] = b;
+                }
+            }
+        }
+        let mut thread = Thread::start(module, func, args);
+        let mut cycle = 0u64;
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut predictor = BranchPredictor::new();
+        loop {
+            let mut view = MemView::Direct(&mut memory);
+            let mut timing = Timing {
+                cycle: &mut cycle,
+                cache: &mut cache,
+                predictor: &mut predictor,
+                mispredict_penalty: 5,
+            };
+            let (_rec, event) = thread
+                .step(module, &bases, &mut view, Some(&mut timing))
+                .expect("no faults");
+            if let StepEvent::Finished { value } = event {
+                return (value, cycle, memory);
+            }
+        }
+    }
+
+    #[test]
+    fn computes_like_the_interpreter() {
+        let src = "
+            global out[16]: int;
+            fn helper(x: int) -> int { return x * 3 + 1; }
+            fn main(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + helper(i); } else { s = s - i; }
+                    out[i % 16] = s;
+                }
+                return s;
+            }
+        ";
+        let module = spt_frontend::compile(src).unwrap();
+        let (val, cycles, _mem) = run_to_end(&module, "main", vec![20]);
+        // Cross-check against the reference interpreter.
+        let interp = spt_profile::Interp::new(&module);
+        let expected = interp
+            .run(
+                "main",
+                &[spt_profile::Val::from_i64(20)],
+                &mut spt_profile::NoProfiler,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .as_i64();
+        assert_eq!(val.unwrap() as i64, expected);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn timing_reflects_cache_locality() {
+        let src = "
+            global a[32768]: int;
+            fn scan(n: int, stride: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    s = s + a[(i * stride) % 32768];
+                }
+                return s;
+            }
+        ";
+        let module = spt_frontend::compile(src).unwrap();
+        let (_, seq_cycles, _) = run_to_end(&module, "scan", vec![4000, 1]);
+        let (_, rand_cycles, _) = run_to_end(&module, "scan", vec![4000, 97]);
+        assert!(
+            rand_cycles > seq_cycles,
+            "strided access must cost more: {rand_cycles} vs {seq_cycles}"
+        );
+    }
+
+    #[test]
+    fn spec_overlay_buffers_writes() {
+        let mut base = vec![1u64, 2, 3];
+        let mut buf = HashMap::new();
+        {
+            let mut view = MemView::Overlay {
+                base: &base,
+                buf: &mut buf,
+                cap: 8,
+            };
+            assert_eq!(view.read(1).unwrap(), 2);
+            view.write(1, 42).unwrap();
+            assert_eq!(view.read(1).unwrap(), 42);
+        }
+        // Base untouched.
+        assert_eq!(base[1], 2);
+        assert_eq!(buf[&1], 42);
+        base[0] = 9; // keep mutability used
+    }
+
+    #[test]
+    fn spec_buffer_capacity_enforced() {
+        let base = vec![0u64; 100];
+        let mut buf = HashMap::new();
+        let mut view = MemView::Overlay {
+            base: &base,
+            buf: &mut buf,
+            cap: 2,
+        };
+        view.write(0, 1).unwrap();
+        view.write(1, 1).unwrap();
+        view.write(0, 2).unwrap(); // overwrite ok
+        assert_eq!(view.write(2, 1).unwrap_err(), ExecError::SpecBufferFull);
+    }
+
+    #[test]
+    fn oob_faults() {
+        let mut m = vec![0u64; 4];
+        let view = MemView::Direct(&mut m);
+        assert!(matches!(view.read(10), Err(ExecError::OutOfBounds(10))));
+        assert!(matches!(view.read(-1), Err(ExecError::OutOfBounds(-1))));
+    }
+}

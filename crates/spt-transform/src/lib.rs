@@ -1,0 +1,59 @@
+//! SPT loop transformations (§6.2 and §7 of the paper).
+//!
+//! * [`spt_emit`] — the final SPT transformation: clones the loop's CFG as
+//!   the pre-fork region, moves the partition's statements into it,
+//!   replicates the branches they are control-dependent on (Fig. 12),
+//!   inserts `SPT_FORK` between the regions and `SPT_KILL` at loop exits,
+//!   and rewrites uses. In ORC's variable-based SSA the paper must insert
+//!   temporaries to break overlapping live ranges (Figs. 10–11); in this
+//!   value-based SSA the renaming is implicit — the cloned definitions *are*
+//!   the temporaries — and the paper's post-transform cleanup (copy
+//!   propagation + DCE) runs afterwards all the same.
+//! * [`unroll`] — loop unrolling (§7.1), both for counted (`for`/DO) loops
+//!   — always on, as in the paper — and for general `while` loops (the
+//!   paper's "anticipated" enabling technique).
+//! * [`promote`] — global scalar promotion: the paper's "export of global
+//!   variables beyond their visible scopes", turning memory-carried scalar
+//!   dependences into register-carried ones that code motion can handle.
+//! * [`svp`] — software value prediction (§7.2, Fig. 13): rewrites a
+//!   predictable loop-carried definition to communicate through a predictor
+//!   cell written in the pre-fork region, with check-and-recovery code for
+//!   mispredictions.
+
+pub mod promote;
+pub mod spt_emit;
+pub mod svp;
+pub mod unroll;
+
+pub use promote::promote_global_scalars;
+pub use spt_emit::{emit_spt_loop, SptEmitInfo, SptLoopSpec};
+pub use svp::{apply_svp, SvpRewrite};
+pub use unroll::{classify_loop, unroll_loop, UnrollKind};
+
+use std::fmt;
+
+/// Errors from transformation passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// The loop does not have the canonical shape the transform requires
+    /// (dedicated preheader and a single latch).
+    NotCanonical(&'static str),
+    /// The requested loop id is out of range for the function.
+    NoSuchLoop,
+    /// The transformation preconditions failed.
+    Precondition(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotCanonical(what) => {
+                write!(f, "loop is not canonical: missing {what}")
+            }
+            TransformError::NoSuchLoop => write!(f, "no such loop"),
+            TransformError::Precondition(m) => write!(f, "precondition failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}

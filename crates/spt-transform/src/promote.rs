@@ -1,0 +1,382 @@
+//! Global scalar promotion — the paper's "export of global variables beyond
+//! their visible scopes" (§8, anticipated-best configuration).
+//!
+//! A global scalar that a loop reads and writes through memory creates
+//! memory-carried cross-iteration dependences that the partitioner cannot
+//! move (every iteration's store must stay ordered). Promoting the scalar
+//! to a register across the loop — load once in the preheader, carry in SSA,
+//! store back at the exits — turns those into *register*-carried
+//! dependences, which code reordering handles (§6.2).
+//!
+//! Safety conditions, checked per `(loop, global)` pair:
+//! * the global is a scalar (size-1 region);
+//! * every in-loop access to it is a direct `RegionBase`-addressed
+//!   load/store (no computed addresses into the region);
+//! * the loop contains no accesses to *unknown* regions and no calls with
+//!   memory effects (the callee might touch the global);
+//! * every exit target is dedicated to this loop (all its predecessors are
+//!   loop blocks), so the store-back cannot execute on unrelated paths.
+//!
+//! Implementation trick: the qualifying loads/stores are rewritten to
+//! `VarLoad`/`VarStore` of a fresh frontend variable slot, then
+//! [`spt_ir::ssa::mem2reg`] re-runs — reusing the battle-tested SSA
+//! construction instead of hand-building phis.
+
+use spt_ir::loops::LoopId;
+use spt_ir::{
+    BlockId, Cfg, DomTree, Function, Inst, InstKind, LoopForest, Operand, RegionId, Ty, VarId,
+};
+use std::collections::HashSet;
+
+/// Promotes every safely promotable global scalar in every loop of `func`.
+/// Returns the number of `(loop, global)` promotions performed.
+///
+/// Run SSA cleanup afterwards (this function already re-runs `mem2reg` when
+/// it changes anything).
+pub fn promote_global_scalars(module_globals: &[spt_ir::Global], func: &mut Function) -> usize {
+    let mut total = 0;
+    // Re-analyze after each promotion: block/inst sets shift.
+    loop {
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        let mut promoted = false;
+        'outer: for lid in forest.ids() {
+            let scalars = promotable_scalars(module_globals, func, &cfg, &forest, lid);
+            for region in scalars {
+                if promote_one(func, &cfg, &forest, lid, region) {
+                    total += 1;
+                    promoted = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !promoted {
+            break;
+        }
+        spt_ir::ssa::mem2reg(func);
+        spt_ir::passes::copy_prop(func);
+        spt_ir::passes::dce(func);
+    }
+    total
+}
+
+/// Lists the global scalar regions that may be promoted in `loop_id`.
+fn promotable_scalars(
+    globals: &[spt_ir::Global],
+    func: &Function,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_id: LoopId,
+) -> Vec<RegionId> {
+    let l = forest.get(loop_id);
+    let in_loop: HashSet<BlockId> = l.blocks.iter().copied().collect();
+
+    // Exit targets must be dedicated.
+    for e in l.exit_targets(cfg) {
+        if cfg.preds(e).iter().any(|p| !in_loop.contains(p)) {
+            return Vec::new();
+        }
+    }
+
+    let mut candidates: HashSet<RegionId> = HashSet::new();
+    let mut disqualified: HashSet<RegionId> = HashSet::new();
+    let mut any_call_effects = false;
+    let mut any_unknown = false;
+
+    // Direct-base address check: the address operand is exactly the
+    // RegionBase of the same region.
+    let is_direct = |addr: &Operand, region: RegionId| -> bool {
+        if let Operand::Inst(d) = addr {
+            matches!(func.inst(*d).kind, InstKind::RegionBase { region: r } if r == region)
+        } else {
+            false
+        }
+    };
+
+    for &bb in &l.blocks {
+        for &i in &func.block(bb).insts {
+            match &func.inst(i).kind {
+                InstKind::Load { addr, region } | InstKind::Store { addr, region, .. } => {
+                    if region.is_unknown() {
+                        any_unknown = true;
+                    } else if globals[region.index()].size == 1 {
+                        if is_direct(addr, *region) {
+                            candidates.insert(*region);
+                        } else {
+                            disqualified.insert(*region);
+                        }
+                    }
+                }
+                InstKind::Call { .. } => {
+                    // Conservative: any call may touch memory; the caller
+                    // filters with effect summaries if desired. Here we only
+                    // allow loops without calls at all.
+                    any_call_effects = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if any_call_effects || any_unknown {
+        return Vec::new();
+    }
+    let mut out: Vec<RegionId> = candidates
+        .into_iter()
+        .filter(|r| !disqualified.contains(r))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Rewrites the accesses of `region` in `loop_id` into variable-slot
+/// operations plus a preheader load and exit store-backs. Returns `false`
+/// when the loop lacks a canonical preheader.
+fn promote_one(
+    func: &mut Function,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_id: LoopId,
+    region: RegionId,
+) -> bool {
+    let l = forest.get(loop_id).clone();
+    let Some(preheader) = l.preheader(cfg) else {
+        return false;
+    };
+    let elem_ty = {
+        // Find any access to learn the type.
+        let mut ty = Ty::I64;
+        for &bb in &l.blocks {
+            for &i in &func.block(bb).insts {
+                if let InstKind::Load { region: r, .. } = func.inst(i).kind {
+                    if r == region {
+                        ty = func.inst(i).ty.unwrap_or(Ty::I64);
+                    }
+                }
+            }
+        }
+        ty
+    };
+
+    let var = VarId::new(func.num_vars);
+    func.num_vars += 1;
+
+    // Preheader: v = load region; var_store var, v — inserted before the
+    // terminator.
+    let base = func.add_inst(Inst::new(InstKind::RegionBase { region }, Some(Ty::I64)));
+    let init = func.add_inst(Inst::new(
+        InstKind::Load {
+            addr: Operand::Inst(base),
+            region,
+        },
+        Some(elem_ty),
+    ));
+    let store_init = func.add_inst(Inst::new(
+        InstKind::VarStore {
+            var,
+            val: Operand::Inst(init),
+        },
+        None,
+    ));
+    {
+        let block = func.block_mut(preheader);
+        let at = block.insts.len().saturating_sub(1);
+        block.insts.splice(at..at, [base, init, store_init]);
+    }
+
+    // In-loop accesses become slot operations (in place, ids preserved).
+    for &bb in &l.blocks.clone() {
+        for &i in &func.block(bb).insts.clone() {
+            match func.inst(i).kind.clone() {
+                InstKind::Load { region: r, .. } if r == region => {
+                    func.inst_mut(i).kind = InstKind::VarLoad { var };
+                }
+                InstKind::Store { region: r, val, .. } if r == region => {
+                    func.inst_mut(i).kind = InstKind::VarStore { var, val };
+                    func.inst_mut(i).ty = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Exit targets: store the slot back to memory (after phis).
+    for e in l.exit_targets(cfg) {
+        let base = func.add_inst(Inst::new(InstKind::RegionBase { region }, Some(Ty::I64)));
+        let cur = func.add_inst(Inst::new(InstKind::VarLoad { var }, Some(elem_ty)));
+        let store = func.add_inst(Inst::new(
+            InstKind::Store {
+                addr: Operand::Inst(base),
+                val: Operand::Inst(cur),
+                region,
+            },
+            None,
+        ));
+        let pos = func
+            .block(e)
+            .insts
+            .iter()
+            .position(|&i| !matches!(func.inst(i).kind, InstKind::Phi { .. }))
+            .unwrap_or(func.block(e).insts.len());
+        func.block_mut(e).insts.splice(pos..pos, [base, cur, store]);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_ir::Module;
+    use spt_profile::{Interp, NoProfiler, Val};
+
+    fn count_mem_ops_in_loops(module: &Module, fname: &str, region_name: &str) -> usize {
+        let fid = module.func_by_name(fname).unwrap();
+        let func = module.func(fid);
+        let region = module.global_by_name(region_name).unwrap();
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        let mut count = 0;
+        for lid in forest.ids() {
+            for &bb in &forest.get(lid).blocks {
+                for &i in &func.block(bb).insts {
+                    match func.inst(i).kind {
+                        InstKind::Load { region: r, .. } | InstKind::Store { region: r, .. }
+                            if r == region =>
+                        {
+                            count += 1
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    const ACC: &str = "
+        global acc: int;
+        fn f(n: int) -> int {
+            acc = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                acc = acc + i;
+            }
+            return acc;
+        }
+    ";
+
+    #[test]
+    fn promotes_accumulator_out_of_loop() {
+        let mut m = spt_frontend::compile(ACC).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        assert!(count_mem_ops_in_loops(&m, "f", "acc") > 0);
+        let n = promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
+        assert_eq!(n, 1);
+        spt_ir::passes::cleanup(m.func_mut(fid));
+        spt_ir::verify::verify_module(&m).expect("verifies");
+        assert_eq!(
+            count_mem_ops_in_loops(&m, "f", "acc"),
+            0,
+            "loop body must be free of acc memory traffic"
+        );
+        // Semantics preserved, including the final memory write-back.
+        let interp = Interp::new(&m);
+        let r = interp
+            .run("f", &[Val::from_i64(10)], &mut NoProfiler)
+            .unwrap();
+        assert_eq!(r.ret.unwrap().as_i64(), 45);
+        let acc_cell = 0usize; // first global
+        assert_eq!(r.memory[acc_cell], 45);
+    }
+
+    #[test]
+    fn skips_loops_with_calls() {
+        let src = "
+            global acc: int;
+            fn touch() { acc = acc + 1; }
+            fn f(n: int) -> int {
+                for (let i = 0; i < n; i = i + 1) {
+                    acc = acc + i;
+                    touch();
+                }
+                return acc;
+            }
+        ";
+        let mut m = spt_frontend::compile(src).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let n = promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
+        assert_eq!(n, 0, "calls may touch the global: promotion unsafe");
+    }
+
+    #[test]
+    fn skips_arrays() {
+        let src = "
+            global a[8]: int;
+            fn f(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + a[i % 8]; }
+                return s;
+            }
+        ";
+        let mut m = spt_frontend::compile(src).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let n = promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn promotes_multiple_scalars_and_nested_loops() {
+        let src = "
+            global lo: int;
+            global hi: int;
+            fn f(n: int) -> int {
+                lo = 0;
+                hi = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    for (let j = 0; j < 4; j = j + 1) {
+                        lo = lo + j;
+                    }
+                    hi = hi + i;
+                }
+                return lo * 1000 + hi;
+            }
+        ";
+        let mut m = spt_frontend::compile(src).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let n = promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
+        assert!(n >= 2, "promoted {n} scalars");
+        spt_ir::passes::cleanup(m.func_mut(fid));
+        spt_ir::verify::verify_module(&m).expect("verifies");
+        let interp = Interp::new(&m);
+        let r = interp
+            .run("f", &[Val::from_i64(5)], &mut NoProfiler)
+            .unwrap();
+        // lo = 5 * (0+1+2+3) = 30; hi = 0+1+2+3+4 = 10.
+        assert_eq!(r.ret.unwrap().as_i64(), 30 * 1000 + 10);
+    }
+
+    #[test]
+    fn float_scalars_promote_with_correct_type() {
+        let src = "
+            global total: float;
+            fn f(n: int) -> float {
+                total = 0.0;
+                for (let i = 0; i < n; i = i + 1) {
+                    total = total + float(i) * 0.5;
+                }
+                return total;
+            }
+        ";
+        let mut m = spt_frontend::compile(src).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let n = promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
+        assert_eq!(n, 1);
+        spt_ir::passes::cleanup(m.func_mut(fid));
+        spt_ir::verify::verify_module(&m).expect("verifies");
+        let interp = Interp::new(&m);
+        let r = interp
+            .run("f", &[Val::from_i64(4)], &mut NoProfiler)
+            .unwrap();
+        assert!((r.ret.unwrap().as_f64() - 3.0).abs() < 1e-12);
+    }
+}

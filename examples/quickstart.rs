@@ -1,0 +1,99 @@
+//! Quickstart: compile a `minic` program with the cost-driven SPT pipeline,
+//! inspect the per-loop decisions, and race the transformed code against the
+//! baseline on the simulated two-core SPT machine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::sim::SptSimulator;
+
+const SOURCE: &str = "
+    global data[8192]: int;
+    global out[8192]: int;
+
+    fn fill(n: int) {
+        let v = 12345;
+        for (let i = 0; i < n; i = i + 1) {
+            v = (v * 1103515245 + 12345) % 2147483648;
+            data[i % 8192] = v % 1000;
+        }
+    }
+
+    fn kernel(n: int) -> int {
+        let s = 0;
+        for (let i = 0; i < n; i = i + 1) {
+            let x = data[i % 8192];
+            let t = (x * x) % 97 + (x / 3) * 2 - (x % 7);
+            let u = (t * 13 + 7) % 1000;
+            let w = (u * u + x) % 4096;
+            out[i % 8192] = w + t - u + x * 2;
+            s = s + w % 17 + t % 19;
+        }
+        return s;
+    }
+
+    fn main(n: int) -> int {
+        fill(n);
+        return kernel(n);
+    }
+";
+
+fn main() {
+    // 1. Profile-guided, cost-driven compilation (the paper's "best"
+    //    configuration: dependence profiling + software value prediction).
+    let input = ProfilingInput::new("main", [500]);
+    let compiled =
+        compile_and_transform(SOURCE, &input, &CompilerConfig::best()).expect("pipeline succeeds");
+
+    println!("pass-1/pass-2 loop decisions:");
+    for l in &compiled.report.loops {
+        println!(
+            "  {:>8}/{:<5} outcome={:<18} body={:<4} cost={:<7.2} pre-fork={:<3} coverage={:.0}%",
+            l.func_name,
+            l.header.to_string(),
+            l.outcome.label(),
+            l.body_size,
+            l.cost,
+            l.prefork_size,
+            l.coverage * 100.0
+        );
+    }
+    println!(
+        "selected {} SPT loop(s); profiled coverage of selection: {:.0}%\n",
+        compiled.report.selected.len(),
+        compiled.report.selected_coverage() * 100.0
+    );
+
+    // 2. Simulate both versions on the two-core SPT machine.
+    let sim = SptSimulator::new();
+    let n = 5000;
+    let base = sim
+        .run(&compiled.baseline, "main", &[n])
+        .expect("baseline runs");
+    let spt = sim.run(&compiled.module, "main", &[n]).expect("spt runs");
+    assert_eq!(base.ret, spt.ret, "speculation never changes results");
+
+    println!(
+        "baseline: {:>10} cycles  (IPC {:.2})",
+        base.cycles,
+        base.ipc()
+    );
+    println!(
+        "SPT:      {:>10} cycles  (IPC {:.2})",
+        spt.cycles,
+        spt.ipc()
+    );
+    println!(
+        "program speedup: {:.2}x",
+        base.cycles as f64 / spt.cycles as f64
+    );
+    for (tag, stats) in &spt.loops {
+        println!(
+            "  loop #{tag}: {} forks, {} commits, misspeculation ratio {:.1}%, loop speedup {:.2}x",
+            stats.forks,
+            stats.commits,
+            stats.misspec_ratio() * 100.0,
+            stats.speedup()
+        );
+    }
+}

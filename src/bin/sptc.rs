@@ -1,0 +1,261 @@
+//! `sptc` — the SPT compiler driver.
+//!
+//! ```text
+//! sptc ir <file.mc>                          print the SSA IR
+//! sptc analyze <file.mc> [options]           per-loop cost-model report
+//! sptc compile <file.mc> [options]           run the pipeline, print SPT IR
+//! sptc run <file.mc> --entry main --arg N    interpret (reference semantics)
+//! sptc sim <file.mc> [options]               simulate baseline vs SPT
+//!
+//! options:
+//!   --config basic|best|anticipated   compiler configuration (default best)
+//!   --entry NAME                      entry function (default main)
+//!   --arg N                           entry argument (default 100)
+//!   --train N                         profiling argument (default --arg)
+//! ```
+
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::profile::{Interp, NoProfiler, Val};
+use spt::sim::SptSimulator;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    file: String,
+    config: CompilerConfig,
+    entry: String,
+    arg: i64,
+    train: i64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sptc <ir|analyze|compile|run|sim> <file.mc> \
+         [--config basic|best|anticipated] [--entry NAME] [--arg N] [--train N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        return Err(usage());
+    }
+    let command = argv[0].clone();
+    let file = argv[1].clone();
+    let mut config = CompilerConfig::best();
+    let mut entry = "main".to_string();
+    let mut arg = 100i64;
+    let mut train: Option<i64> = None;
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--config" => {
+                i += 1;
+                config = match argv.get(i).map(String::as_str) {
+                    Some("basic") => CompilerConfig::basic(),
+                    Some("best") => CompilerConfig::best(),
+                    Some("anticipated") => CompilerConfig::anticipated(),
+                    other => {
+                        eprintln!("unknown config {other:?}");
+                        return Err(usage());
+                    }
+                };
+            }
+            "--entry" => {
+                i += 1;
+                entry = argv.get(i).cloned().ok_or_else(usage)?;
+            }
+            "--arg" => {
+                i += 1;
+                arg = argv.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?;
+            }
+            "--train" => {
+                i += 1;
+                train = Some(argv.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                return Err(usage());
+            }
+        }
+        i += 1;
+    }
+    Ok(Options {
+        command,
+        file,
+        config,
+        entry,
+        arg,
+        train: train.unwrap_or(arg),
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sptc: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.command.as_str() {
+        "ir" => cmd_ir(&source),
+        "analyze" => cmd_analyze(&source, &opts),
+        "compile" => cmd_compile(&source, &opts),
+        "run" => cmd_run(&source, &opts),
+        "sim" => cmd_sim(&source, &opts),
+        _ => usage(),
+    }
+}
+
+fn cmd_ir(source: &str) -> ExitCode {
+    match spt::frontend::compile(source) {
+        Ok(module) => {
+            print!("{}", spt::ir::printer::print_module(&module));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sptc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn pipeline(source: &str, opts: &Options) -> Result<spt::pipeline::SptCompilation, ExitCode> {
+    let input = ProfilingInput::new(opts.entry.clone(), [opts.train]);
+    compile_and_transform(source, &input, &opts.config).map_err(|e| {
+        eprintln!("sptc: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_analyze(source: &str, opts: &Options) -> ExitCode {
+    let compiled = match pipeline(source, opts) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    println!(
+        "{:<16} {:<6} {:>5} {:>6} {:>9} {:>8} {:>6} {:>6} {:>5} {:>4}  outcome",
+        "function", "loop", "depth", "body", "cost", "prefork", "trip", "cov%", "svp", "unrl"
+    );
+    for l in &compiled.report.loops {
+        println!(
+            "{:<16} {:<6} {:>5} {:>6} {:>9.2} {:>8} {:>6.1} {:>6.1} {:>5} {:>4}  {}",
+            l.func_name,
+            l.header.to_string(),
+            l.depth,
+            l.body_size,
+            l.cost,
+            l.prefork_size,
+            l.avg_trip_count,
+            l.coverage * 100.0,
+            if l.svp_applied { "yes" } else { "-" },
+            l.unroll_factor,
+            l.outcome.label()
+        );
+    }
+    println!(
+        "\nselected {} loop(s), covering {:.0}% of the profiled run",
+        compiled.report.selected.len(),
+        compiled.report.selected_coverage() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_compile(source: &str, opts: &Options) -> ExitCode {
+    match pipeline(source, opts) {
+        Ok(compiled) => {
+            print!("{}", spt::ir::printer::print_module(&compiled.module));
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn cmd_run(source: &str, opts: &Options) -> ExitCode {
+    let module = match spt::frontend::compile(source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("sptc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Interp::new(&module).run(&opts.entry, &[Val::from_i64(opts.arg)], &mut NoProfiler) {
+        Ok(r) => {
+            match r.ret {
+                Some(v) => println!("{}", v.as_i64()),
+                None => println!("(void)"),
+            }
+            eprintln!(
+                "[{} instructions, {} weighted cycles]",
+                r.insts_retired, r.weighted_cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sptc: runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_sim(source: &str, opts: &Options) -> ExitCode {
+    let compiled = match pipeline(source, opts) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let sim = SptSimulator::new();
+    let base = match sim.run(&compiled.baseline, &opts.entry, &[opts.arg]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sptc: baseline simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spt = match sim.run(&compiled.module, &opts.entry, &[opts.arg]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sptc: SPT simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.ret != spt.ret {
+        eprintln!("sptc: INTERNAL ERROR: SPT result diverged from baseline");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "result: {}",
+        base.ret.map(|v| (v as i64).to_string()).unwrap_or_default()
+    );
+    println!(
+        "baseline: {:>12} cycles (IPC {:.2}, cache hit {:.1}%)",
+        base.cycles,
+        base.ipc(),
+        base.cache_hit_rate * 100.0
+    );
+    println!(
+        "SPT:      {:>12} cycles (IPC {:.2})   speedup {:.3}x",
+        spt.cycles,
+        spt.ipc(),
+        base.cycles as f64 / spt.cycles as f64
+    );
+    let mut tags: Vec<_> = spt.loops.iter().collect();
+    tags.sort_by_key(|(t, _)| **t);
+    for (tag, s) in tags {
+        println!(
+            "  loop #{tag}: forks={} commits={} kills={} misspec={:.1}% loop-speedup={:.2}x",
+            s.forks,
+            s.commits,
+            s.kills,
+            s.misspec_ratio() * 100.0,
+            s.speedup()
+        );
+    }
+    ExitCode::SUCCESS
+}

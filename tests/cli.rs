@@ -1,0 +1,177 @@
+//! Integration tests for the `sptc` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn sptc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sptc"))
+}
+
+fn demo_file() -> tempfile_lite::TempPath {
+    let mut f = tempfile_lite::TempPath::new("sptc_demo", ".mc");
+    writeln!(
+        f.file,
+        "global a[256]: int;
+         fn main(n: int) -> int {{
+             let s = 0;
+             for (let i = 0; i < n; i = i + 1) {{
+                 let x = (i * 131 + 7) % 256;
+                 a[x] = x % 31;
+                 s = s + (x * x) % 17 + a[(x + 3) % 256] % 5;
+             }}
+             return s;
+         }}"
+    )
+    .expect("write demo");
+    f.file.flush().expect("flush");
+    f
+}
+
+/// Minimal self-cleaning temp file (no external crate needed).
+mod tempfile_lite {
+    use std::fs::File;
+    use std::path::PathBuf;
+
+    pub struct TempPath {
+        pub path: PathBuf,
+        pub file: File,
+    }
+
+    impl TempPath {
+        pub fn new(prefix: &str, suffix: &str) -> Self {
+            let pid = std::process::id();
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos();
+            let path = std::env::temp_dir().join(format!("{prefix}_{pid}_{nanos}{suffix}"));
+            let file = File::create(&path).expect("create temp file");
+            TempPath { path, file }
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn ir_prints_ssa() {
+    let demo = demo_file();
+    let out = sptc().args(["ir"]).arg(&demo.path).output().expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fn main(n: i64) -> i64"));
+    assert!(text.contains("phi"), "SSA form expected:\n{text}");
+}
+
+#[test]
+fn run_executes_program() {
+    let demo = demo_file();
+    let out = sptc()
+        .args(["run"])
+        .arg(&demo.path)
+        .args(["--arg", "10"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let val: i64 = String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("integer output");
+    // Reference value computed independently.
+    let mut a = [0i64; 256];
+    let mut s = 0i64;
+    for i in 0..10i64 {
+        let x = (i * 131 + 7) % 256;
+        a[x as usize] = x % 31;
+        s += (x * x) % 17 + a[((x + 3) % 256) as usize] % 5;
+    }
+    assert_eq!(val, s);
+}
+
+#[test]
+fn analyze_reports_loops() {
+    let demo = demo_file();
+    let out = sptc()
+        .args(["analyze"])
+        .arg(&demo.path)
+        .args(["--arg", "300"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("valid-partition"), "{text}");
+    assert!(text.contains("selected 1 loop"), "{text}");
+}
+
+#[test]
+fn sim_shows_speedup_and_matching_results() {
+    let demo = demo_file();
+    let out = sptc()
+        .args(["sim"])
+        .arg(&demo.path)
+        .args(["--arg", "1500", "--train", "300"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("speedup"), "{text}");
+    assert!(text.contains("loop #1"), "{text}");
+}
+
+#[test]
+fn compile_emits_fork_markers() {
+    let demo = demo_file();
+    let out = sptc()
+        .args(["compile"])
+        .arg(&demo.path)
+        .args(["--arg", "300"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("spt_fork"), "{text}");
+    assert!(text.contains("spt_kill"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = sptc().output().expect("runs");
+    assert!(!out.status.success());
+    let out = sptc()
+        .args(["bogus", "/nonexistent.mc"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn basic_config_flag_accepted() {
+    let demo = demo_file();
+    let out = sptc()
+        .args(["analyze"])
+        .arg(&demo.path)
+        .args(["--config", "basic", "--arg", "200"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,130 @@
+//! Coarse reproductions of the paper's headline result shapes, asserted as
+//! tests on a subset of the suite (the full sweeps live in the `spt-bench`
+//! harness binaries).
+
+use spt::pipeline::{compile_and_transform, CompilerConfig, LoopOutcome, ProfilingInput};
+use spt::sim::SptSimulator;
+
+fn speedup(name: &str, config: &CompilerConfig) -> f64 {
+    let b = spt::bench_suite::benchmark(name).expect("exists");
+    let input = ProfilingInput::new(b.entry, [b.train_arg]);
+    let compiled = compile_and_transform(b.source, &input, config).expect("pipeline");
+    let sim = SptSimulator::new();
+    let base = sim
+        .run(&compiled.baseline, b.entry, &[b.train_arg])
+        .unwrap();
+    let spt = sim.run(&compiled.module, b.entry, &[b.train_arg]).unwrap();
+    assert_eq!(base.ret, spt.ret);
+    base.cycles as f64 / spt.cycles as f64
+}
+
+#[test]
+fn fig14_shape_dep_profiling_rescues_vortex() {
+    // vortex_s's writes only look dependent statically; the dependence
+    // profile (best) finds them disjoint.
+    let basic = speedup("vortex_s", &CompilerConfig::basic());
+    let best = speedup("vortex_s", &CompilerConfig::best());
+    assert!(
+        best > basic + 0.05,
+        "dep profiling must add speedup: basic={basic:.3}, best={best:.3}"
+    );
+}
+
+#[test]
+fn fig14_shape_svp_rescues_parser() {
+    let mut no_svp = CompilerConfig::best();
+    no_svp.use_svp = false;
+    let without = speedup("parser_s", &no_svp);
+    let with = speedup("parser_s", &CompilerConfig::best());
+    assert!(
+        with > without + 0.1,
+        "SVP must add speedup on the strided cursor: {without:.3} -> {with:.3}"
+    );
+}
+
+#[test]
+fn fig14_shape_while_unrolling_rescues_crafty() {
+    let best = speedup("crafty_s", &CompilerConfig::best());
+    let anticipated = speedup("crafty_s", &CompilerConfig::anticipated());
+    assert!(
+        anticipated >= best,
+        "while-unrolling must not lose: best={best:.3}, anticipated={anticipated:.3}"
+    );
+}
+
+#[test]
+fn fig15_shape_serial_recurrences_are_rejected() {
+    let b = spt::bench_suite::benchmark("mcf_s").expect("exists");
+    let input = ProfilingInput::new(b.entry, [b.train_arg]);
+    let compiled =
+        compile_and_transform(b.source, &input, &CompilerConfig::best()).expect("pipeline");
+    let chase = compiled
+        .report
+        .loops
+        .iter()
+        .find(|l| l.func_name == "chase")
+        .expect("chase analyzed");
+    assert_eq!(
+        chase.outcome,
+        LoopOutcome::CostTooHigh,
+        "the rewired pointer chase must be rejected: {chase:?}"
+    );
+}
+
+#[test]
+fn fig18_shape_low_misspeculation_on_selected_loops() {
+    let sim = SptSimulator::new();
+    let mut ratios = Vec::new();
+    for name in ["gcc_s", "vpr_s", "bzip2_s"] {
+        let b = spt::bench_suite::benchmark(name).expect("exists");
+        let input = ProfilingInput::new(b.entry, [b.train_arg]);
+        let compiled =
+            compile_and_transform(b.source, &input, &CompilerConfig::best()).expect("pipeline");
+        let spt = sim.run(&compiled.module, b.entry, &[b.train_arg]).unwrap();
+        for sel in &compiled.report.selected {
+            if let Some(stats) = spt.loops.get(&sel.loop_tag) {
+                if stats.commits > 10 {
+                    ratios.push(stats.misspec_ratio());
+                }
+            }
+        }
+    }
+    assert!(!ratios.is_empty());
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        avg < 0.15,
+        "cost-driven selection keeps misspeculation low (paper ~3%): {avg:.3}"
+    );
+}
+
+#[test]
+fn fig19_shape_cost_estimates_are_conservative() {
+    // For transformed loops, the estimated cost fraction should bound the
+    // measured re-execution ratio from above (the paper's conservatism).
+    let sim = SptSimulator::new();
+    let mut conservative = 0;
+    let mut total = 0;
+    for name in ["gcc_s", "twolf_s", "gap_s"] {
+        let b = spt::bench_suite::benchmark(name).expect("exists");
+        let input = ProfilingInput::new(b.entry, [b.train_arg]);
+        let compiled =
+            compile_and_transform(b.source, &input, &CompilerConfig::best()).expect("pipeline");
+        let spt = sim.run(&compiled.module, b.entry, &[b.train_arg]).unwrap();
+        for sel in &compiled.report.selected {
+            if let Some(stats) = spt.loops.get(&sel.loop_tag) {
+                if stats.commits > 10 {
+                    total += 1;
+                    let estimated = sel.est_cost / sel.body_size.max(1) as f64;
+                    if estimated >= stats.reexec_ratio() - 0.05 {
+                        conservative += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(total >= 3, "need enough loops to judge");
+    assert!(
+        conservative * 10 >= total * 8,
+        "most estimates conservative: {conservative}/{total}"
+    );
+}

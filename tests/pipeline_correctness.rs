@@ -1,0 +1,77 @@
+//! Whole-pipeline correctness across the benchmark suite: the SPT
+//! transformation must never change program results, and every produced
+//! module must verify.
+
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::profile::{Interp, NoProfiler, Val};
+
+fn interp_result(module: &spt::ir::Module, entry: &str, arg: i64) -> (Option<u64>, Vec<u64>) {
+    let r = Interp::new(module)
+        .run(entry, &[Val::from_i64(arg)], &mut NoProfiler)
+        .expect("runs");
+    (r.ret.map(|v| v.0), r.memory)
+}
+
+fn check_benchmark(name: &str, config: &CompilerConfig) {
+    let b = spt::bench_suite::benchmark(name).expect("benchmark exists");
+    let input = ProfilingInput::new(b.entry, [b.train_arg]);
+    let compiled =
+        compile_and_transform(b.source, &input, config).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    spt::ir::verify::verify_module(&compiled.module).expect("transformed module verifies");
+    spt::ir::verify::verify_module(&compiled.baseline).expect("baseline verifies");
+
+    for arg in [0, 3, b.train_arg / 2, b.train_arg] {
+        let (base_ret, base_mem) = interp_result(&compiled.baseline, b.entry, arg);
+        let (spt_ret, spt_mem) = interp_result(&compiled.module, b.entry, arg);
+        assert_eq!(
+            base_ret, spt_ret,
+            "{name} ({}) result at arg {arg}",
+            config.name
+        );
+        // SPT modules may append predictor cells; compare the original
+        // globals' region.
+        assert_eq!(
+            &spt_mem[..base_mem.len()],
+            &base_mem[..],
+            "{name} ({}) memory at arg {arg}",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn best_config_preserves_semantics_on_whole_suite() {
+    for b in spt::bench_suite::suite() {
+        check_benchmark(b.name, &CompilerConfig::best());
+    }
+}
+
+#[test]
+fn basic_config_preserves_semantics_on_sample() {
+    for name in ["bzip2_s", "parser_s", "vpr_s", "mcf_s"] {
+        check_benchmark(name, &CompilerConfig::basic());
+    }
+}
+
+#[test]
+fn anticipated_config_preserves_semantics_on_sample() {
+    for name in ["crafty_s", "gzip_s", "twolf_s", "gcc_s"] {
+        check_benchmark(name, &CompilerConfig::anticipated());
+    }
+}
+
+#[test]
+fn every_config_selects_at_least_some_loops_overall() {
+    let mut total = 0;
+    for b in spt::bench_suite::suite() {
+        let input = ProfilingInput::new(b.entry, [b.train_arg]);
+        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        total += compiled.report.selected.len();
+    }
+    assert!(
+        total >= 10,
+        "expected a healthy number of SPT loops, got {total}"
+    );
+}

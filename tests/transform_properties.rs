@@ -1,0 +1,109 @@
+//! Property-based whole-pipeline testing: randomly generated `minic`
+//! programs must survive the full cost-driven transformation with identical
+//! semantics, across all three configurations.
+
+use proptest::prelude::*;
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::profile::{Interp, NoProfiler, Val};
+
+/// A random but well-formed loop kernel: a handful of scalar accumulators,
+/// array reads/writes with index expressions, and nested conditionals.
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    updates: Vec<(usize, u8, i64)>, // (var, op selector, constant)
+    guard_mod: i64,
+    array_stride: i64,
+    store_offset: i64,
+}
+
+fn arb_loop() -> impl Strategy<Value = LoopSpec> {
+    (
+        proptest::collection::vec((0usize..4, 0u8..5, 1i64..9), 1..6),
+        2i64..7,
+        1i64..5,
+        0i64..64,
+    )
+        .prop_map(
+            |(updates, guard_mod, array_stride, store_offset)| LoopSpec {
+                updates,
+                guard_mod,
+                array_stride,
+                store_offset,
+            },
+        )
+}
+
+fn render(spec: &LoopSpec) -> String {
+    let mut decls = String::new();
+    for v in 0..4 {
+        decls.push_str(&format!("let x{v} = {};\n", v + 1));
+    }
+    let mut body = String::new();
+    for (k, &(v, op, c)) in spec.updates.iter().enumerate() {
+        let expr = match op {
+            0 => format!("x{v} + {c}"),
+            1 => format!("x{v} * {c} % 1009"),
+            2 => format!("x{v} + a[(i * {} + {k}) % 256]", spec.array_stride),
+            3 => format!("x{v} ^ (i << {})", c % 5),
+            _ => format!("x{v} + i % {c}"),
+        };
+        body.push_str(&format!("x{v} = {expr};\n"));
+    }
+    format!(
+        "global a[256]: int;\n\
+         fn main(n: int) -> int {{\n\
+           for (let k = 0; k < 256; k = k + 1) {{ a[k] = (k * 31 + 7) % 97; }}\n\
+           {decls}\
+           let i = 0;\n\
+           while (i < n) {{\n\
+             {body}\
+             if (i % {} == 0) {{ a[(i + {}) % 256] = x0 % 1000; }}\n\
+             i = i + 1;\n\
+           }}\n\
+           return x0 + x1 * 3 + x2 * 5 + x3 * 7 + a[{}];\n\
+         }}",
+        spec.guard_mod,
+        spec.store_offset,
+        spec.store_offset % 256
+    )
+}
+
+fn run(module: &spt::ir::Module, arg: i64) -> (Option<u64>, Vec<u64>) {
+    let r = Interp::new(module)
+        .run("main", &[Val::from_i64(arg)], &mut NoProfiler)
+        .expect("runs");
+    (r.ret.map(|v| v.0), r.memory)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_kernels_survive_best_config(spec in arb_loop()) {
+        let src = render(&spec);
+        let input = ProfilingInput::new("main", [150]);
+        let compiled = compile_and_transform(&src, &input, &CompilerConfig::best())
+            .expect("pipeline");
+        spt::ir::verify::verify_module(&compiled.module).expect("verifies");
+        for arg in [0i64, 1, 97, 200] {
+            let (br, bm) = run(&compiled.baseline, arg);
+            let (sr, sm) = run(&compiled.module, arg);
+            prop_assert_eq!(br, sr, "result at {}", arg);
+            prop_assert_eq!(&sm[..bm.len()], &bm[..], "memory at {}", arg);
+        }
+    }
+
+    #[test]
+    fn random_kernels_survive_anticipated_config(spec in arb_loop()) {
+        let src = render(&spec);
+        let input = ProfilingInput::new("main", [120]);
+        let compiled = compile_and_transform(&src, &input, &CompilerConfig::anticipated())
+            .expect("pipeline");
+        spt::ir::verify::verify_module(&compiled.module).expect("verifies");
+        for arg in [0i64, 5, 160] {
+            let (br, _) = run(&compiled.baseline, arg);
+            let (sr, _) = run(&compiled.module, arg);
+            prop_assert_eq!(br, sr, "result at {}", arg);
+        }
+    }
+}
