@@ -1,0 +1,273 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates.io registry, so the real
+//! `criterion` cannot be fetched; this crate implements the subset the
+//! workspace benches use — `Criterion`, `BenchmarkId`, benchmark groups,
+//! `iter`/`iter_with_setup`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a straightforward wall-clock measurement loop.
+//!
+//! Each benchmark warms up once, picks a batch size so one sample costs
+//! roughly `measurement_time / sample_size`, then reports the mean, minimum
+//! and maximum ns/iteration over the collected samples on stdout. No plots,
+//! no statistics beyond that: enough to compare implementations and feed
+//! the perf-trajectory harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.sample_size, self.criterion.measurement_time);
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher::new(self.criterion.sample_size, self.criterion.measurement_time);
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean/min/max ns per iteration and total iterations, once measured.
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            result: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch-size estimation from a single run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let target_sample_ns =
+            (self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64).max(1);
+        let batch = (target_sample_ns / once).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 1u64;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            samples.push(ns);
+            total_iters += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.finish_samples(samples, total_iters);
+    }
+
+    pub fn iter_with_setup<S, O, Setup, F>(&mut self, mut setup: Setup, mut f: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        // Setup runs outside the timed region; batches are single-iteration
+        // because each input is consumed.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+            total_iters += 1;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.finish_samples(samples, total_iters);
+    }
+
+    fn finish_samples(&mut self, samples: Vec<f64>, total_iters: u64) {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        self.result = Some((mean, min, max, total_iters));
+    }
+
+    fn report(&self, label: &str) {
+        match self.result {
+            Some((mean, min, max, iters)) => println!(
+                "{label:<48} time: [{:>12} {:>12} {:>12}]  ({iters} iters)",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            ),
+            None => println!("{label:<48} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the given groups (harness = false).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench/test pass --bench/--test and filter args; this
+            // stub runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        c.bench_function("stub/count", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("id", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

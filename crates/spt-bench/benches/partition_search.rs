@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
 use spt_cost::LoopCostModel;
 use spt_ir::loops::LoopId;
-use spt_partition::{greedy_partition, optimal_partition, SearchConfig};
+use spt_partition::{
+    greedy_partition, optimal_partition, optimal_partition_reference, SearchConfig,
+};
 use std::hint::black_box;
 
 /// Builds a loop with `k` independent carried accumulators — `k` violation
@@ -58,6 +60,26 @@ fn bench_search_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The worst case the paper's 30-VC limit admits: 28 violation candidates,
+/// capped at a fixed number of visited search nodes so the incremental
+/// evaluator and the from-scratch reference time the *same* tree and the
+/// ratio is pure per-node evaluation throughput.
+fn bench_incremental_vs_reference(c: &mut Criterion) {
+    let model = many_vc_model(28);
+    let config = SearchConfig {
+        max_visited: 20_000,
+        ..SearchConfig::default()
+    };
+    let mut group = c.benchmark_group("bnb_search_28vc");
+    group.bench_with_input(BenchmarkId::new("incremental", 28), &model, |b, m| {
+        b.iter(|| black_box(optimal_partition(black_box(m), &config)))
+    });
+    group.bench_with_input(BenchmarkId::new("reference", 28), &model, |b, m| {
+        b.iter(|| black_box(optimal_partition_reference(black_box(m), &config)))
+    });
+    group.finish();
+}
+
 fn bench_suite_loop(c: &mut Criterion) {
     // A realistic loop from the benchmark suite.
     let bench = spt_bench_suite::benchmark("twolf_s").expect("exists");
@@ -83,6 +105,6 @@ fn bench_suite_loop(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_search_scaling, bench_suite_loop
+    targets = bench_search_scaling, bench_incremental_vs_reference, bench_suite_loop
 }
 criterion_main!(benches);

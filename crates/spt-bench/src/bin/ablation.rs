@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin ablation`
 
-use spt_bench::{geomean, run_benchmark};
+use spt_bench::{geomean, run_matrix};
 use spt_core::CompilerConfig;
 use spt_cost::dep_graph::{DepGraph, DepGraphConfig, Profiles};
 use spt_cost::LoopCostModel;
@@ -24,12 +24,16 @@ fn main() {
         "pruning heuristics, greedy baseline, cost-driven selection",
     );
 
-    // --- 1 & 2: per-loop search statistics over the whole suite.
+    // --- 1 & 2: per-loop search statistics over the whole suite. Benchmarks
+    // are independent, so they fan out; the per-benchmark tallies merge in
+    // suite order (they are sums, so order only matters for determinism of
+    // the FP-free u64 totals anyway).
     println!("-- branch-and-bound pruning (search nodes visited, identical optima required)");
-    let mut visited = [0u64; 4]; // both, size-only, bound-only, none
-    let mut greedy_worse = 0usize;
-    let mut loops_analyzed = 0usize;
-    for b in spt_bench_suite::suite() {
+    let suite = spt_bench_suite::suite();
+    let tallies = spt_core::parallel::parallel_map(&suite, |b| {
+        let mut visited = [0u64; 4]; // both, size-only, bound-only, none
+        let mut greedy_worse = 0usize;
+        let mut loops_analyzed = 0usize;
         let module = spt_frontend::compile(b.source).expect("compiles");
         let mut collector = ProfileCollector::new();
         Interp::new(&module)
@@ -82,6 +86,17 @@ fn main() {
                 loops_analyzed += 1;
             }
         }
+        (visited, greedy_worse, loops_analyzed)
+    });
+    let mut visited = [0u64; 4];
+    let mut greedy_worse = 0usize;
+    let mut loops_analyzed = 0usize;
+    for (v, g, l) in tallies {
+        for (acc, x) in visited.iter_mut().zip(v) {
+            *acc += x;
+        }
+        greedy_worse += g;
+        loops_analyzed += l;
     }
     println!("  loops analyzed: {loops_analyzed}");
     println!(
@@ -106,12 +121,13 @@ fn main() {
         "{:<12} {:>12} {:>16}",
         "program", "cost-driven", "select-all"
     );
-    for b in spt_bench_suite::suite() {
-        let rb = run_benchmark(&b, &best);
-        let ra = run_benchmark(&b, &all);
+    let pairs: Vec<_> = suite.iter().flat_map(|b| [(b, &best), (b, &all)]).collect();
+    let runs = run_matrix(&pairs);
+    for pair in runs.chunks_exact(2) {
+        let (rb, ra) = (&pair[0], &pair[1]);
         println!(
             "{:<12} {:>12.3} {:>16.3}",
-            b.name,
+            rb.name,
             rb.speedup(),
             ra.speedup()
         );

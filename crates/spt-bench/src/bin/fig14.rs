@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig14`
 
-use spt_bench::{geomean, run_benchmark};
+use spt_bench::{geomean, run_matrix};
 use spt_core::CompilerConfig;
 
 fn main() {
@@ -27,15 +27,23 @@ fn main() {
     ];
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
 
+    // Full benchmark x config matrix fanned out at once; row-major order so
+    // the printed table below is identical to the old sequential loop.
+    let suite = spt_bench_suite::suite();
+    let pairs: Vec<_> = suite
+        .iter()
+        .flat_map(|b| configs.iter().map(move |c| (b, c)))
+        .collect();
+    let runs = run_matrix(&pairs);
+
     println!(
         "{:<12} {:>8} {:>8} {:>12}",
         "program", "basic", "best", "anticipated"
     );
-    for b in spt_bench_suite::suite() {
+    for (bi, b) in suite.iter().enumerate() {
         let mut cells = Vec::new();
-        for (ci, cfg) in configs.iter().enumerate() {
-            let run = run_benchmark(&b, cfg);
-            let s = run.speedup();
+        for ci in 0..configs.len() {
+            let s = runs[bi * configs.len() + ci].speedup();
             per_config[ci].push(s);
             cells.push(s);
         }

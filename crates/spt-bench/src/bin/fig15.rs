@@ -8,15 +8,14 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig15`
 
-use spt_bench::run_benchmark;
+use spt_bench::run_suite;
 use spt_core::{CompilerConfig, LoopOutcome};
 use std::collections::HashMap;
 
 fn histogram(config: &CompilerConfig) -> (HashMap<&'static str, usize>, usize) {
     let mut hist: HashMap<&'static str, usize> = HashMap::new();
     let mut total = 0;
-    for b in spt_bench_suite::suite() {
-        let run = run_benchmark(&b, config);
+    for run in run_suite(config) {
         for l in &run.report.loops {
             *hist.entry(l.outcome.label()).or_insert(0) += 1;
             total += 1;

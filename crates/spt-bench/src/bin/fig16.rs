@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig16`
 
-use spt_bench::run_benchmark;
+use spt_bench::run_suite;
 use spt_core::{CompilerConfig, LoopOutcome};
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
     let mut sel_sum = 0.0;
     let mut ceil_sum = 0.0;
     let mut n = 0.0;
-    for b in spt_bench_suite::suite() {
-        let run = run_benchmark(&b, &config);
+    for run in run_suite(&config) {
         let selected_cov = run.report.selected_coverage();
         // Ceiling: coverage of all outermost loops within the size limit
         // (nested loops are contained in their parents' coverage).
@@ -50,7 +49,7 @@ fn main() {
         };
         println!(
             "{:<12} {:>9.0}% {:>11.0}% {:>9.0}% {:>8}",
-            b.name,
+            run.name,
             selected_cov * 100.0,
             ceiling * 100.0,
             realized * 100.0,

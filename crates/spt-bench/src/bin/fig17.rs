@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig17`
 
-use spt_bench::run_benchmark;
+use spt_bench::run_suite;
 use spt_core::{CompilerConfig, LoopOutcome};
 
 fn main() {
@@ -22,8 +22,7 @@ fn main() {
     );
     let mut all_dyn = Vec::new();
     let mut all_frac = Vec::new();
-    for b in spt_bench_suite::suite() {
-        let run = run_benchmark(&b, &CompilerConfig::best());
+    for run in run_suite(&CompilerConfig::best()) {
         let selected: Vec<_> = run
             .report
             .loops
@@ -31,7 +30,7 @@ fn main() {
             .filter(|l| l.outcome == LoopOutcome::Selected)
             .collect();
         if selected.is_empty() {
-            println!("{:<12} {:>6}", b.name, 0);
+            println!("{:<12} {:>6}", run.name, 0);
             continue;
         }
         let dyn_sz: f64 =
@@ -45,7 +44,7 @@ fn main() {
             / selected.len() as f64;
         println!(
             "{:<12} {:>6} {:>12.0} {:>12.0} {:>11.0}%",
-            b.name,
+            run.name,
             selected.len(),
             dyn_sz,
             stat_sz,

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig18`
 
-use spt_bench::run_benchmark;
+use spt_bench::run_suite;
 use spt_core::CompilerConfig;
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
     );
     let mut ratios = Vec::new();
     let mut speedups = Vec::new();
-    for b in spt_bench_suite::suite() {
-        let run = run_benchmark(&b, &CompilerConfig::best());
+    for run in run_suite(&CompilerConfig::best()) {
         for sel in &run.report.selected {
             let Some(stats) = run.spt.loops.get(&sel.loop_tag) else {
                 continue;
@@ -35,7 +34,7 @@ fn main() {
             }
             println!(
                 "{:<12} {:>5} {:>9} {:>8.1}% {:>9.2}x {:>10.2}",
-                b.name,
+                run.name,
                 sel.loop_tag,
                 stats.commits,
                 stats.misspec_ratio() * 100.0,

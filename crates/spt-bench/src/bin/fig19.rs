@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p spt-bench --bin fig19`
 
-use spt_bench::{run_benchmark, spearman};
+use spt_bench::{run_suite, spearman};
 use spt_core::CompilerConfig;
 
 fn main() {
@@ -32,8 +32,7 @@ fn main() {
     let mut est = Vec::new();
     let mut act = Vec::new();
     let mut overestimates = 0;
-    for b in spt_bench_suite::suite() {
-        let run = run_benchmark(&b, &config);
+    for run in run_suite(&config) {
         for sel in &run.report.selected {
             let Some(stats) = run.spt.loops.get(&sel.loop_tag) else {
                 continue;
@@ -49,7 +48,7 @@ fn main() {
             }
             println!(
                 "{:<12} {:>5} {:>12.3} {:>12.3} {:>12}",
-                b.name,
+                run.name,
                 sel.loop_tag,
                 estimated,
                 measured,

@@ -1,0 +1,202 @@
+//! **perfbench**: the compiler's own performance trajectory — wall-clock per
+//! pipeline stage over the whole bench suite, sequential (`SPT_THREADS=1`)
+//! versus parallel (default thread count), written to `BENCH_pipeline.json`
+//! for session-over-session comparison.
+//!
+//! The interesting numbers are the end-to-end suite wall time, the
+//! per-stage breakdown (frontend, preprocess, profile, analysis, SVP,
+//! select+emit, simulation), and the partition-search throughput in visited
+//! search nodes per analysis second — the metric the incremental evaluator
+//! is meant to move.
+//!
+//! Run: `cargo run --release -p spt-bench --bin perfbench`
+
+use spt_bench::{run_benchmark_timed, TimedBenchmarkRun};
+use spt_core::CompilerConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-mode stage totals summed over the suite. Under parallel execution
+/// the stage sums exceed the wall time — that is the point.
+#[derive(Default)]
+struct Totals {
+    wall_s: f64,
+    compile_s: f64,
+    preprocess_s: f64,
+    profile_s: f64,
+    analysis_s: f64,
+    svp_s: f64,
+    select_emit_s: f64,
+    sim_s: f64,
+    search_visited: u64,
+}
+
+impl Totals {
+    fn from_runs(runs: &[TimedBenchmarkRun], wall_s: f64) -> Totals {
+        let mut t = Totals {
+            wall_s,
+            ..Totals::default()
+        };
+        for r in runs {
+            t.compile_s += r.compile_s;
+            t.preprocess_s += r.stages.preprocess_s;
+            t.profile_s += r.stages.profile_s;
+            t.analysis_s += r.stages.analysis_s;
+            t.svp_s += r.stages.svp_s;
+            t.select_emit_s += r.stages.select_emit_s;
+            t.sim_s += r.sim_baseline_s + r.sim_spt_s;
+            t.search_visited += r.stages.search_visited;
+        }
+        t
+    }
+
+    fn search_nodes_per_s(&self) -> f64 {
+        if self.analysis_s > 0.0 {
+            self.search_visited as f64 / self.analysis_s
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self, threads: usize) -> String {
+        format!(
+            "{{\"threads\": {threads}, \"wall_s\": {:.6}, \"compile_s\": {:.6}, \
+             \"preprocess_s\": {:.6}, \"profile_s\": {:.6}, \"analysis_s\": {:.6}, \
+             \"svp_s\": {:.6}, \"select_emit_s\": {:.6}, \"sim_s\": {:.6}, \
+             \"search_visited\": {}, \"search_nodes_per_s\": {:.1}}}",
+            self.wall_s,
+            self.compile_s,
+            self.preprocess_s,
+            self.profile_s,
+            self.analysis_s,
+            self.svp_s,
+            self.select_emit_s,
+            self.sim_s,
+            self.search_visited,
+            self.search_nodes_per_s()
+        )
+    }
+}
+
+/// Runs the whole suite under `best`, timed; parallelism is whatever
+/// `SPT_THREADS` currently dictates.
+fn run_suite_timed() -> (Vec<TimedBenchmarkRun>, f64) {
+    let suite = spt_bench_suite::suite();
+    let config = CompilerConfig::best();
+    let t0 = Instant::now();
+    let runs = spt_core::parallel::parallel_map(&suite, |b| run_benchmark_timed(b, &config));
+    let wall = t0.elapsed().as_secs_f64();
+    (runs, wall)
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), or 0
+/// where unavailable. Cumulative over the process, so it is reported once.
+fn peak_rss_kb() -> u64 {
+    if cfg!(target_os = "linux") {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+fn print_mode(label: &str, t: &Totals, threads: usize) {
+    println!(
+        "{label:<12} threads={threads:<3} wall={:>7.3}s  stages: compile={:.3} preprocess={:.3} \
+         profile={:.3} analysis={:.3} svp={:.3} select+emit={:.3} sim={:.3}",
+        t.wall_s,
+        t.compile_s,
+        t.preprocess_s,
+        t.profile_s,
+        t.analysis_s,
+        t.svp_s,
+        t.select_emit_s,
+        t.sim_s
+    );
+    println!(
+        "{:<12} search: {} nodes in {:.3}s analysis = {:.0} nodes/s",
+        "",
+        t.search_visited,
+        t.analysis_s,
+        t.search_nodes_per_s()
+    );
+}
+
+fn main() {
+    spt_bench::header(
+        "perfbench",
+        "pipeline wall-time per stage, sequential vs parallel",
+    );
+
+    // Sequential baseline first: force one worker everywhere (the override
+    // reaches the nested per-loop fan-out too).
+    let saved = std::env::var("SPT_THREADS").ok();
+    std::env::set_var("SPT_THREADS", "1");
+    let (seq_runs, seq_wall) = run_suite_timed();
+    let seq = Totals::from_runs(&seq_runs, seq_wall);
+
+    // Then the parallel run under the real thread count.
+    match &saved {
+        Some(v) => std::env::set_var("SPT_THREADS", v),
+        None => std::env::remove_var("SPT_THREADS"),
+    }
+    let threads = spt_core::parallel::thread_count();
+    let (par_runs, par_wall) = run_suite_timed();
+    let par = Totals::from_runs(&par_runs, par_wall);
+
+    print_mode("sequential", &seq, 1);
+    print_mode("parallel", &par, threads);
+    let speedup = if par.wall_s > 0.0 {
+        seq.wall_s / par.wall_s
+    } else {
+        1.0
+    };
+    let rss = peak_rss_kb();
+    println!("\nsuite wall speedup: {speedup:.2}x  (peak RSS {rss} kB)");
+
+    // Reports must agree between the two modes — determinism is part of the
+    // contract the parallel drivers advertise.
+    for (s, p) in seq_runs.iter().zip(&par_runs) {
+        assert_eq!(
+            format!("{:?}", s.run.report),
+            format!("{:?}", p.run.report),
+            "{}: parallel report diverged from sequential",
+            s.run.name
+        );
+    }
+    println!("determinism check: parallel reports identical to sequential -> OK");
+
+    let mut per_bench = String::new();
+    for (i, r) in seq_runs.iter().enumerate() {
+        if i > 0 {
+            per_bench.push_str(", ");
+        }
+        let _ = write!(
+            per_bench,
+            "{{\"name\": \"{}\", \"total_s\": {:.6}, \"analysis_s\": {:.6}, \
+             \"search_visited\": {}}}",
+            r.run.name,
+            r.total_s(),
+            r.stages.analysis_s,
+            r.stages.search_visited
+        );
+    }
+    let json = format!(
+        "{{\n  \"config\": \"best\",\n  \"sequential\": {},\n  \"parallel\": {},\n  \
+         \"suite_wall_speedup\": {speedup:.3},\n  \"peak_rss_kb\": {rss},\n  \
+         \"per_benchmark_sequential\": [{per_bench}]\n}}\n",
+        seq.json(1),
+        par.json(threads)
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -14,13 +14,14 @@ use spt_sim::{MachineConfig, SptSimulator};
 const SAMPLE: [&str; 4] = ["gcc_s", "vpr_s", "twolf_s", "parser_s"];
 
 fn speedups(machine: MachineConfig) -> f64 {
-    let sim = SptSimulator::with_config(machine);
-    let mut out = Vec::new();
-    for name in SAMPLE {
+    // The four sample benchmarks are independent; fan them out and geomean
+    // the in-order results (same value as the old sequential loop).
+    let out = spt_core::parallel::parallel_map(&SAMPLE, |name| {
+        let sim = SptSimulator::with_config(machine.clone());
         let b = spt_bench_suite::benchmark(name).expect("exists");
         let input = ProfilingInput::new(b.entry, [b.train_arg]);
-        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
-            .expect("pipeline");
+        let compiled =
+            compile_and_transform(b.source, &input, &CompilerConfig::best()).expect("pipeline");
         let base = sim
             .run(&compiled.baseline, b.entry, &[b.ref_arg])
             .expect("baseline");
@@ -28,8 +29,8 @@ fn speedups(machine: MachineConfig) -> f64 {
             .run(&compiled.module, b.entry, &[b.ref_arg])
             .expect("spt");
         assert_eq!(base.ret, spt.ret);
-        out.push(base.cycles as f64 / spt.cycles as f64);
-    }
+        base.cycles as f64 / spt.cycles as f64
+    });
     geomean(out)
 }
 

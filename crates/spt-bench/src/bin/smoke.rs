@@ -8,20 +8,25 @@ fn main() {
         CompilerConfig::best(),
         CompilerConfig::anticipated(),
     ] {
-        let mut speedups = Vec::new();
         println!("== config {}", cfg.name);
-        for b in spt_bench_suite::suite() {
+        // Fan the suite out; the wall time printed per row is the worker's
+        // own (rows overlap under parallel execution).
+        let suite = spt_bench_suite::suite();
+        let runs = spt_core::parallel::parallel_map(&suite, |b| {
             let t0 = std::time::Instant::now();
-            let run = run_benchmark(&b, &cfg);
+            let run = run_benchmark(b, &cfg);
+            (run, t0.elapsed())
+        });
+        let mut speedups = Vec::new();
+        for (run, elapsed) in &runs {
             let su = run.speedup();
             speedups.push(su);
             println!(
-                "  {:10} sel={:2} speedup={:.3} baseIPC={:.2} ({:?})",
-                b.name,
+                "  {:10} sel={:2} speedup={:.3} baseIPC={:.2} ({elapsed:?})",
+                run.name,
                 run.report.selected.len(),
                 su,
                 run.baseline.ipc(),
-                t0.elapsed()
             );
         }
         println!("  geomean speedup: {:.4}", geomean(speedups));

@@ -12,15 +12,15 @@ use spt_sim::SptSimulator;
 
 fn main() {
     spt_bench::header("Table 1", "IPC of the non-SPT base reference");
-    let sim = SptSimulator::new();
-    let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
-    for b in spt_bench_suite::suite() {
+    let suite = spt_bench_suite::suite();
+    let rows: Vec<(&str, f64, f64, f64)> = spt_core::parallel::parallel_map(&suite, |b| {
+        let sim = SptSimulator::new();
         let module = spt_frontend::compile(b.source).expect("compiles");
         let r = sim
             .run(&module, b.entry, &[b.ref_arg])
             .expect("baseline run");
-        rows.push((b.name, r.ipc(), r.cache_hit_rate, r.branch_miss_rate));
-    }
+        (b.name, r.ipc(), r.cache_hit_rate, r.branch_miss_rate)
+    });
     println!(
         "{:<12} {:>6} {:>10} {:>12}",
         "program", "IPC", "cache-hit", "branch-miss"

@@ -6,7 +6,8 @@
 //! nothing, keeping every binary self-contained and deterministic.
 
 use spt_bench_suite::Benchmark;
-use spt_core::{compile_and_transform, CompilationReport, CompilerConfig, ProfilingInput};
+use spt_core::pipeline::transform_module_timed;
+use spt_core::{CompilationReport, CompilerConfig, ProfilingInput, StageTimings};
 use spt_sim::{LoopSimStats, SimResult, SptSimulator};
 use std::collections::HashMap;
 
@@ -40,6 +41,34 @@ impl BenchmarkRun {
     }
 }
 
+/// A [`BenchmarkRun`] plus the wall-clock breakdown of how it was produced.
+pub struct TimedBenchmarkRun {
+    /// The measurements themselves.
+    pub run: BenchmarkRun,
+    /// Frontend (source → SSA) seconds.
+    pub compile_s: f64,
+    /// Per-stage pipeline seconds and search-node counts.
+    pub stages: StageTimings,
+    /// Baseline simulation seconds.
+    pub sim_baseline_s: f64,
+    /// SPT simulation seconds.
+    pub sim_spt_s: f64,
+}
+
+impl TimedBenchmarkRun {
+    /// End-to-end seconds for this benchmark.
+    pub fn total_s(&self) -> f64 {
+        self.compile_s
+            + self.stages.preprocess_s
+            + self.stages.profile_s
+            + self.stages.analysis_s
+            + self.stages.svp_s
+            + self.stages.select_emit_s
+            + self.sim_baseline_s
+            + self.sim_spt_s
+    }
+}
+
 /// Runs `bench` under `config`: profile-guided compilation on the train
 /// input, simulation of both baseline and SPT code on the reference input.
 ///
@@ -48,36 +77,68 @@ impl BenchmarkRun {
 /// Panics on pipeline or simulation failure — the harness treats any
 /// failure as a broken experiment.
 pub fn run_benchmark(bench: &Benchmark, config: &CompilerConfig) -> BenchmarkRun {
+    run_benchmark_timed(bench, config).run
+}
+
+/// [`run_benchmark`] with per-stage wall times, for the `perfbench` harness.
+///
+/// # Panics
+///
+/// See [`run_benchmark`].
+pub fn run_benchmark_timed(bench: &Benchmark, config: &CompilerConfig) -> TimedBenchmarkRun {
     let input = ProfilingInput::new(bench.entry, [bench.train_arg]);
-    let compiled = compile_and_transform(bench.source, &input, config)
+    let t = std::time::Instant::now();
+    let baseline_module = spt_frontend::compile(bench.source)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", bench.name));
+    let compile_s = t.elapsed().as_secs_f64();
+    let mut module = baseline_module.clone();
+    let (report, stages) = transform_module_timed(&mut module, &input, config)
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bench.name));
     let sim = SptSimulator::new();
+    let t = std::time::Instant::now();
     let baseline = sim
-        .run(&compiled.baseline, bench.entry, &[bench.ref_arg])
+        .run(&baseline_module, bench.entry, &[bench.ref_arg])
         .unwrap_or_else(|e| panic!("{}: baseline sim failed: {e}", bench.name));
+    let sim_baseline_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
     let spt = sim
-        .run(&compiled.module, bench.entry, &[bench.ref_arg])
+        .run(&module, bench.entry, &[bench.ref_arg])
         .unwrap_or_else(|e| panic!("{}: spt sim failed: {e}", bench.name));
+    let sim_spt_s = t.elapsed().as_secs_f64();
     assert_eq!(
         baseline.ret, spt.ret,
         "{}: SPT execution diverged from baseline",
         bench.name
     );
-    BenchmarkRun {
-        name: bench.name,
-        config: config.name,
-        report: compiled.report,
-        baseline,
-        spt,
+    TimedBenchmarkRun {
+        run: BenchmarkRun {
+            name: bench.name,
+            config: config.name,
+            report,
+            baseline,
+            spt,
+        },
+        compile_s,
+        stages,
+        sim_baseline_s,
+        sim_spt_s,
     }
 }
 
-/// Runs the whole suite under one configuration.
+/// Runs the whole suite under one configuration. Benchmarks fan out over
+/// [`spt_core::parallel::parallel_map`] workers (`SPT_THREADS` overrides the
+/// count); results come back in suite order, so downstream tables are
+/// byte-identical to a sequential run.
 pub fn run_suite(config: &CompilerConfig) -> Vec<BenchmarkRun> {
-    spt_bench_suite::suite()
-        .iter()
-        .map(|b| run_benchmark(b, config))
-        .collect()
+    let suite = spt_bench_suite::suite();
+    spt_core::parallel::parallel_map(&suite, |b| run_benchmark(b, config))
+}
+
+/// Runs every `(benchmark, config)` pair in parallel, returning results in
+/// input order. The figure harnesses build their full work matrix up front,
+/// fan it out here, then print sequentially.
+pub fn run_matrix(pairs: &[(&Benchmark, &CompilerConfig)]) -> Vec<BenchmarkRun> {
+    spt_core::parallel::parallel_map(pairs, |&(b, c)| run_benchmark(b, c))
 }
 
 /// Geometric-mean helper for speedup aggregation.

@@ -23,9 +23,12 @@
 //! [`CompilerConfig::anticipated`].
 
 pub mod config;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 
 pub use config::CompilerConfig;
-pub use pipeline::{compile_and_transform, PipelineError, ProfilingInput, SptCompilation};
+pub use pipeline::{
+    compile_and_transform, PipelineError, ProfilingInput, SptCompilation, StageTimings,
+};
 pub use report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};

@@ -1,0 +1,125 @@
+//! Deterministic fan-out helpers for the pipeline's independent work items.
+//!
+//! Pass-1 loop analyses and the bench harness's per-benchmark runs are
+//! mutually independent, so they fan out over [`std::thread::scope`] workers
+//! pulling from a shared atomic cursor. Results are merged back **by item
+//! index**, so output order — and therefore every report derived from it —
+//! is identical to a sequential run regardless of scheduling.
+//!
+//! The worker count comes from [`thread_count`]: the `SPT_THREADS`
+//! environment variable when set (a positive integer; `1` forces the
+//! sequential path), otherwise [`std::thread::available_parallelism`]. No
+//! thread pool is kept alive between calls — workloads here are coarse
+//! enough (whole-loop analysis, whole-benchmark pipelines) that spawn cost
+//! is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads to use: `SPT_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SPT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, returning results in item order.
+///
+/// Scheduling is dynamic (workers race on an atomic cursor) but the merge is
+/// by index, so the output is bit-identical to `items.iter().map(f)`. With
+/// one worker (or one item) no thread is spawned at all.
+///
+/// # Panics
+///
+/// Re-raises the panic of any worker on the calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        if thread_count() == 1 {
+            // Sequential fallback hits the panic inline; same observable.
+            panic!("boom (sequential fallback)");
+        }
+        parallel_map(&items, |&x| {
+            if x == 33 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -144,6 +144,28 @@ pub fn compile_and_transform(
     })
 }
 
+/// Wall-clock seconds spent in each pipeline stage of one
+/// [`transform_module_timed`] run. Deliberately *not* part of
+/// [`CompilationReport`]: reports must stay byte-identical across runs and
+/// thread counts, while timings never are.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Stage 2: unrolling and global promotion.
+    pub preprocess_s: f64,
+    /// Stage 3 (plus the SVP re-profile when it runs): interpreter profiling.
+    pub profile_s: f64,
+    /// Stage 4 (plus the SVP re-analysis): dependence graphs, cost models,
+    /// and the optimal-partition searches.
+    pub analysis_s: f64,
+    /// Stage 5: value profiling and predictor rewriting.
+    pub svp_s: f64,
+    /// Stage 6: selection plus SPT emission.
+    pub select_emit_s: f64,
+    /// Total partition-search nodes visited across all analyses (pairs with
+    /// `analysis_s` for a nodes-per-second figure).
+    pub search_visited: u64,
+}
+
 /// Runs preprocessing, analysis, selection and transformation on an
 /// already-compiled module in place, returning the report.
 ///
@@ -155,21 +177,44 @@ pub fn transform_module(
     input: &ProfilingInput,
     config: &CompilerConfig,
 ) -> Result<CompilationReport, PipelineError> {
+    transform_module_timed(module, input, config).map(|(report, _)| report)
+}
+
+/// [`transform_module`] plus per-stage wall times; the `perfbench` harness
+/// consumes the timings.
+///
+/// # Errors
+///
+/// See [`compile_and_transform`].
+pub fn transform_module_timed(
+    module: &mut Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> Result<(CompilationReport, StageTimings), PipelineError> {
+    let mut timings = StageTimings::default();
     // --- Stage 2: preprocessing.
+    let t = std::time::Instant::now();
     let mut unroll_factors: HashMap<(FuncId, BlockId), usize> = HashMap::new();
     preprocess(module, config, &mut unroll_factors);
     spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
+    timings.preprocess_s = t.elapsed().as_secs_f64();
 
     // --- Stage 3: profiling run A.
+    let t = std::time::Instant::now();
     let mut collector = run_profile(module, input)?;
+    timings.profile_s = t.elapsed().as_secs_f64();
 
     // --- Stage 4: pass 1 analysis.
+    let t = std::time::Instant::now();
     let mut analyses = analyze_module(module, &collector, config);
+    timings.analysis_s = t.elapsed().as_secs_f64();
 
     // --- Stage 5: software value prediction.
     let mut svp_headers: HashSet<(FuncId, BlockId)> = HashSet::new();
     if config.use_svp {
+        let t = std::time::Instant::now();
         let rewrote = svp_stage(module, input, config, &analyses, &mut svp_headers)?;
+        timings.svp_s = t.elapsed().as_secs_f64();
         if rewrote {
             for func in &mut module.funcs {
                 spt_ir::passes::cleanup(func);
@@ -177,15 +222,21 @@ pub fn transform_module(
             }
             spt_ir::verify::verify_module(module)
                 .map_err(|e| PipelineError::Verify(e.to_string()))?;
+            let t = std::time::Instant::now();
             collector = run_profile(module, input)?;
+            timings.profile_s += t.elapsed().as_secs_f64();
+            let t = std::time::Instant::now();
             analyses = analyze_module(module, &collector, config);
+            timings.analysis_s += t.elapsed().as_secs_f64();
         }
     }
     for a in &mut analyses {
         a.svp_applied = svp_headers.contains(&(a.func, a.header));
     }
+    timings.search_visited = analyses.iter().map(|a| a.search_visited).sum();
 
     // --- Stage 6: pass 2 selection.
+    let t_select = std::time::Instant::now();
     let mut records = select(module, config, &collector, &mut analyses, &unroll_factors);
 
     // --- Emission.
@@ -237,13 +288,17 @@ pub fn transform_module(
         spt_ir::passes::cleanup(func);
     }
     spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
+    timings.select_emit_s = t_select.elapsed().as_secs_f64();
 
-    Ok(CompilationReport {
-        config_name: config.name.to_string(),
-        loops: records,
-        selected: selected_out,
-        profile_total_cycles: collector.loops.total_cycles,
-    })
+    Ok((
+        CompilationReport {
+            config_name: config.name.to_string(),
+            loops: records,
+            selected: selected_out,
+            profile_total_cycles: collector.loops.total_cycles,
+        },
+        timings,
+    ))
 }
 
 /// Stage 2: unrolling and global promotion.
@@ -320,25 +375,33 @@ fn run_profile(module: &Module, input: &ProfilingInput) -> Result<ProfileCollect
     Ok(collector)
 }
 
-/// Pass 1 over every loop of every function.
+/// Pass 1 over every loop of every function. Loop analyses are mutually
+/// independent, so they fan out over [`crate::parallel::parallel_map`];
+/// results come back in (function, loop) discovery order, making the output
+/// — and every report built from it — identical to a sequential run.
 fn analyze_module(
     module: &Module,
     collector: &ProfileCollector,
     config: &CompilerConfig,
 ) -> Vec<LoopAnalysis> {
-    let mut out = Vec::new();
+    // CFG/dominators/loop forest once per function, shared by its loops.
+    let mut contexts: Vec<(FuncId, Cfg, LoopForest)> = Vec::new();
+    let mut items: Vec<(usize, LoopId)> = Vec::new();
     for func_id in module.func_ids() {
         let func = module.func(func_id);
         let cfg = Cfg::compute(func);
         let dom = DomTree::compute(&cfg);
         let forest = LoopForest::compute(func, &cfg, &dom);
+        let ctx_idx = contexts.len();
         for lid in forest.ids() {
-            out.push(analyze_loop(
-                module, func_id, &cfg, &forest, lid, collector, config,
-            ));
+            items.push((ctx_idx, lid));
         }
+        contexts.push((func_id, cfg, forest));
     }
-    out
+    crate::parallel::parallel_map(&items, |&(ctx_idx, lid)| {
+        let (func_id, ref cfg, ref forest) = contexts[ctx_idx];
+        analyze_loop(module, func_id, cfg, forest, lid, collector, config)
+    })
 }
 
 /// Builds the cost model and searches the optimal partition for one loop.

@@ -1,0 +1,50 @@
+//! The parallel pass-1 fan-out must be invisible in the output: compiling
+//! under `SPT_THREADS=1` and under several workers has to produce
+//! byte-identical reports and transformed modules. The merge-by-index in
+//! `spt_core::parallel::parallel_map` is what guarantees this; the test
+//! pins the guarantee on real bench-suite programs.
+//!
+//! One `#[test]` drives both thread counts back-to-back: the contract is
+//! process-global (`SPT_THREADS`), so splitting it across test functions
+//! would race on the environment.
+
+use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
+
+fn compile_all(programs: &[&str], config: &CompilerConfig) -> Vec<String> {
+    programs
+        .iter()
+        .map(|name| {
+            let b = spt_bench_suite::benchmark(name).expect("benchmark exists");
+            let input = ProfilingInput::new(b.entry, [b.train_arg]);
+            let compiled = compile_and_transform(b.source, &input, config).expect("pipeline");
+            // Debug formatting covers every field of the report and the
+            // transformed module — any nondeterminism shows up as a diff.
+            format!("{:?}\n{:?}", compiled.report, compiled.module)
+        })
+        .collect()
+}
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    // Loop-rich programs with multiple analyzable candidates, so pass 1
+    // actually fans out.
+    let programs = ["gcc_s", "twolf_s", "parser_s"];
+    let config = CompilerConfig::best();
+
+    let saved = std::env::var("SPT_THREADS").ok();
+    std::env::set_var("SPT_THREADS", "1");
+    let sequential = compile_all(&programs, &config);
+    std::env::set_var("SPT_THREADS", "4");
+    let parallel = compile_all(&programs, &config);
+    match saved {
+        Some(v) => std::env::set_var("SPT_THREADS", v),
+        None => std::env::remove_var("SPT_THREADS"),
+    }
+
+    for ((name, seq), par) in programs.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(
+            seq, par,
+            "{name}: report/module diverged between SPT_THREADS=1 and 4"
+        );
+    }
+}

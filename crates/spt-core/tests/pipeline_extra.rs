@@ -201,10 +201,20 @@ fn svp_flag_set_only_on_rewritten_loops() {
     let mut cfg = CompilerConfig::best();
     cfg.use_svp = false;
     let without = run(src, "main", 800, &cfg);
-    let svp_count = with_svp.report.loops.iter().filter(|l| l.svp_applied).count();
+    let svp_count = with_svp
+        .report
+        .loops
+        .iter()
+        .filter(|l| l.svp_applied)
+        .count();
     assert!(svp_count >= 1, "{:#?}", with_svp.report.loops);
     assert_eq!(
-        without.report.loops.iter().filter(|l| l.svp_applied).count(),
+        without
+            .report
+            .loops
+            .iter()
+            .filter(|l| l.svp_applied)
+            .count(),
         0
     );
 }

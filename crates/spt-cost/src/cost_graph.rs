@@ -150,6 +150,180 @@ impl CostGraph {
     pub fn baseline_cost(&self) -> f64 {
         self.misspeculation_cost(&vec![false; self.num_nodes])
     }
+
+    /// Builds a reusable evaluation arena for this graph. One evaluator
+    /// serves any number of [`CostGraph::reexec_probs_into`] /
+    /// [`CostGraph::misspeculation_cost_with`] calls without reallocating.
+    pub fn evaluator(&self) -> CostEvaluator {
+        let n = self.num_nodes;
+        let words = n.div_ceil(64);
+        // CSR out-adjacency, preserving per-source edge order so the
+        // propagation multiplies survival factors in exactly the same order
+        // as the one-shot sweep of `reexec_probs`.
+        let mut out_start = vec![0usize; n + 1];
+        for &(src, _, _) in &self.edges {
+            out_start[src + 1] += 1;
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+        }
+        let mut next = out_start.clone();
+        let mut out_edges = vec![(0usize, 0.0f64); self.edges.len()];
+        for &(src, dst, r) in &self.edges {
+            out_edges[next[src]] = (dst, r);
+            next[src] += 1;
+        }
+        // Per-candidate reachability: the operation nodes whose re-execution
+        // probability can be non-zero when that candidate alone is armed.
+        // Seeds are the candidate's cross-edge targets; the graph is
+        // topologically ordered, so one ascending sweep closes each set.
+        let mut vc_reach = vec![0u64; self.vcs.len() * words];
+        for (k, row) in vc_reach.chunks_mut(words.max(1)).enumerate() {
+            if words == 0 {
+                break;
+            }
+            for &(vc, dst, _) in &self.vc_edges {
+                if vc == k {
+                    row[dst / 64] |= 1u64 << (dst % 64);
+                }
+            }
+            for node in 0..n {
+                if row[node / 64] & (1u64 << (node % 64)) != 0 {
+                    for &(dst, _) in &out_edges[out_start[node]..out_start[node + 1]] {
+                        row[dst / 64] |= 1u64 << (dst % 64);
+                    }
+                }
+            }
+        }
+        CostEvaluator {
+            num_nodes: n,
+            num_vcs: self.vcs.len(),
+            words,
+            out_start,
+            out_edges,
+            vc_reach,
+            vc_prob: vec![0.0; self.vcs.len()],
+            survival: vec![1.0; n],
+            v: vec![0.0; n],
+            reach: vec![0u64; words],
+        }
+    }
+
+    /// Scratch-buffer variant of [`CostGraph::reexec_probs`]: evaluates into
+    /// `eval`'s arena and returns the per-node probabilities as a slice.
+    ///
+    /// The propagation sweep is restricted to nodes reachable from
+    /// still-armed violation candidates; every skipped node keeps
+    /// `survival = 1`, whose factors are exactly `1.0`, so the result is
+    /// bit-identical to the full sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eval` was built from a graph of different shape or
+    /// `node_in_prefork.len() != num_nodes`.
+    pub fn reexec_probs_into<'e>(
+        &self,
+        node_in_prefork: &[bool],
+        eval: &'e mut CostEvaluator,
+    ) -> &'e [f64] {
+        assert_eq!(node_in_prefork.len(), self.num_nodes);
+        assert_eq!(eval.num_nodes, self.num_nodes, "evaluator/graph mismatch");
+        assert_eq!(eval.num_vcs, self.vcs.len(), "evaluator/graph mismatch");
+        // Reset whatever the previous evaluation touched.
+        for w in 0..eval.words {
+            let mut bits = eval.reach[w];
+            while bits != 0 {
+                let node = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                eval.survival[node] = 1.0;
+                eval.v[node] = 0.0;
+            }
+            eval.reach[w] = 0;
+        }
+        // Step 3: pseudo-node probabilities; union the reach of armed VCs.
+        for (k, vc) in self.vcs.iter().enumerate() {
+            let p = match vc.node {
+                Some(node) if node_in_prefork[node] => 0.0,
+                _ => vc.violation_prob,
+            };
+            eval.vc_prob[k] = p;
+            if p > 0.0 {
+                for w in 0..eval.words {
+                    eval.reach[w] |= eval.vc_reach[k * eval.words + w];
+                }
+            }
+        }
+        // Step 4: seed survivals from armed cross edges, then propagate over
+        // reachable nodes in ascending (topological) order.
+        for &(vc, dst, r) in &self.vc_edges {
+            let p = eval.vc_prob[vc];
+            if p > 0.0 {
+                eval.survival[dst] *= 1.0 - r * p;
+            }
+        }
+        for w in 0..eval.words {
+            let mut bits = eval.reach[w];
+            while bits != 0 {
+                let node = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let vn = 1.0 - eval.survival[node];
+                eval.v[node] = vn;
+                if vn > 0.0 {
+                    for i in eval.out_start[node]..eval.out_start[node + 1] {
+                        let (dst, r) = eval.out_edges[i];
+                        eval.survival[dst] *= 1.0 - r * vn;
+                    }
+                }
+            }
+        }
+        &eval.v
+    }
+
+    /// Scratch-buffer variant of [`CostGraph::misspeculation_cost`]: the sum
+    /// runs over the touched nodes only (skipped terms are exactly `+0.0`).
+    pub fn misspeculation_cost_with(
+        &self,
+        node_in_prefork: &[bool],
+        eval: &mut CostEvaluator,
+    ) -> f64 {
+        self.reexec_probs_into(node_in_prefork, eval);
+        let mut cost = 0.0f64;
+        for w in 0..eval.words {
+            let mut bits = eval.reach[w];
+            while bits != 0 {
+                let node = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                cost += eval.v[node] * self.node_cost[node];
+            }
+        }
+        cost
+    }
+}
+
+/// A reusable evaluation arena for one [`CostGraph`] (see
+/// [`CostGraph::evaluator`]): CSR out-adjacency, precomputed per-candidate
+/// reachability bitsets, and the scratch buffers of the propagation sweep.
+/// The optimal-partition search holds one of these and evaluates thousands
+/// of partitions without a single allocation.
+#[derive(Clone, Debug)]
+pub struct CostEvaluator {
+    num_nodes: usize,
+    num_vcs: usize,
+    /// Bitset words per node set (`num_nodes.div_ceil(64)`).
+    words: usize,
+    /// CSR: out-edges of node `n` are `out_edges[out_start[n]..out_start[n+1]]`.
+    out_start: Vec<usize>,
+    out_edges: Vec<(usize, f64)>,
+    /// Flattened per-VC reachability: candidate `k` owns words
+    /// `vc_reach[k*words..(k+1)*words]`.
+    vc_reach: Vec<u64>,
+    // --- scratch, reset lazily between evaluations ---
+    vc_prob: Vec<f64>,
+    survival: Vec<f64>,
+    v: Vec<f64>,
+    /// Union of armed candidates' reach from the latest evaluation; doubles
+    /// as the record of which scratch entries need resetting.
+    reach: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -280,6 +454,42 @@ mod tests {
     }
 
     #[test]
+    fn evaluator_matches_one_shot_sweep() {
+        let g = paper_example();
+        let mut eval = g.evaluator();
+        // Cycle through several partitions with ONE arena: lazy resets must
+        // leave no residue from the previous evaluation.
+        let masks: Vec<Vec<bool>> = vec![
+            vec![false; 6],
+            {
+                let mut m = vec![false; 6];
+                m[3] = true;
+                m
+            },
+            vec![true; 6],
+            {
+                let mut m = vec![false; 6];
+                m[4] = true;
+                m[5] = true;
+                m
+            },
+            vec![false; 6],
+        ];
+        for mask in &masks {
+            let fresh = g.reexec_probs(mask);
+            let scratch = g.reexec_probs_into(mask, &mut eval).to_vec();
+            assert_eq!(fresh, scratch, "bit-exact probabilities for {mask:?}");
+            let c_fresh = g.misspeculation_cost(mask);
+            let c_scratch = g.misspeculation_cost_with(mask, &mut eval);
+            assert_eq!(
+                c_fresh.to_bits(),
+                c_scratch.to_bits(),
+                "bit-exact cost for {mask:?}"
+            );
+        }
+    }
+
+    #[test]
     fn probabilities_stay_in_unit_interval() {
         // Saturating graph: many strong predecessors.
         let mut g = CostGraph::with_unit_costs(5);
@@ -356,6 +566,26 @@ mod proptests {
             prefork[extra] = true;
             let c = g.misspeculation_cost(&prefork);
             prop_assert!(c <= prev + 1e-9);
+        }
+
+        /// The restricted-sweep evaluator reproduces the one-shot sweep
+        /// bit-for-bit on random graphs and random partitions, including
+        /// arena reuse across successive masks.
+        #[test]
+        fn evaluator_is_bit_exact(g in arb_graph(), picks in proptest::collection::vec(0usize..64, 0..24)) {
+            let mut eval = g.evaluator();
+            let mut mask = vec![false; g.num_nodes];
+            // Interleave evaluations with mask mutations to exercise reuse.
+            for (step, &pick) in picks.iter().enumerate() {
+                let n = pick % g.num_nodes;
+                mask[n] = step % 3 != 2; // mostly set, sometimes clear
+                let fresh = g.reexec_probs(&mask);
+                let scratch = g.reexec_probs_into(&mask, &mut eval).to_vec();
+                prop_assert_eq!(&fresh, &scratch);
+                let cf = g.misspeculation_cost(&mask);
+                let cs = g.misspeculation_cost_with(&mask, &mut eval);
+                prop_assert_eq!(cf.to_bits(), cs.to_bits());
+            }
         }
 
         /// Cost is bounded by the total cost of all nodes.

@@ -558,18 +558,50 @@ impl DepGraph {
     /// that must accompany them into the pre-fork region — transitive data
     /// predecessors plus (replicated) controlling branches and *their*
     /// operand closures. The result includes the seeds and is sorted.
+    ///
+    /// One-shot convenience over [`DepGraph::closure_with`]; callers that
+    /// compute many closures of the same graph should build
+    /// [`DepGraph::closure_preds`] once and reuse scratch buffers.
     pub fn closure(&self, seeds: &[usize]) -> Vec<usize> {
+        let preds = self.closure_preds();
+        let mut in_set = vec![false; self.nodes.len()];
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        self.closure_with(&preds, seeds, &mut in_set, &mut work, &mut out);
+        out
+    }
+
+    /// The predecessor adjacency closure computations walk: intra-iteration
+    /// dependence edges plus ordering (anti/output) edges, reversed. Ordering
+    /// dependences matter because moving a memory operation requires moving
+    /// the accesses it must stay after.
+    pub fn closure_preds(&self) -> Vec<Vec<usize>> {
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
         for e in &self.intra_edges {
             preds[e.dst].push(e.src);
         }
-        // Ordering (anti/output) dependences: moving a memory operation
-        // requires moving the accesses it must stay after.
         for &(src, dst) in &self.order_edges {
             preds[dst].push(src);
         }
-        let mut in_set = vec![false; self.nodes.len()];
-        let mut work: Vec<usize> = Vec::new();
+        preds
+    }
+
+    /// Scratch-buffer variant of [`DepGraph::closure`]: writes the sorted
+    /// closure of `seeds` into `out`. `preds` must come from
+    /// [`DepGraph::closure_preds`]; `in_set` must be an all-false mask of
+    /// `nodes.len()` entries and is restored to all-false before returning,
+    /// so the same buffers serve any number of calls without reallocation.
+    pub fn closure_with(
+        &self,
+        preds: &[Vec<usize>],
+        seeds: &[usize],
+        in_set: &mut [bool],
+        work: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        debug_assert!(in_set.iter().all(|&b| !b), "in_set must start clear");
+        work.clear();
+        out.clear();
         for &s in seeds {
             if !in_set[s] {
                 in_set[s] = true;
@@ -577,6 +609,7 @@ impl DepGraph {
             }
         }
         while let Some(n) = work.pop() {
+            out.push(n);
             for &p in &preds[n] {
                 if !in_set[p] {
                     in_set[p] = true;
@@ -593,7 +626,10 @@ impl DepGraph {
                 c = self.ctrl[b];
             }
         }
-        (0..self.nodes.len()).filter(|&n| in_set[n]).collect()
+        out.sort_unstable();
+        for &n in out.iter() {
+            in_set[n] = false;
+        }
     }
 
     /// Returns `true` if every node of `set` may enter the pre-fork region

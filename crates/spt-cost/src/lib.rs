@@ -24,6 +24,6 @@ pub mod cost_graph;
 pub mod dep_graph;
 pub mod model;
 
-pub use cost_graph::{CostGraph, VcInfo};
+pub use cost_graph::{CostEvaluator, CostGraph, VcInfo};
 pub use dep_graph::{DepEdge, DepEdgeKind, DepGraph, DepGraphConfig, Profiles};
 pub use model::{LoopCostModel, Partition};

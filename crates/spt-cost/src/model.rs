@@ -7,7 +7,7 @@
 //! of any partition; the optimal-partition search (crate `spt-partition`)
 //! drives it.
 
-use crate::cost_graph::CostGraph;
+use crate::cost_graph::{CostEvaluator, CostGraph};
 use crate::dep_graph::DepGraph;
 
 /// A pre-fork region over the nodes of a [`DepGraph`].
@@ -136,6 +136,19 @@ impl LoopCostModel {
     /// exposed for SVP target selection and diagnostics.
     pub fn reexec_probs(&self, partition: &Partition) -> Vec<f64> {
         self.cost_graph.reexec_probs(partition.mask())
+    }
+
+    /// Builds a reusable evaluation arena for this loop's cost graph; pair
+    /// with [`LoopCostModel::misspeculation_cost_with`] when evaluating many
+    /// partitions (the optimal-partition search does).
+    pub fn evaluator(&self) -> CostEvaluator {
+        self.cost_graph.evaluator()
+    }
+
+    /// Scratch-buffer variant of [`LoopCostModel::misspeculation_cost`].
+    pub fn misspeculation_cost_with(&self, partition: &Partition, eval: &mut CostEvaluator) -> f64 {
+        self.cost_graph
+            .misspeculation_cost_with(partition.mask(), eval)
     }
 
     /// Static loop body size (Σ node latency).

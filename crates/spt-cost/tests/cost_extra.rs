@@ -69,8 +69,8 @@ fn exec_prob_overrides_reprice_violations() {
         }
     ";
     let (module, base_graph) = graph_for(src, "f", &DepGraphConfig::default());
-    let base_cost = LoopCostModel::new(base_graph.clone())
-        .misspeculation_cost(&Partition::empty(&base_graph));
+    let base_cost =
+        LoopCostModel::new(base_graph.clone()).misspeculation_cost(&Partition::empty(&base_graph));
 
     // Override the store's execution probability down to 1%: the violation
     // almost never fires, so the cost collapses.

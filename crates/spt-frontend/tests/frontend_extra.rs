@@ -14,7 +14,8 @@ fn operator_precedence_against_reference() {
         return a + b * 3 - a % b + (a << 2) % 7 - (a & b) + (a | 1) ^ (b >> 1);
     }";
     let module = compile(src).unwrap();
-    let native = |a: i64, b: i64| (a + b * 3 - a % b + ((a << 2) % 7) - (a & b) + (a | 1)) ^ (b >> 1);
+    let native =
+        |a: i64, b: i64| (a + b * 3 - a % b + ((a << 2) % 7) - (a & b) + (a | 1)) ^ (b >> 1);
     for (a, b) in [(5i64, 3i64), (17, 4), (100, 9), (2, 7)] {
         let r = spt_profile::Interp::new(&module)
             .run(
@@ -48,7 +49,11 @@ fn unary_and_logical_semantics() {
     };
     for x in [0i64, 2, 3, 4, 10] {
         let r = spt_profile::Interp::new(&module)
-            .run("f", &[spt_profile::Val::from_i64(x)], &mut spt_profile::NoProfiler)
+            .run(
+                "f",
+                &[spt_profile::Val::from_i64(x)],
+                &mut spt_profile::NoProfiler,
+            )
             .unwrap();
         assert_eq!(r.ret.unwrap().as_i64(), native(x), "x={x}");
     }
@@ -69,7 +74,11 @@ fn float_pipeline_end_to_end() {
     ";
     let module = compile(src).unwrap();
     let r = spt_profile::Interp::new(&module)
-        .run("f", &[spt_profile::Val::from_i64(10)], &mut spt_profile::NoProfiler)
+        .run(
+            "f",
+            &[spt_profile::Val::from_i64(10)],
+            &mut spt_profile::NoProfiler,
+        )
         .unwrap();
     let mut s = 0.5f64;
     for i in 0..10i64 {
@@ -90,7 +99,9 @@ fn diagnostics_carry_positions() {
 
 #[test]
 fn duplicate_definitions_rejected() {
-    assert!(err("global x: int; global x: int;").message.contains("duplicate"));
+    assert!(err("global x: int; global x: int;")
+        .message
+        .contains("duplicate"));
     assert!(err("fn f() {} fn f() {}").message.contains("duplicate"));
     assert!(err("fn abs(x: int) -> int { return x; }")
         .message
@@ -146,7 +157,11 @@ fn deeply_nested_control_flow_compiles_and_runs() {
     };
     for n in [0i64, 1, 7, 30] {
         let r = spt_profile::Interp::new(&module)
-            .run("f", &[spt_profile::Val::from_i64(n)], &mut spt_profile::NoProfiler)
+            .run(
+                "f",
+                &[spt_profile::Val::from_i64(n)],
+                &mut spt_profile::NoProfiler,
+            )
             .unwrap();
         assert_eq!(r.ret.unwrap().as_i64(), native(n), "n={n}");
     }
@@ -179,7 +194,10 @@ fn shadowing_in_nested_scopes() {
 #[test]
 fn compile_raw_keeps_var_slots() {
     let m = compile_raw("fn f() -> int { let x = 1; x = x + 1; return x; }").unwrap();
-    assert!(!spt_ir::ssa::is_ssa(&m.funcs[0]), "raw form keeps VarLoad/VarStore");
+    assert!(
+        !spt_ir::ssa::is_ssa(&m.funcs[0]),
+        "raw form keeps VarLoad/VarStore"
+    );
     let m2 = compile("fn f() -> int { let x = 1; x = x + 1; return x; }").unwrap();
     assert!(spt_ir::ssa::is_ssa(&m2.funcs[0]));
 }

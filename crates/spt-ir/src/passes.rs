@@ -65,10 +65,9 @@ pub fn dce(func: &mut Function) -> usize {
 
     for bb in func.block_ids() {
         for &i in &func.block(bb).insts {
-            if func.inst(i).kind.has_side_effect()
-                && live.insert(i) {
-                    work.push(i);
-                }
+            if func.inst(i).kind.has_side_effect() && live.insert(i) {
+                work.push(i);
+            }
         }
     }
     while let Some(i) = work.pop() {
@@ -378,14 +377,13 @@ fn split_phis(func: &mut Function, block: BlockId, from_preds: &[BlockId], via: 
     for phi in phi_ids {
         let ty = func.inst(phi).ty;
         type PhiArgs = Vec<(BlockId, Operand)>;
-        let (moved, kept): (PhiArgs, PhiArgs) =
-            match &func.inst(phi).kind {
-                InstKind::Phi { args } => args
-                    .iter()
-                    .copied()
-                    .partition(|(bb, _)| from_preds.contains(bb)),
-                _ => unreachable!(),
-            };
+        let (moved, kept): (PhiArgs, PhiArgs) = match &func.inst(phi).kind {
+            InstKind::Phi { args } => args
+                .iter()
+                .copied()
+                .partition(|(bb, _)| from_preds.contains(bb)),
+            _ => unreachable!(),
+        };
         if moved.is_empty() {
             continue;
         }

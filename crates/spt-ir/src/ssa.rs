@@ -150,9 +150,8 @@ pub fn mem2reg(func: &mut Function) -> usize {
 
                 // Fill phi operands of successors.
                 for &succ in cfg.succs(bb) {
-                    let phi_ids: Vec<(InstId, VarId)> = phis_in_block
-                        .get(&succ).cloned()
-                        .unwrap_or_default();
+                    let phi_ids: Vec<(InstId, VarId)> =
+                        phis_in_block.get(&succ).cloned().unwrap_or_default();
                     for (phi, var) in phi_ids {
                         let cur = stacks
                             .get(&var)

@@ -284,10 +284,9 @@ fn verify_func_in(func: &Function, module: Option<&Module>) -> Result<(), Verify
                         return Err(err(func, format!("{i}: load must produce a value")));
                     }
                 }
-                InstKind::Store { addr, .. }
-                    if op_ty(*addr) != Some(Ty::I64) => {
-                        return Err(err(func, format!("{i}: store address must be i64")));
-                    }
+                InstKind::Store { addr, .. } if op_ty(*addr) != Some(Ty::I64) => {
+                    return Err(err(func, format!("{i}: store address must be i64")));
+                }
                 InstKind::Call { callee, args } => {
                     if let Some(m) = module {
                         if callee.index() >= m.funcs.len() {
@@ -310,10 +309,9 @@ fn verify_func_in(func: &Function, module: Option<&Module>) -> Result<(), Verify
                         }
                     }
                 }
-                InstKind::Branch { cond, .. }
-                    if op_ty(*cond) != Some(Ty::I64) => {
-                        return Err(err(func, format!("{i}: branch condition must be i64")));
-                    }
+                InstKind::Branch { cond, .. } if op_ty(*cond) != Some(Ty::I64) => {
+                    return Err(err(func, format!("{i}: branch condition must be i64")));
+                }
                 InstKind::Ret { val } => match (val, func.ret_ty) {
                     (Some(v), Some(rt)) => {
                         if let Some(t) = op_ty(*v) {

@@ -33,10 +33,7 @@ fn cleanup_preserves_infinite_loop() {
     b.jump(header);
     let mut func = b.finish();
     // Complete the phi with the back edge.
-    if let spt_ir::InstKind::Phi { args } = &mut func
-        .inst_mut(phi.as_inst().unwrap())
-        .kind
-    {
+    if let spt_ir::InstKind::Phi { args } = &mut func.inst_mut(phi.as_inst().unwrap()).kind {
         args.push((header, next));
     }
     spt_ir::verify::verify_func(&func).expect("valid");

@@ -39,33 +39,53 @@ pub struct VcDepGraph {
     /// Positions of candidates that can never be moved (their closure
     /// contains a pinned node).
     pub immovable: Vec<bool>,
+    /// `closures[k]` = the intra-iteration dependence closure of candidate
+    /// `k` (sorted dep-graph node indices). The closure of a candidate *set*
+    /// is the union of these (closures distribute over union), which is what
+    /// lets the search maintain its pre-fork mask incrementally.
+    pub closures: Vec<Vec<usize>>,
 }
 
 impl VcDepGraph {
-    /// Builds the VC-dep graph from a loop cost model.
+    /// Builds the VC-dep graph from a loop cost model. Each candidate's
+    /// closure is computed once over shared scratch buffers and stored.
     pub fn build(model: &LoopCostModel) -> Self {
         let vcs: Vec<usize> = model.vcs().to_vec();
-        let pos_of = |node: usize| vcs.iter().position(|&v| v == node);
+        let num_nodes = model.graph.nodes.len();
+        // Node -> candidate-position lookup.
+        let mut pos_of: Vec<Option<usize>> = vec![None; num_nodes];
+        for (k, &vc) in vcs.iter().enumerate() {
+            pos_of[vc] = Some(k);
+        }
+        let pred_adj = model.graph.closure_preds();
+        let mut in_set = vec![false; num_nodes];
+        let mut work = Vec::new();
         let mut preds: Vec<Vec<usize>> = Vec::with_capacity(vcs.len());
         let mut immovable = Vec::with_capacity(vcs.len());
+        let mut closures = Vec::with_capacity(vcs.len());
         for &vc in &vcs {
-            let closure = model.graph.closure(&[vc]);
+            let mut closure = Vec::new();
+            model
+                .graph
+                .closure_with(&pred_adj, &[vc], &mut in_set, &mut work, &mut closure);
             immovable.push(!model.graph.closure_is_legal(&closure));
+            // Closure and `vcs` are both ascending, so `ps` comes out sorted.
             let mut ps = Vec::new();
             for &n in &closure {
                 if n != vc {
-                    if let Some(p) = pos_of(n) {
+                    if let Some(p) = pos_of[n] {
                         ps.push(p);
                     }
                 }
             }
-            ps.sort_unstable();
             preds.push(ps);
+            closures.push(closure);
         }
         VcDepGraph {
             vcs,
             preds,
             immovable,
+            closures,
         }
     }
 
@@ -77,6 +97,47 @@ impl VcDepGraph {
     /// Returns `true` when there are no candidates.
     pub fn is_empty(&self) -> bool {
         self.vcs.is_empty()
+    }
+}
+
+/// The search's incrementally-maintained pre-fork region: the union of the
+/// pushed candidates' dependence closures, tracked by per-node reference
+/// counts so each pop undoes exactly what the matching push added. `mask`
+/// and `size` always equal what `Partition::from_seeds` would compute for
+/// the pushed set, without re-walking any closure.
+struct DeltaMask {
+    mask: Vec<bool>,
+    refs: Vec<u32>,
+    size: u64,
+}
+
+impl DeltaMask {
+    fn new(num_nodes: usize) -> Self {
+        DeltaMask {
+            mask: vec![false; num_nodes],
+            refs: vec![0; num_nodes],
+            size: 0,
+        }
+    }
+
+    fn push(&mut self, closure: &[usize], node_cost: &[u64]) {
+        for &n in closure {
+            if self.refs[n] == 0 {
+                self.mask[n] = true;
+                self.size += node_cost[n];
+            }
+            self.refs[n] += 1;
+        }
+    }
+
+    fn pop(&mut self, closure: &[usize], node_cost: &[u64]) {
+        for &n in closure {
+            self.refs[n] -= 1;
+            if self.refs[n] == 0 {
+                self.mask[n] = false;
+                self.size -= node_cost[n];
+            }
+        }
     }
 }
 
@@ -133,7 +194,188 @@ pub struct SearchResult {
 
 /// Finds the minimum-misspeculation-cost legal partition of the loop, via
 /// branch-and-bound over violation-candidate sets.
+///
+/// Search nodes are evaluated *incrementally*: the pre-fork mask is the
+/// refcounted union of the chosen candidates' precomputed closures
+/// ([`DeltaMask`]), extended on push and undone on pop, and costs come from
+/// a single [`spt_cost::CostEvaluator`] arena whose propagation sweep only
+/// touches nodes reachable from still-armed candidates. The result is
+/// bit-identical to [`optimal_partition_reference`] (skipped survival
+/// factors are exactly `1.0`), which remains the differential oracle.
 pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> SearchResult {
+    let vc_graph = VcDepGraph::build(model);
+    let empty = Partition::empty(&model.graph);
+    let empty_cost = model.misspeculation_cost(&empty);
+
+    if vc_graph.len() > config.max_vcs {
+        return SearchResult {
+            partition: empty,
+            cost: empty_cost,
+            chosen: Vec::new(),
+            visited: 0,
+            pruned_size: 0,
+            pruned_bound: 0,
+            skipped_too_many_vcs: true,
+        };
+    }
+
+    struct Ctx<'a> {
+        model: &'a LoopCostModel,
+        vc_graph: &'a VcDepGraph,
+        config: &'a SearchConfig,
+        eval: spt_cost::CostEvaluator,
+        delta: DeltaMask,
+        /// Candidate-position membership of the current set (O(1) pred
+        /// checks; the set itself stays a stack for `best_set` snapshots).
+        in_set: Vec<bool>,
+        best_cost: f64,
+        best_size: u64,
+        best_set: Vec<usize>,
+        visited: u64,
+        pruned_size: u64,
+        pruned_bound: u64,
+    }
+
+    impl Ctx<'_> {
+        fn push(&mut self, p: usize) {
+            self.delta
+                .push(&self.vc_graph.closures[p], &self.model.graph.cost);
+            self.in_set[p] = true;
+        }
+
+        fn pop(&mut self, p: usize) {
+            self.delta
+                .pop(&self.vc_graph.closures[p], &self.model.graph.cost);
+            self.in_set[p] = false;
+        }
+
+        fn cost(&mut self) -> f64 {
+            self.model
+                .cost_graph()
+                .misspeculation_cost_with(&self.delta.mask, &mut self.eval)
+        }
+
+        fn consider(&mut self, set: &[usize], cost: f64) {
+            let size = self.delta.size;
+            let better = cost < self.best_cost - 1e-12
+                || (cost < self.best_cost + 1e-12 && size < self.best_size);
+            if better {
+                self.best_cost = cost;
+                self.best_size = size;
+                self.best_set = set.to_vec();
+            }
+        }
+
+        /// Explores descendants of `set` (whose max position is `max_pos`).
+        fn search(&mut self, set: &mut Vec<usize>, max_pos: Option<usize>) {
+            if self.visited >= self.config.max_visited {
+                return;
+            }
+            let start = max_pos.map_or(0, |m| m + 1);
+            // Bound pruning: the best any descendant can do is the cost with
+            // every still-addable candidate included. Push them all, read the
+            // bound, pop them — no from-scratch closure walk.
+            if self.config.prune_bound {
+                let mut any = false;
+                for p in start..self.vc_graph.len() {
+                    if !self.vc_graph.immovable[p] {
+                        self.push(p);
+                        any = true;
+                    }
+                }
+                if any {
+                    let bound = self.cost();
+                    for p in (start..self.vc_graph.len()).rev() {
+                        if !self.vc_graph.immovable[p] {
+                            self.pop(p);
+                        }
+                    }
+                    if bound >= self.best_cost - 1e-12 {
+                        self.pruned_bound += 1;
+                        return;
+                    }
+                }
+            }
+
+            for p in start..self.vc_graph.len() {
+                if self.visited >= self.config.max_visited {
+                    return;
+                }
+                if self.vc_graph.immovable[p] {
+                    continue;
+                }
+                // All VC-dep predecessors must already be in the set. (Sets
+                // of movable candidates are always legal: each closure is
+                // individually pinned-free and closures distribute over
+                // union, so no legality re-check is needed here.)
+                if !self.vc_graph.preds[p].iter().all(|&q| self.in_set[q]) {
+                    continue;
+                }
+                self.push(p);
+                set.push(p);
+                self.visited += 1;
+                let oversize = self.delta.size > self.config.max_prefork_size;
+                if oversize {
+                    if self.config.prune_size {
+                        // Size is monotone: the whole subtree is dead.
+                        self.pruned_size += 1;
+                    } else {
+                        // Ablation mode: not a candidate answer, but
+                        // descendants are still (pointlessly) explored.
+                        self.search(set, Some(p));
+                    }
+                } else {
+                    let cost = self.cost();
+                    self.consider(set, cost);
+                    self.search(set, Some(p));
+                }
+                set.pop();
+                self.pop(p);
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        model,
+        vc_graph: &vc_graph,
+        config,
+        eval: model.evaluator(),
+        delta: DeltaMask::new(model.graph.nodes.len()),
+        in_set: vec![false; vc_graph.len()],
+        best_cost: empty_cost,
+        best_size: 0,
+        best_set: Vec::new(),
+        visited: 0,
+        pruned_size: 0,
+        pruned_bound: 0,
+    };
+    let mut set = Vec::new();
+    ctx.search(&mut set, None);
+
+    let chosen = ctx.best_set.clone();
+    let seeds: Vec<usize> = chosen.iter().map(|&p| vc_graph.vcs[p]).collect();
+    let partition = if seeds.is_empty() {
+        Partition::empty(&model.graph)
+    } else {
+        Partition::from_seeds(&model.graph, &seeds).expect("best set was legal during search")
+    };
+    SearchResult {
+        cost: ctx.best_cost,
+        partition,
+        chosen,
+        visited: ctx.visited,
+        pruned_size: ctx.pruned_size,
+        pruned_bound: ctx.pruned_bound,
+        skipped_too_many_vcs: false,
+    }
+}
+
+/// The original from-scratch search: every candidate set is evaluated by
+/// re-walking its dependence closure (`Partition::from_seeds`) and running a
+/// full propagation sweep. Retained as the differential oracle for
+/// [`optimal_partition`] and as the baseline of the `partition_search`
+/// criterion benchmark; not used by the compilation pipeline.
+pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig) -> SearchResult {
     let vc_graph = VcDepGraph::build(model);
     let empty = Partition::empty(&model.graph);
     let empty_cost = model.misspeculation_cost(&empty);
@@ -280,46 +522,58 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
 }
 
 /// A greedy baseline for ablation: repeatedly add the single candidate that
-/// most reduces cost, while the size threshold holds.
+/// most reduces cost, while the size threshold holds. Candidates are probed
+/// by pushing them onto the shared [`DeltaMask`] and popping after the cost
+/// read, so one round is linear in closure size rather than quadratic in the
+/// chosen set.
 pub fn greedy_partition(model: &LoopCostModel, config: &SearchConfig) -> SearchResult {
     let vc_graph = VcDepGraph::build(model);
+    let node_cost = &model.graph.cost;
+    let mut eval = model.evaluator();
+    let mut delta = DeltaMask::new(model.graph.nodes.len());
+    let mut in_chosen = vec![false; vc_graph.len()];
     let mut chosen: Vec<usize> = Vec::new();
-    let mut best_partition = Partition::empty(&model.graph);
-    let mut best_cost = model.misspeculation_cost(&best_partition);
+    let mut best_cost = model
+        .cost_graph()
+        .misspeculation_cost_with(&delta.mask, &mut eval);
     let mut visited = 0u64;
     loop {
-        let mut improved: Option<(usize, Partition, f64)> = None;
+        let mut improved: Option<(usize, f64)> = None;
         for p in 0..vc_graph.len() {
-            if chosen.contains(&p) || vc_graph.immovable[p] {
+            if in_chosen[p] || vc_graph.immovable[p] {
                 continue;
             }
-            if !vc_graph.preds[p].iter().all(|q| chosen.contains(q)) {
+            if !vc_graph.preds[p].iter().all(|&q| in_chosen[q]) {
                 continue;
             }
-            let mut candidate = chosen.clone();
-            candidate.push(p);
-            let seeds: Vec<usize> = candidate.iter().map(|&q| vc_graph.vcs[q]).collect();
             visited += 1;
-            if let Some(part) = Partition::from_seeds(&model.graph, &seeds) {
-                if part.size() > config.max_prefork_size {
-                    continue;
-                }
-                let cost = model.misspeculation_cost(&part);
-                if cost < best_cost - 1e-12 && improved.as_ref().is_none_or(|(_, _, c)| cost < *c)
-                {
-                    improved = Some((p, part, cost));
+            delta.push(&vc_graph.closures[p], node_cost);
+            if delta.size <= config.max_prefork_size {
+                let cost = model
+                    .cost_graph()
+                    .misspeculation_cost_with(&delta.mask, &mut eval);
+                if cost < best_cost - 1e-12 && improved.is_none_or(|(_, c)| cost < c) {
+                    improved = Some((p, cost));
                 }
             }
+            delta.pop(&vc_graph.closures[p], node_cost);
         }
         match improved {
-            Some((p, part, cost)) => {
+            Some((p, cost)) => {
+                delta.push(&vc_graph.closures[p], node_cost);
+                in_chosen[p] = true;
                 chosen.push(p);
-                best_partition = part;
                 best_cost = cost;
             }
             None => break,
         }
     }
+    let best_partition = if chosen.is_empty() {
+        Partition::empty(&model.graph)
+    } else {
+        let seeds: Vec<usize> = chosen.iter().map(|&p| vc_graph.vcs[p]).collect();
+        Partition::from_seeds(&model.graph, &seeds).expect("chosen candidates are movable")
+    };
     SearchResult {
         partition: best_partition,
         cost: best_cost,
@@ -495,6 +749,58 @@ mod tests {
     }
 
     #[test]
+    fn incremental_matches_reference_exactly() {
+        // The incremental search must reproduce the from-scratch oracle
+        // bit-for-bit: same cost, same partition, same search statistics.
+        let sources = [
+            INDUCTION,
+            "
+            fn f(n: int) -> int {
+                let a = 0; let b = 0; let c = 0; let d = 1; let i = 0;
+                while (i < n) {
+                    a = a + 1;
+                    b = b + a;
+                    c = c + b;
+                    d = d * 2;
+                    i = i + 1;
+                }
+                return a + b + c + d;
+            }
+            ",
+            "
+            global t: int;
+            fn bump(v: int) -> int { t = t + v; return t; }
+            fn f(n: int) -> int {
+                let s = 0; let i = 0;
+                while (i < n) {
+                    s = s + bump(i);
+                    i = i + 1;
+                }
+                return s;
+            }
+            ",
+        ];
+        for src in sources {
+            let m = model_for(src, "f");
+            for max_size in [1u64, 4, u64::MAX] {
+                let cfg = SearchConfig {
+                    max_prefork_size: max_size,
+                    ..SearchConfig::default()
+                };
+                let inc = optimal_partition(&m, &cfg);
+                let refr = optimal_partition_reference(&m, &cfg);
+                assert_eq!(inc.cost.to_bits(), refr.cost.to_bits(), "cost");
+                assert_eq!(inc.chosen, refr.chosen, "chosen set");
+                assert_eq!(inc.partition.mask(), refr.partition.mask(), "mask");
+                assert_eq!(inc.partition.size(), refr.partition.size(), "size");
+                assert_eq!(inc.visited, refr.visited, "visited");
+                assert_eq!(inc.pruned_size, refr.pruned_size, "pruned_size");
+                assert_eq!(inc.pruned_bound, refr.pruned_bound, "pruned_bound");
+            }
+        }
+    }
+
+    #[test]
     fn pinned_candidates_are_never_chosen() {
         let src = "
             global t: int;
@@ -578,6 +884,94 @@ mod proptests {
             let r = optimal_partition(&model, &cfg);
             prop_assert!(r.partition.size() <= max_size || r.partition.is_empty());
             prop_assert!(r.cost <= empty_cost + 1e-9);
+        }
+
+        /// The incremental delta-stack evaluation agrees with the
+        /// from-scratch path — partition mask, size, cost, and re-execution
+        /// probabilities — over a random push/pop sequence.
+        #[test]
+        fn incremental_evaluation_matches_from_scratch(
+            updates in proptest::collection::vec((0usize..5, 1i64..6), 1..7),
+            ops in proptest::collection::vec(0usize..16, 1..32),
+        ) {
+            let src = random_loop_source(&updates);
+            let module = spt_frontend::compile(&src).unwrap();
+            let func = module.func_by_name("f").unwrap();
+            let graph = DepGraph::build(
+                &module, func, LoopId::new(0),
+                Profiles::default(), &DepGraphConfig::default(),
+            );
+            let model = LoopCostModel::new(graph);
+            let vc_graph = VcDepGraph::build(&model);
+            let movable: Vec<usize> =
+                (0..vc_graph.len()).filter(|&p| !vc_graph.immovable[p]).collect();
+            prop_assert!(!movable.is_empty() || vc_graph.is_empty() || !ops.is_empty());
+            if movable.is_empty() {
+                return Ok(());
+            }
+            let mut eval = model.evaluator();
+            let mut delta = DeltaMask::new(model.graph.nodes.len());
+            let mut stack: Vec<usize> = Vec::new();
+            for &op in &ops {
+                // Even ops push a (possibly repeated) candidate, odd ops pop.
+                if op % 2 == 0 || stack.is_empty() {
+                    let p = movable[op % movable.len()];
+                    delta.push(&vc_graph.closures[p], &model.graph.cost);
+                    stack.push(p);
+                } else {
+                    let p = stack.pop().unwrap();
+                    delta.pop(&vc_graph.closures[p], &model.graph.cost);
+                }
+                // From-scratch oracle over the distinct members of the stack.
+                let mut seeds: Vec<usize> =
+                    stack.iter().map(|&p| vc_graph.vcs[p]).collect();
+                seeds.sort_unstable();
+                seeds.dedup();
+                let scratch = if seeds.is_empty() {
+                    spt_cost::Partition::empty(&model.graph)
+                } else {
+                    spt_cost::Partition::from_seeds(&model.graph, &seeds).unwrap()
+                };
+                prop_assert_eq!(&delta.mask[..], scratch.mask(), "mask after {:?}", &stack);
+                prop_assert_eq!(delta.size, scratch.size(), "size after {:?}", &stack);
+                let c_inc = model
+                    .cost_graph()
+                    .misspeculation_cost_with(&delta.mask, &mut eval);
+                let c_ref = model.misspeculation_cost(&scratch);
+                prop_assert!((c_inc - c_ref).abs() < 1e-12, "{c_inc} vs {c_ref}");
+                let v_inc = model
+                    .cost_graph()
+                    .reexec_probs_into(&delta.mask, &mut eval)
+                    .to_vec();
+                let v_ref = model.reexec_probs(&scratch);
+                for (a, b) in v_inc.iter().zip(&v_ref) {
+                    prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+                }
+            }
+        }
+
+        /// The incremental search and the from-scratch reference agree on
+        /// random loops and size bounds.
+        #[test]
+        fn search_matches_reference(
+            updates in proptest::collection::vec((0usize..4, 1i64..5), 1..5),
+            max_size in 1u64..60,
+        ) {
+            let src = random_loop_source(&updates);
+            let module = spt_frontend::compile(&src).unwrap();
+            let func = module.func_by_name("f").unwrap();
+            let graph = DepGraph::build(
+                &module, func, LoopId::new(0),
+                Profiles::default(), &DepGraphConfig::default(),
+            );
+            let model = LoopCostModel::new(graph);
+            let cfg = SearchConfig { max_prefork_size: max_size, ..SearchConfig::default() };
+            let inc = optimal_partition(&model, &cfg);
+            let refr = optimal_partition_reference(&model, &cfg);
+            prop_assert_eq!(inc.cost.to_bits(), refr.cost.to_bits());
+            prop_assert_eq!(inc.chosen, refr.chosen);
+            prop_assert_eq!(inc.partition.mask(), refr.partition.mask());
+            prop_assert_eq!(inc.visited, refr.visited);
         }
 
         /// Pruning never changes the optimum (both heuristics are exact).

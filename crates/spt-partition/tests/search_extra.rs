@@ -40,10 +40,13 @@ fn visited_cap_bounds_the_search() {
         ..SearchConfig::default()
     };
     let r = optimal_partition(&model, &capped);
-    assert!(r.visited <= 60, "cap respected (approximately): {}", r.visited);
+    assert!(
+        r.visited <= 60,
+        "cap respected (approximately): {}",
+        r.visited
+    );
     // Still returns *a* legal answer no worse than doing nothing.
-    let empty_cost =
-        model.misspeculation_cost(&spt_cost::Partition::empty(&model.graph));
+    let empty_cost = model.misspeculation_cost(&spt_cost::Partition::empty(&model.graph));
     assert!(r.cost <= empty_cost + 1e-9);
 }
 

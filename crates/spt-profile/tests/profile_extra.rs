@@ -1,11 +1,11 @@
 //! Additional profiling integration tests: host-provided memory images,
 //! multi-run accumulation, float value patterns, and profiler composition.
 
+use spt_ir::Ty;
 use spt_profile::{
     DepKind, EdgeProfile, Interp, LoopProfile, NoProfiler, ProfileCollector, Val, ValuePattern,
     ValueProfile,
 };
-use spt_ir::Ty;
 
 #[test]
 fn run_with_memory_seeds_inputs_from_host() {
@@ -168,7 +168,9 @@ fn collector_dep_and_edge_profiles_agree_on_counts() {
         .unwrap();
     assert_eq!(collector.deps.store_count(func, store), 25);
     // The same-iteration read is intra with probability 1.
-    let pairs = collector.deps.pairs_for_loop(func, spt_ir::loops::LoopId::new(0));
+    let pairs = collector
+        .deps
+        .pairs_for_loop(func, spt_ir::loops::LoopId::new(0));
     let (intra, cross, _far) = pairs.values().fold((0, 0, 0), |acc, &(a, b, c)| {
         (acc.0 + a, acc.1 + b, acc.2 + c)
     });

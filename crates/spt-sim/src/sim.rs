@@ -683,7 +683,11 @@ mod tests {
             .ret
             .unwrap()
             .0;
-        assert_eq!(r.ret.unwrap(), expected, "overflow must only stop, not corrupt");
+        assert_eq!(
+            r.ret.unwrap(),
+            expected,
+            "overflow must only stop, not corrupt"
+        );
     }
 
     #[test]

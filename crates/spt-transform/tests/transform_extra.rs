@@ -62,7 +62,10 @@ fn unrolling_is_a_one_shot_transformation() {
     unroll_loop(m.func_mut(fid), spt_ir::loops::LoopId::new(0), 2).unwrap();
     spt_ir::passes::cleanup(m.func_mut(fid));
     let err = unroll_loop(m.func_mut(fid), spt_ir::loops::LoopId::new(0), 2).unwrap_err();
-    assert!(matches!(err, spt_transform::TransformError::NotCanonical(_)));
+    assert!(matches!(
+        err,
+        spt_transform::TransformError::NotCanonical(_)
+    ));
     // The once-unrolled loop still computes correctly.
     spt_ir::verify::verify_module(&m).expect("verifies");
     for n in [0i64, 3, 4, 5, 17] {
@@ -134,7 +137,11 @@ fn promotion_respects_loads_through_computed_addresses() {
     promote_global_scalars(&m.globals.clone(), m.func_mut(fid));
     spt_ir::passes::cleanup(m.func_mut(fid));
     spt_ir::verify::verify_module(&m).expect("verifies");
-    assert_eq!(run_ret(&m, "f", 10), before, "semantics preserved either way");
+    assert_eq!(
+        run_ret(&m, "f", 10),
+        before,
+        "semantics preserved either way"
+    );
 }
 
 #[test]
