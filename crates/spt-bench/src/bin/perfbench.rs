@@ -9,7 +9,14 @@
 //! search nodes per analysis second — the metric the incremental evaluator
 //! is meant to move.
 //!
+//! `BENCH_pipeline.json` is a **trajectory**, not a snapshot: each run
+//! appends a history entry (older single-snapshot files are absorbed as the
+//! first entry) and the tool prints per-stage deltas against the previous
+//! entry, so a regression shows up as a printed slowdown factor, not a
+//! silently overwritten number.
+//!
 //! Run: `cargo run --release -p spt-bench --bin perfbench`
+//! Smoke check (no file write): `... --bin perfbench -- --smoke`
 
 use spt_bench::{run_benchmark_timed, TimedBenchmarkRun};
 use spt_core::CompilerConfig;
@@ -131,7 +138,115 @@ fn print_mode(label: &str, t: &Totals, threads: usize) {
     );
 }
 
+/// Splits the objects of a JSON array body by brace balancing (entries are
+/// flat-ish objects written by this tool; strings never contain braces).
+fn split_objects(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        out.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Loads prior history entries from `BENCH_pipeline.json`. A legacy
+/// single-snapshot file (no `"history"` key) becomes the first entry.
+fn load_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match text.find("\"history\"") {
+        Some(pos) => {
+            let Some(open) = text[pos..].find('[') else {
+                return Vec::new();
+            };
+            let Some(close) = text.rfind(']') else {
+                return Vec::new();
+            };
+            split_objects(&text[pos + open + 1..close])
+        }
+        None => {
+            let t = text.trim();
+            if t.starts_with('{') {
+                vec![t.to_string()]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Extracts the numeric value following `"key":` inside `scope`.
+fn json_field(scope: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let pos = scope.find(&pat)? + pat.len();
+    let rest = scope[pos..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `"sequential": {...}` sub-object of a history entry, if present.
+fn sequential_scope(entry: &str) -> Option<&str> {
+    let pos = entry.find("\"sequential\"")?;
+    let open = pos + entry[pos..].find('{')?;
+    let close = open + entry[open..].find('}')?;
+    Some(&entry[open..=close])
+}
+
+/// Prints per-stage deltas of this run's sequential totals against the
+/// previous history entry.
+fn print_deltas(prev_entry: &str, seq: &Totals) {
+    let Some(prev) = sequential_scope(prev_entry) else {
+        return;
+    };
+    println!("\nper-stage delta vs previous entry (sequential):");
+    let stages: [(&str, f64); 8] = [
+        ("wall_s", seq.wall_s),
+        ("compile_s", seq.compile_s),
+        ("preprocess_s", seq.preprocess_s),
+        ("profile_s", seq.profile_s),
+        ("analysis_s", seq.analysis_s),
+        ("svp_s", seq.svp_s),
+        ("select_emit_s", seq.select_emit_s),
+        ("sim_s", seq.sim_s),
+    ];
+    for (name, now) in stages {
+        let Some(before) = json_field(prev, name) else {
+            continue;
+        };
+        let factor = if now > 0.0 {
+            before / now
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {name:<14} {before:>9.6}s -> {now:>9.6}s  ({:+.6}s, {factor:.2}x)",
+            now - before
+        );
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     spt_bench::header(
         "perfbench",
         "pipeline wall-time per stage, sequential vs parallel",
@@ -143,6 +258,22 @@ fn main() {
     std::env::set_var("SPT_THREADS", "1");
     let (seq_runs, seq_wall) = run_suite_timed();
     let seq = Totals::from_runs(&seq_runs, seq_wall);
+
+    if smoke {
+        // Quick harness check: one sequential pass, no parallel run, no
+        // file write — just prove the suite compiles, runs, and times.
+        match &saved {
+            Some(v) => std::env::set_var("SPT_THREADS", v),
+            None => std::env::remove_var("SPT_THREADS"),
+        }
+        print_mode("sequential", &seq, 1);
+        assert!(seq.wall_s > 0.0 && seq.profile_s > 0.0 && seq.sim_s > 0.0);
+        if let Some(prev) = load_history("BENCH_pipeline.json").last() {
+            print_deltas(prev, &seq);
+        }
+        println!("\nsmoke pass OK (no BENCH_pipeline.json update)");
+        return;
+    }
 
     // Then the parallel run under the real thread count.
     match &saved {
@@ -190,13 +321,33 @@ fn main() {
             r.stages.search_visited
         );
     }
-    let json = format!(
-        "{{\n  \"config\": \"best\",\n  \"sequential\": {},\n  \"parallel\": {},\n  \
-         \"suite_wall_speedup\": {speedup:.3},\n  \"peak_rss_kb\": {rss},\n  \
-         \"per_benchmark_sequential\": [{per_bench}]\n}}\n",
+    let mut history = load_history("BENCH_pipeline.json");
+    if let Some(prev) = history.last() {
+        print_deltas(prev, &seq);
+    }
+    let entry = format!(
+        "{{\"entry\": {}, \"config\": \"best\", \"sequential\": {}, \"parallel\": {}, \
+         \"suite_wall_speedup\": {speedup:.3}, \"peak_rss_kb\": {rss}, \
+         \"per_benchmark_sequential\": [{per_bench}]}}",
+        history.len(),
         seq.json(1),
         par.json(threads)
     );
+    history.push(entry);
+    let mut json = String::from("{\n  \"history\": [\n");
+    for (i, e) in history.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(e);
+        if i + 1 < history.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json");
+    println!(
+        "wrote BENCH_pipeline.json ({} history entr{})",
+        history.len(),
+        if history.len() == 1 { "y" } else { "ies" }
+    );
 }

@@ -199,9 +199,12 @@ pub fn transform_module_timed(
     spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
     timings.preprocess_s = t.elapsed().as_secs_f64();
 
-    // --- Stage 3: profiling run A.
+    // --- Stage 3: profiling run A. The interpreter (and its pre-decoded
+    // module form) is kept alive so the SVP stage can reuse it for the
+    // value-profiling run instead of re-decoding an unchanged module.
     let t = std::time::Instant::now();
-    let mut collector = run_profile(module, input)?;
+    let interp = Interp::new(module);
+    let mut collector = collect_profile(&interp, input)?;
     timings.profile_s = t.elapsed().as_secs_f64();
 
     // --- Stage 4: pass 1 analysis.
@@ -213,7 +216,22 @@ pub fn transform_module_timed(
     let mut svp_headers: HashSet<(FuncId, BlockId)> = HashSet::new();
     if config.use_svp {
         let t = std::time::Instant::now();
-        let rewrote = svp_stage(module, input, config, &analyses, &mut svp_headers)?;
+        let (targets, loop_phis) = svp_targets(module, config, &analyses);
+        let rewrote = if targets.is_empty() {
+            drop(interp);
+            false
+        } else {
+            let mut vp = ValueProfile::new(targets);
+            vp.threshold = config.svp_threshold;
+            match &input.memory {
+                Some(mem) => {
+                    interp.run_with_memory(&input.entry, &input.args, mem.clone(), &mut vp)?
+                }
+                None => interp.run(&input.entry, &input.args, &mut vp)?,
+            };
+            drop(interp);
+            svp_rewrite(module, loop_phis, &vp, &mut svp_headers)
+        };
         timings.svp_s = t.elapsed().as_secs_f64();
         if rewrote {
             for func in &mut module.funcs {
@@ -362,9 +380,17 @@ fn preprocess(
     }
 }
 
-/// One profiling run with the full collector.
+/// One profiling run with the full collector (decodes the module fresh).
 fn run_profile(module: &Module, input: &ProfilingInput) -> Result<ProfileCollector, PipelineError> {
-    let interp = Interp::new(module);
+    collect_profile(&Interp::new(module), input)
+}
+
+/// One profiling run with the full collector against an already-built
+/// interpreter, so callers holding an [`Interp`] don't re-decode the module.
+fn collect_profile(
+    interp: &Interp<'_>,
+    input: &ProfilingInput,
+) -> Result<ProfileCollector, PipelineError> {
     let mut collector = ProfileCollector::new();
     match &input.memory {
         Some(mem) => {
@@ -526,15 +552,18 @@ fn analyze_loop(
     }
 }
 
-/// Stage 5: identify SVP targets, value-profile them, rewrite the
-/// predictable ones. Returns `true` when anything was rewritten.
-fn svp_stage(
-    module: &mut Module,
-    input: &ProfilingInput,
+/// Stage 5, collection half: identify SVP targets on an unmodified module.
+/// Returns the value-profiling targets and the `(func, header, phi, carrier)`
+/// tuples describing where each one came from.
+#[allow(clippy::type_complexity)]
+fn svp_targets(
+    module: &Module,
     config: &CompilerConfig,
     analyses: &[LoopAnalysis],
-    svp_headers: &mut HashSet<(FuncId, BlockId)>,
-) -> Result<bool, PipelineError> {
+) -> (
+    Vec<(FuncId, InstId, Ty)>,
+    Vec<(FuncId, BlockId, InstId, InstId)>,
+) {
     // Candidate loops: plausible except for cost (or a too-large pre-fork
     // region): SVP exists to remove exactly those residual dependences.
     let mut targets: Vec<(FuncId, InstId, Ty)> = Vec::new();
@@ -580,21 +609,17 @@ fn svp_stage(
             }
         }
     }
-    if targets.is_empty() {
-        return Ok(false);
-    }
+    (targets, loop_phis)
+}
 
-    // Value-profiling run.
-    let mut vp = ValueProfile::new(targets);
-    vp.threshold = config.svp_threshold;
-    {
-        let interp = Interp::new(module);
-        match &input.memory {
-            Some(mem) => interp.run_with_memory(&input.entry, &input.args, mem.clone(), &mut vp)?,
-            None => interp.run(&input.entry, &input.args, &mut vp)?,
-        };
-    }
-
+/// Stage 5, rewrite half: given value-profile results, rewrite the
+/// predictable carriers. Returns `true` when anything was rewritten.
+fn svp_rewrite(
+    module: &mut Module,
+    loop_phis: Vec<(FuncId, BlockId, InstId, InstId)>,
+    vp: &ValueProfile,
+    svp_headers: &mut HashSet<(FuncId, BlockId)>,
+) -> bool {
     // Rewrite predictable carriers.
     let mut rewrote = false;
     for (func_id, header, phi, carrier) in loop_phis {
@@ -621,7 +646,7 @@ fn svp_stage(
             rewrote = true;
         }
     }
-    Ok(rewrote)
+    rewrote
 }
 
 /// Pass 2: apply the §6.1 selection criteria and resolve nest conflicts.

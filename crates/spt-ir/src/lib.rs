@@ -38,6 +38,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod decoded;
 pub mod dom;
 pub mod ids;
 pub mod inst;
@@ -52,6 +53,7 @@ pub mod verify;
 
 pub use builder::FuncBuilder;
 pub use cfg::Cfg;
+pub use decoded::{DBlock, DInst, DKind, DLoopFacts, DVal, DecodedFunc, DecodedModule};
 pub use dom::DomTree;
 pub use ids::{BlockId, FuncId, InstId, RegionId, VarId};
 pub use inst::{Inst, InstKind, Operand};

@@ -5,17 +5,23 @@
 //! executes in a given loop iteration is approximated by
 //! `count(block) / count(header)` (§4.2.3, "violation probability ... how
 //! often the main thread will reach it").
+//!
+//! Counters are dense: per-function `Vec<u64>` rows indexed by block id for
+//! block counts and entries, and per-source-block adjacency lists for edge
+//! counts (block out-degree is almost always ≤ 2, so a linear scan beats a
+//! hash lookup).
 
 use crate::interp::{LoopActivation, Profiler};
 use spt_ir::{BlockId, FuncId};
-use std::collections::HashMap;
 
 /// Block and edge execution counts for a whole module run.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeProfile {
-    block_counts: HashMap<(FuncId, BlockId), u64>,
-    edge_counts: HashMap<(FuncId, BlockId, BlockId), u64>,
-    func_entries: HashMap<FuncId, u64>,
+    /// `block_counts[func][block]`, lazily grown.
+    block_counts: Vec<Vec<u64>>,
+    /// `edge_counts[func][from]` is a `(to, count)` adjacency list.
+    edge_counts: Vec<Vec<Vec<(u32, u64)>>>,
+    func_entries: Vec<u64>,
 }
 
 impl EdgeProfile {
@@ -26,20 +32,29 @@ impl EdgeProfile {
 
     /// Number of times `bb` of `func` executed.
     pub fn block_count(&self, func: FuncId, bb: BlockId) -> u64 {
-        self.block_counts.get(&(func, bb)).copied().unwrap_or(0)
+        self.block_counts
+            .get(func.index())
+            .and_then(|r| r.get(bb.index()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of times the edge `from -> to` was traversed.
     pub fn edge_count(&self, func: FuncId, from: BlockId, to: BlockId) -> u64 {
         self.edge_counts
-            .get(&(func, from, to))
-            .copied()
+            .get(func.index())
+            .and_then(|rows| rows.get(from.index()))
+            .and_then(|list| {
+                list.iter()
+                    .find(|&&(t, _)| t == to.index() as u32)
+                    .map(|&(_, c)| c)
+            })
             .unwrap_or(0)
     }
 
     /// Number of invocations of `func`.
     pub fn entry_count(&self, func: FuncId) -> u64 {
-        self.func_entries.get(&func).copied().unwrap_or(0)
+        self.func_entries.get(func.index()).copied().unwrap_or(0)
     }
 
     /// Probability of taking the edge `from -> to` given `from` executed.
@@ -81,13 +96,36 @@ impl EdgeProfile {
 
 impl Profiler for EdgeProfile {
     fn on_block(&mut self, func: FuncId, from: Option<BlockId>, to: BlockId) {
-        *self.block_counts.entry((func, to)).or_insert(0) += 1;
+        let fi = func.index();
+        if self.block_counts.len() <= fi {
+            self.block_counts.resize_with(fi + 1, Vec::new);
+        }
+        let row = &mut self.block_counts[fi];
+        if row.len() <= to.index() {
+            row.resize(to.index() + 1, 0);
+        }
+        row[to.index()] += 1;
         match from {
             Some(f) => {
-                *self.edge_counts.entry((func, f, to)).or_insert(0) += 1;
+                if self.edge_counts.len() <= fi {
+                    self.edge_counts.resize_with(fi + 1, Vec::new);
+                }
+                let rows = &mut self.edge_counts[fi];
+                if rows.len() <= f.index() {
+                    rows.resize_with(f.index() + 1, Vec::new);
+                }
+                let list = &mut rows[f.index()];
+                let t = to.index() as u32;
+                match list.iter_mut().find(|(tt, _)| *tt == t) {
+                    Some((_, c)) => *c += 1,
+                    None => list.push((t, 1)),
+                }
             }
             None => {
-                *self.func_entries.entry(func).or_insert(0) += 1;
+                if self.func_entries.len() <= fi {
+                    self.func_entries.resize(fi + 1, 0);
+                }
+                self.func_entries[fi] += 1;
             }
         }
     }

@@ -6,9 +6,19 @@
 //! interpreter is the profiling substrate (the paper profiles on hardware;
 //! see DESIGN.md) and also produces the reference outputs that the SPT
 //! simulator's results are validated against.
+//!
+//! The hot loop executes the module's pre-decoded form
+//! ([`spt_ir::DecodedModule`]): one flat opcode per instruction with operands
+//! resolved to value slots or constant bits, per-edge phi-source rows, and
+//! dense loop-membership facts. Results — return value, retired counts,
+//! weighted cycles, memory image and the full profiler event stream — are
+//! bit-identical to the retained [`crate::reference::ReferenceInterp`]
+//! oracle; `tests/engine_equivalence.rs` pins that equivalence over the whole
+//! bench suite.
 
+use spt_ir::decoded::{DKind, DVal, DecodedFunc, DecodedModule};
 use spt_ir::loops::LoopId;
-use spt_ir::{BlockId, Cfg, DomTree, FuncId, InstId, InstKind, LoopForest, Module, Operand, Ty};
+use spt_ir::{BlockId, Cfg, DomTree, FuncId, InstId, LoopForest, Module};
 use std::fmt;
 
 /// A dynamic value: raw 64 bits, interpreted per the defining instruction's
@@ -181,11 +191,12 @@ pub struct FuncInfo {
     pub forest: LoopForest,
 }
 
-/// The interpreter. Holds per-function analyses; reusable across runs of the
-/// same module.
+/// The interpreter. Holds per-function analyses and the module's pre-decoded
+/// execution form; reusable across runs of the same module.
 pub struct Interp<'m> {
     module: &'m Module,
     infos: Vec<FuncInfo>,
+    decoded: DecodedModule,
     /// Base cell address of each region.
     pub region_bases: Vec<usize>,
     memory_size: usize,
@@ -202,25 +213,46 @@ struct RunState<'p, P: Profiler> {
     weighted_cycles: u64,
     fuel: u64,
     next_activation: u64,
+    /// Recycled frame value arrays, so calls do not allocate in steady state.
+    frame_pool: Vec<Vec<Val>>,
+    /// Scratch for the atomic phi-evaluation phase. Only live between the
+    /// evaluate and commit sub-phases of one block entry (never across a
+    /// call), so a single buffer serves all recursion depths.
+    phi_scratch: Vec<(InstId, Val)>,
+}
+
+/// Reads a pre-resolved operand against a frame's values.
+#[inline(always)]
+fn dval(dv: DVal, values: &[Val]) -> Val {
+    match dv {
+        DVal::Slot(i) => values[i as usize],
+        DVal::Bits(b) => Val(b),
+    }
 }
 
 impl<'m> Interp<'m> {
-    /// Prepares an interpreter for `module`.
+    /// Prepares an interpreter for `module`: per-function analyses plus the
+    /// decoded execution form, both computed once and shared by every run.
     pub fn new(module: &'m Module) -> Self {
-        let infos = module
-            .funcs
-            .iter()
-            .map(|f| {
-                let cfg = Cfg::compute(f);
-                let dom = DomTree::compute(&cfg);
-                let forest = LoopForest::compute(f, &cfg, &dom);
-                FuncInfo { cfg, forest }
-            })
-            .collect();
         let (region_bases, memory_size) = module.memory_layout();
+        let mut infos = Vec::with_capacity(module.funcs.len());
+        let mut dfuncs = Vec::with_capacity(module.funcs.len());
+        for f in &module.funcs {
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(f, &cfg, &dom);
+            dfuncs.push(DecodedFunc::decode(f, &cfg, &dom, &forest, &region_bases));
+            infos.push(FuncInfo { cfg, forest });
+        }
+        let decoded = DecodedModule {
+            funcs: dfuncs,
+            region_bases: region_bases.clone(),
+            memory_size,
+        };
         Interp {
             module,
             infos,
+            decoded,
             region_bases,
             memory_size,
             fuel: 500_000_000,
@@ -231,6 +263,11 @@ impl<'m> Interp<'m> {
     /// The analysis info for a function.
     pub fn info(&self, func: FuncId) -> &FuncInfo {
         &self.infos[func.index()]
+    }
+
+    /// The module's pre-decoded execution form.
+    pub fn decoded(&self) -> &DecodedModule {
+        &self.decoded
     }
 
     /// Builds the initial memory image (globals' initializers applied).
@@ -286,6 +323,8 @@ impl<'m> Interp<'m> {
             weighted_cycles: 0,
             fuel: self.fuel,
             next_activation: 0,
+            frame_pool: Vec::new(),
+            phi_scratch: Vec::new(),
         };
         let ret = self.call(func, args, &mut state, 0)?;
         Ok(InterpResult {
@@ -306,127 +345,145 @@ impl<'m> Interp<'m> {
         if depth >= self.max_depth {
             return Err(InterpError::StackOverflow);
         }
-        let func = self.module.func(func_id);
-        let info = &self.infos[func_id.index()];
-        let mut values: Vec<Val> = vec![Val(0); func.insts.len()];
+        let df = self.decoded.func(func_id);
+        let mut values: Vec<Val> = state.frame_pool.pop().unwrap_or_default();
+        values.clear();
+        values.resize(df.num_values(), Val(0));
         let mut loop_stack: Vec<LoopActivation> = Vec::new();
 
-        let mut block = func.entry;
+        let mut block = df.entry;
         let mut from: Option<BlockId> = None;
         state.profiler.on_block(func_id, None, block);
 
         'blocks: loop {
             // Loop bookkeeping for the transfer `from -> block`.
-            self.update_loops(func_id, info, from, block, &mut loop_stack, state);
+            self.update_loops(func_id, df, from, block, &mut loop_stack, state);
 
-            // Phase 1: evaluate phis atomically against the incoming edge.
-            let insts = &func.block(block).insts;
-            let mut phi_vals: Vec<(InstId, Val)> = Vec::new();
-            for &i in insts {
-                if let InstKind::Phi { args: phi_args } = &func.inst(i).kind {
-                    let Some(pred) = from else {
+            let b = &df.blocks[block.index()];
+
+            // Phase 1: evaluate leading phis atomically against the incoming
+            // edge, then commit.
+            if !b.phis.is_empty() {
+                let Some(pred) = from else {
+                    return Err(InterpError::Malformed(format!(
+                        "phi {} in entry block of {}",
+                        b.phis[0], df.name
+                    )));
+                };
+                let srcs = match b.preds.iter().position(|&p| p == pred) {
+                    Some(pi) => &b.phi_srcs[pi],
+                    None => {
                         return Err(InterpError::Malformed(format!(
-                            "phi {i} in entry block of {}",
-                            func.name
-                        )));
-                    };
-                    let Some((_, op)) = phi_args.iter().find(|(bb, _)| *bb == pred) else {
+                            "phi {} missing arg for pred {pred}",
+                            b.phis[0]
+                        )))
+                    }
+                };
+                state.phi_scratch.clear();
+                for (k, &i) in b.phis.iter().enumerate() {
+                    let Some(src) = srcs[k] else {
                         return Err(InterpError::Malformed(format!(
                             "phi {i} missing arg for pred {pred}"
                         )));
                     };
-                    phi_vals.push((i, self.operand(*op, &values)));
-                } else {
-                    break;
+                    let v = dval(src, &values);
+                    state.phi_scratch.push((i, v));
                 }
-            }
-            for (i, v) in phi_vals {
-                values[i.index()] = v;
-                state.profiler.on_def(func_id, i, v, &loop_stack);
-                self.retire(func_id, i, 0, &loop_stack, state)?;
+                for k in 0..state.phi_scratch.len() {
+                    let (i, v) = state.phi_scratch[k];
+                    values[i.index()] = v;
+                    state.profiler.on_def(func_id, i, v, &loop_stack);
+                    self.retire(func_id, i, 0, &loop_stack, state)?;
+                }
             }
 
-            // Phase 2: execute remaining instructions.
-            for &i in insts {
-                let inst = func.inst(i);
-                if matches!(inst.kind, InstKind::Phi { .. }) {
-                    continue;
-                }
-                let latency = inst.latency();
-                match &inst.kind {
-                    InstKind::Param { index } => {
-                        let v = args.get(*index).copied().unwrap_or(Val(0));
+            // Phase 2: execute the block body.
+            for &i in b.body.iter() {
+                let di = &df.insts[i.index()];
+                let latency = di.latency;
+                match &di.kind {
+                    DKind::Param { index } => {
+                        let v = args.get(*index as usize).copied().unwrap_or(Val(0));
                         values[i.index()] = v;
                     }
-                    InstKind::Binary { op, lhs, rhs } => {
-                        let a = self.operand(*lhs, &values);
-                        let b = self.operand(*rhs, &values);
-                        let v = match inst.ty.unwrap_or(Ty::I64) {
-                            Ty::I64 => Val::from_i64(op.eval_i64(a.as_i64(), b.as_i64())),
-                            Ty::F64 => Val::from_f64(op.eval_f64(a.as_f64(), b.as_f64())),
-                        };
+                    DKind::BinI64 { op, lhs, rhs } => {
+                        let a = dval(*lhs, &values);
+                        let b2 = dval(*rhs, &values);
+                        let v = Val::from_i64(op.eval_i64(a.as_i64(), b2.as_i64()));
                         values[i.index()] = v;
                         state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::Unary { op, val } => {
-                        let a = self.operand(*val, &values);
-                        let v = match (inst.ty.unwrap_or(Ty::I64), op) {
-                            (Ty::F64, spt_ir::UnOp::IntToFloat) => Val::from_f64(a.as_i64() as f64),
-                            (Ty::I64, spt_ir::UnOp::FloatToInt) => Val::from_i64(a.as_f64() as i64),
-                            (Ty::I64, _) => Val::from_i64(op.eval_i64(a.as_i64())),
-                            (Ty::F64, _) => Val::from_f64(op.eval_f64(a.as_f64())),
-                        };
+                    DKind::BinF64 { op, lhs, rhs } => {
+                        let a = dval(*lhs, &values);
+                        let b2 = dval(*rhs, &values);
+                        let v = Val::from_f64(op.eval_f64(a.as_f64(), b2.as_f64()));
                         values[i.index()] = v;
                         state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::Cmp {
-                        op,
-                        operand_ty,
-                        lhs,
-                        rhs,
-                    } => {
-                        let a = self.operand(*lhs, &values);
-                        let b = self.operand(*rhs, &values);
-                        let t = match operand_ty {
-                            Ty::I64 => op.eval_i64(a.as_i64(), b.as_i64()),
-                            Ty::F64 => op.eval_f64(a.as_f64(), b.as_f64()),
-                        };
+                    DKind::UnI64 { op, val } => {
+                        let v = Val::from_i64(op.eval_i64(dval(*val, &values).as_i64()));
+                        values[i.index()] = v;
+                        state.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::UnF64 { op, val } => {
+                        let v = Val::from_f64(op.eval_f64(dval(*val, &values).as_f64()));
+                        values[i.index()] = v;
+                        state.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::IntToFloat { val } => {
+                        let v = Val::from_f64(dval(*val, &values).as_i64() as f64);
+                        values[i.index()] = v;
+                        state.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::FloatToInt { val } => {
+                        let v = Val::from_i64(dval(*val, &values).as_f64() as i64);
+                        values[i.index()] = v;
+                        state.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::CmpI64 { op, lhs, rhs } => {
+                        let t =
+                            op.eval_i64(dval(*lhs, &values).as_i64(), dval(*rhs, &values).as_i64());
                         let v = Val::from_i64(t as i64);
                         values[i.index()] = v;
                         state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::Copy { val } => {
-                        let v = self.operand(*val, &values);
+                    DKind::CmpF64 { op, lhs, rhs } => {
+                        let t =
+                            op.eval_f64(dval(*lhs, &values).as_f64(), dval(*rhs, &values).as_f64());
+                        let v = Val::from_i64(t as i64);
                         values[i.index()] = v;
                         state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::RegionBase { region } => {
-                        let base = if region.is_unknown() {
-                            0
-                        } else {
-                            self.region_bases[region.index()]
-                        };
-                        values[i.index()] = Val::from_i64(base as i64);
+                    DKind::Copy { val } => {
+                        let v = dval(*val, &values);
+                        values[i.index()] = v;
+                        state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::Load { addr, .. } => {
-                        let a = self.operand(*addr, &values).as_i64();
+                    DKind::Const { bits } => {
+                        values[i.index()] = Val(*bits);
+                    }
+                    DKind::Load { addr } => {
+                        let a = dval(*addr, &values).as_i64();
                         let cell = self.check_addr(a, &state.memory)?;
                         let v = Val(state.memory[cell]);
                         values[i.index()] = v;
                         state.profiler.on_load(func_id, i, a, v, &loop_stack);
                         state.profiler.on_def(func_id, i, v, &loop_stack);
                     }
-                    InstKind::Store { addr, val, .. } => {
-                        let a = self.operand(*addr, &values).as_i64();
-                        let v = self.operand(*val, &values);
+                    DKind::Store { addr, val } => {
+                        let a = dval(*addr, &values).as_i64();
+                        let v = dval(*val, &values);
                         let cell = self.check_addr(a, &state.memory)?;
                         state.memory[cell] = v.0;
                         state.profiler.on_store(func_id, i, a, v, &loop_stack);
                     }
-                    InstKind::Call { callee, args } => {
-                        let mut call_args = Vec::with_capacity(args.len());
-                        for a in args {
-                            call_args.push(self.operand(*a, &values));
+                    DKind::Call {
+                        callee,
+                        args: cargs,
+                    } => {
+                        let mut call_args = Vec::with_capacity(cargs.len());
+                        for a in cargs.iter() {
+                            call_args.push(dval(*a, &values));
                         }
                         state.profiler.on_call_enter(func_id, i, *callee);
                         let ret = self.call(*callee, &call_args, state, depth + 1)?;
@@ -436,32 +493,35 @@ impl<'m> Interp<'m> {
                             state.profiler.on_def(func_id, i, v, &loop_stack);
                         }
                     }
-                    InstKind::VarLoad { .. } | InstKind::VarStore { .. } => {
+                    DKind::Unsupported => {
                         return Err(InterpError::Malformed(
                             "interpreter requires SSA form (run mem2reg first)".into(),
                         ));
                     }
-                    InstKind::Jump { target } => {
+                    DKind::Jump { target } => {
                         self.retire(func_id, i, latency, &loop_stack, state)?;
                         state.profiler.on_block(func_id, Some(block), *target);
                         from = Some(block);
                         block = *target;
                         continue 'blocks;
                     }
-                    InstKind::Branch {
+                    DKind::Branch {
                         cond,
                         then_bb,
                         else_bb,
                     } => {
-                        let c = self.operand(*cond, &values);
-                        let target = if c.is_truthy() { *then_bb } else { *else_bb };
+                        let target = if dval(*cond, &values).is_truthy() {
+                            *then_bb
+                        } else {
+                            *else_bb
+                        };
                         self.retire(func_id, i, latency, &loop_stack, state)?;
                         state.profiler.on_block(func_id, Some(block), target);
                         from = Some(block);
                         block = target;
                         continue 'blocks;
                     }
-                    InstKind::Ret { val } => {
+                    DKind::Ret { val } => {
                         self.retire(func_id, i, latency, &loop_stack, state)?;
                         // Exit all remaining loops.
                         while let Some(act) = loop_stack.pop() {
@@ -471,18 +531,22 @@ impl<'m> Interp<'m> {
                                 &loop_stack,
                             );
                         }
-                        return Ok(val.map(|v| self.operand(v, &values)));
+                        let r = val.map(|v| dval(v, &values));
+                        state.frame_pool.push(values);
+                        return Ok(r);
                     }
-                    InstKind::SptFork { .. } | InstKind::SptKill { .. } => {
+                    DKind::SptFork { .. } | DKind::SptKill { .. } => {
                         // Sequential semantics: SPT markers are no-ops.
                     }
-                    InstKind::Phi { .. } => unreachable!("handled in phase 1"),
+                    // A non-leading phi: silently skipped, exactly like the
+                    // reference engine's phase-2 `continue` (no retire).
+                    DKind::SkippedPhi => continue,
                 }
                 self.retire(func_id, i, latency, &loop_stack, state)?;
             }
             return Err(InterpError::Malformed(format!(
                 "block {block} of {} fell through without terminator",
-                func.name
+                df.name
             )));
         }
     }
@@ -507,15 +571,16 @@ impl<'m> Interp<'m> {
     fn update_loops<P: Profiler>(
         &self,
         func_id: FuncId,
-        info: &FuncInfo,
+        df: &DecodedFunc,
         from: Option<BlockId>,
         to: BlockId,
         loop_stack: &mut Vec<LoopActivation>,
         state: &mut RunState<'_, P>,
     ) {
+        let facts = &df.facts;
         // Pop loops that do not contain `to`.
         while let Some(top) = loop_stack.last() {
-            if info.forest.get(top.loop_id).contains(to) {
+            if facts.loop_contains(top.loop_id, to) {
                 break;
             }
             let act = loop_stack.pop().expect("nonempty");
@@ -524,9 +589,9 @@ impl<'m> Interp<'m> {
                 .on_loop(func_id, LoopEvent::Exit(act.loop_id), loop_stack);
         }
         // Header transitions: iterate (back edge from inside) or enter.
-        if let Some(lid) = info.forest.ids().find(|&l| info.forest.get(l).header == to) {
+        if let Some(lid) = facts.header_loop[to.index()] {
             let is_active_top = loop_stack.last().map(|a| a.loop_id) == Some(lid);
-            let from_inside = from.is_some_and(|f| info.forest.get(lid).contains(f));
+            let from_inside = from.is_some_and(|f| facts.loop_contains(lid, f));
             if is_active_top && from_inside {
                 let top = loop_stack.last_mut().expect("active loop on stack");
                 top.iter += 1;
@@ -545,15 +610,6 @@ impl<'m> Interp<'m> {
                     .profiler
                     .on_loop(func_id, LoopEvent::Enter(lid), loop_stack);
             }
-        }
-    }
-
-    #[inline]
-    fn operand(&self, op: Operand, values: &[Val]) -> Val {
-        match op {
-            Operand::Inst(id) => values[id.index()],
-            Operand::ConstI64(v) => Val::from_i64(v),
-            Operand::ConstF64Bits(bits) => Val(bits),
         }
     }
 
@@ -730,5 +786,28 @@ mod tests {
         assert_eq!(r.ret.unwrap().as_i64(), 9);
         assert_eq!(p.stores, 8);
         assert_eq!(p.loads, 1);
+    }
+
+    #[test]
+    fn dense_matches_reference_on_recursion_and_memory() {
+        let src = "
+            global buf[32]: int;
+            fn fill(n: int) -> int {
+                let k = 0;
+                while (k < n) { buf[k] = k * 3; k = k + 1; }
+                return buf[n - 1];
+            }
+            fn main(n: int) -> int { return fill(n) + fill(n / 2); }
+        ";
+        let module = spt_frontend::compile(src).unwrap();
+        let dense = Interp::new(&module);
+        let reference = crate::reference::ReferenceInterp::new(&module);
+        let a = dense
+            .run("main", &[Val::from_i64(20)], &mut NoProfiler)
+            .unwrap();
+        let b = reference
+            .run("main", &[Val::from_i64(20)], &mut NoProfiler)
+            .unwrap();
+        assert_eq!(a, b);
     }
 }

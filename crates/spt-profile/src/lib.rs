@@ -24,6 +24,7 @@ pub mod dep_profile;
 pub mod edge_profile;
 pub mod interp;
 pub mod loop_profile;
+pub mod reference;
 pub mod value_profile;
 
 pub use collect::ProfileCollector;
@@ -33,4 +34,5 @@ pub use interp::{
     Interp, InterpError, InterpResult, LoopActivation, LoopEvent, NoProfiler, Profiler, Val,
 };
 pub use loop_profile::LoopProfile;
+pub use reference::ReferenceInterp;
 pub use value_profile::{ValuePattern, ValueProfile};

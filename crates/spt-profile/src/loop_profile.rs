@@ -8,6 +8,11 @@
 //!   spent inside (selected) loops, *including* cycles in called functions;
 //! * Figure 17 — average dynamic loop body size (instructions per
 //!   iteration).
+//!
+//! Stats live in a flat arena; the active loop context carries arena indices
+//! so the per-instruction hot path ([`Profiler::on_inst`]) is a plain slice
+//! walk with direct indexing — the `(FuncId, LoopId)` map is consulted only
+//! on loop-enter events.
 
 use crate::interp::{LoopActivation, LoopEvent, Profiler};
 use spt_ir::loops::LoopId;
@@ -61,10 +66,15 @@ impl LoopStats {
 /// context" maintained across call boundaries).
 #[derive(Clone, Debug, Default)]
 pub struct LoopProfile {
-    stats: HashMap<(FuncId, LoopId), LoopStats>,
+    /// Flat stats arena, paralleled by `keys`.
+    arena: Vec<LoopStats>,
+    keys: Vec<(FuncId, LoopId)>,
+    /// `(func, loop) -> arena index`; touched only on loop events.
+    index: HashMap<(FuncId, LoopId), u32>,
     /// Active loop context across frames: loops of the current frame are
-    /// pushed/popped by loop events, a call pushes a frame marker.
-    context: Vec<(FuncId, LoopId)>,
+    /// pushed/popped by loop events, a call pushes a frame marker. Each
+    /// entry carries its arena index for the `on_inst` fast path.
+    context: Vec<(FuncId, LoopId, u32)>,
     frame_marks: Vec<usize>,
     /// Total instructions retired in the run.
     pub total_insts: u64,
@@ -78,11 +88,20 @@ impl LoopProfile {
         Self::default()
     }
 
+    #[inline]
+    fn slot(&mut self, func: FuncId, loop_id: LoopId) -> u32 {
+        *self.index.entry((func, loop_id)).or_insert_with(|| {
+            self.arena.push(LoopStats::default());
+            self.keys.push((func, loop_id));
+            (self.arena.len() - 1) as u32
+        })
+    }
+
     /// Stats for one loop.
     pub fn stats(&self, func: FuncId, loop_id: LoopId) -> LoopStats {
-        self.stats
+        self.index
             .get(&(func, loop_id))
-            .copied()
+            .map(|&i| self.arena[i as usize])
             .unwrap_or_default()
     }
 
@@ -98,7 +117,12 @@ impl LoopProfile {
 
     /// Iterates over all `(func, loop, stats)` entries, sorted.
     pub fn iter(&self) -> Vec<(FuncId, LoopId, LoopStats)> {
-        let mut out: Vec<_> = self.stats.iter().map(|(&(f, l), &s)| (f, l, s)).collect();
+        let mut out: Vec<_> = self
+            .keys
+            .iter()
+            .zip(&self.arena)
+            .map(|(&(f, l), &s)| (f, l, s))
+            .collect();
         out.sort_by_key(|&(f, l, _)| (f, l));
         out
     }
@@ -108,8 +132,8 @@ impl Profiler for LoopProfile {
     fn on_inst(&mut self, _func: FuncId, _inst: InstId, latency: u64, _loops: &[LoopActivation]) {
         self.total_insts += 1;
         self.total_cycles += latency;
-        for &(f, l) in &self.context {
-            let s = self.stats.entry((f, l)).or_default();
+        for &(_, _, idx) in &self.context {
+            let s = &mut self.arena[idx as usize];
             s.insts += 1;
             s.cycles += latency;
         }
@@ -118,15 +142,22 @@ impl Profiler for LoopProfile {
     fn on_loop(&mut self, func: FuncId, event: LoopEvent, _loops: &[LoopActivation]) {
         match event {
             LoopEvent::Enter(l) => {
-                self.context.push((func, l));
+                let idx = self.slot(func, l);
+                self.context.push((func, l, idx));
                 // `total_iters` counts Iterate events only: for a loop that
                 // exits at its header after t body executions, the header
                 // runs t+1 times — one Enter plus t Iterates — so Iterates
                 // alone equal the trip count.
-                self.stats.entry((func, l)).or_default().invocations += 1;
+                self.arena[idx as usize].invocations += 1;
             }
             LoopEvent::Iterate(l) => {
-                self.stats.entry((func, l)).or_default().total_iters += 1;
+                // The iterating loop is the innermost active one in almost
+                // every case; fall back to the map otherwise.
+                let idx = match self.context.last() {
+                    Some(&(f, ll, idx)) if f == func && ll == l => idx,
+                    _ => self.slot(func, l),
+                };
+                self.arena[idx as usize].total_iters += 1;
             }
             LoopEvent::Exit(l) => {
                 // Pop the matching entry (must be the innermost of this
@@ -134,7 +165,7 @@ impl Profiler for LoopProfile {
                 if let Some(pos) = self
                     .context
                     .iter()
-                    .rposition(|&(f, ll)| f == func && ll == l)
+                    .rposition(|&(f, ll, _)| f == func && ll == l)
                 {
                     self.context.remove(pos);
                 }

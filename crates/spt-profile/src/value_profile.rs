@@ -14,7 +14,7 @@
 
 use crate::interp::{LoopActivation, Profiler, Val};
 use spt_ir::{FuncId, InstId, Ty};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A detected value pattern with its hit ratio over the profiled run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -93,11 +93,21 @@ impl SeqStats {
 }
 
 /// Value-sequence profile for a set of target definitions.
+///
+/// Target membership is a dense per-function row of arena slots (`slot + 1`,
+/// 0 = not a target) so the per-definition hot path
+/// ([`Profiler::on_def`], fired for *every* value the interpreter produces)
+/// is two bounds-checked indexes instead of a hash probe.
 #[derive(Clone, Debug)]
 pub struct ValueProfile {
-    targets: HashSet<(FuncId, InstId)>,
-    float_targets: HashSet<(FuncId, InstId)>,
-    stats: HashMap<(FuncId, InstId), SeqStats>,
+    /// `slots[func][inst]` is `arena index + 1`, or 0 for non-targets.
+    slots: Vec<Vec<u32>>,
+    /// Sorted `(func, inst)` list of all registered targets.
+    targets: Vec<(FuncId, InstId)>,
+    /// Parallel to `targets`' arena: per-target float flag (strides are
+    /// integer-only).
+    is_float: Vec<bool>,
+    stats: Vec<SeqStats>,
     /// Confidence bar for pattern classification (default 0.95; the paper
     /// requires "acceptably low" misprediction cost).
     pub threshold: f64,
@@ -107,33 +117,57 @@ impl ValueProfile {
     /// Creates a profile that records the given `(func, inst)` definitions.
     /// `tys` marks which targets are floats (strides are integer-only).
     pub fn new(targets: impl IntoIterator<Item = (FuncId, InstId, Ty)>) -> Self {
-        let mut set = HashSet::new();
-        let mut floats = HashSet::new();
+        let mut prof = ValueProfile {
+            slots: Vec::new(),
+            targets: Vec::new(),
+            is_float: Vec::new(),
+            stats: Vec::new(),
+            threshold: 0.95,
+        };
         for (f, i, ty) in targets {
-            set.insert((f, i));
-            if ty == Ty::F64 {
-                floats.insert((f, i));
+            let fi = f.index();
+            if prof.slots.len() <= fi {
+                prof.slots.resize_with(fi + 1, Vec::new);
+            }
+            let row = &mut prof.slots[fi];
+            if row.len() <= i.index() {
+                row.resize(i.index() + 1, 0);
+            }
+            let slot = &mut row[i.index()];
+            if *slot == 0 {
+                prof.targets.push((f, i));
+                prof.is_float.push(ty == Ty::F64);
+                prof.stats.push(SeqStats::default());
+                *slot = prof.stats.len() as u32;
+            } else if ty == Ty::F64 {
+                prof.is_float[(*slot - 1) as usize] = true;
             }
         }
-        ValueProfile {
-            targets: set,
-            float_targets: floats,
-            stats: HashMap::new(),
-            threshold: 0.95,
+        prof.targets.sort_unstable();
+        prof
+    }
+
+    #[inline]
+    fn slot_of(&self, func: FuncId, inst: InstId) -> Option<usize> {
+        let s = *self.slots.get(func.index())?.get(inst.index())?;
+        if s == 0 {
+            None
+        } else {
+            Some((s - 1) as usize)
         }
     }
 
     /// The classified pattern and its hit ratio for one target.
     pub fn pattern(&self, func: FuncId, inst: InstId) -> (ValuePattern, f64) {
-        match self.stats.get(&(func, inst)) {
-            Some(s) => s.classify(self.threshold),
+        match self.slot_of(func, inst) {
+            Some(s) => self.stats[s].classify(self.threshold),
             None => (ValuePattern::Unpredictable, 0.0),
         }
     }
 
     /// Number of observations for a target.
     pub fn samples(&self, func: FuncId, inst: InstId) -> u64 {
-        self.stats.get(&(func, inst)).map_or(0, |s| s.count)
+        self.slot_of(func, inst).map_or(0, |s| self.stats[s].count)
     }
 
     /// Iterates over all targets with a predictable pattern.
@@ -145,19 +179,20 @@ impl ValueProfile {
                 out.push((f, i, pat, ratio));
             }
         }
-        out.sort_by_key(|&(f, i, _, _)| (f, i));
         out
     }
 }
 
 impl Profiler for ValueProfile {
     fn on_def(&mut self, func: FuncId, inst: InstId, value: Val, _loops: &[LoopActivation]) {
-        if self.targets.contains(&(func, inst)) {
-            let is_float = self.float_targets.contains(&(func, inst));
-            self.stats
-                .entry((func, inst))
-                .or_default()
-                .observe(value.0, is_float);
+        if let Some(row) = self.slots.get(func.index()) {
+            if let Some(&slot) = row.get(inst.index()) {
+                if slot != 0 {
+                    let s = (slot - 1) as usize;
+                    let is_float = self.is_float[s];
+                    self.stats[s].observe(value.0, is_float);
+                }
+            }
         }
     }
 }

@@ -45,13 +45,28 @@ impl Default for CacheConfig {
     }
 }
 
+/// Absent line marker; never a real line tag (cells are memory indexes, far
+/// below `u64::MAX * line_cells`).
+const NO_LINE: u64 = u64::MAX;
+
+/// One cache level as a single flat tag array: `ways` slots per set, kept in
+/// LRU order (slot 0 = most recent). Hit and miss both shift a short fixed
+/// run of the array with `copy_within` — same replacement behavior as a
+/// per-set `Vec` with `remove`/`insert(0)`/`truncate`, without per-set
+/// allocations or length bookkeeping.
 #[derive(Clone, Debug)]
 struct Level {
     line_cells: usize,
     sets: usize,
     ways: usize,
-    /// `tags[set]` = lines in LRU order (front = most recent).
-    tags: Vec<Vec<u64>>,
+    /// `log2(line_cells)` when `line_cells` is a power of two (the default
+    /// geometry), letting the per-access divide/modulo collapse to
+    /// shift/mask.
+    line_shift: Option<u32>,
+    /// `sets - 1` when `sets` is a power of two.
+    set_mask: Option<u64>,
+    /// `tags[set * ways .. (set + 1) * ways]` = lines in LRU order.
+    tags: Vec<u64>,
 }
 
 impl Level {
@@ -60,22 +75,37 @@ impl Level {
             line_cells,
             sets,
             ways,
-            tags: vec![Vec::new(); sets],
+            line_shift: line_cells
+                .is_power_of_two()
+                .then(|| line_cells.trailing_zeros()),
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            tags: vec![NO_LINE; sets * ways],
         }
     }
 
     /// Returns `true` on hit; inserts the line either way.
+    #[inline]
     fn access(&mut self, cell: u64) -> bool {
-        let line = cell / self.line_cells as u64;
-        let set = (line % self.sets as u64) as usize;
-        let lines = &mut self.tags[set];
-        if let Some(pos) = lines.iter().position(|&t| t == line) {
-            let t = lines.remove(pos);
-            lines.insert(0, t);
+        let line = match self.line_shift {
+            Some(sh) => cell >> sh,
+            None => cell / self.line_cells as u64,
+        };
+        let set = match self.set_mask {
+            Some(m) => (line & m) as usize,
+            None => (line % self.sets as u64) as usize,
+        };
+        let off = set * self.ways;
+        let lines = &mut self.tags[off..off + self.ways];
+        if lines[0] == line {
+            return true;
+        }
+        if let Some(pos) = lines[1..].iter().position(|&t| t == line) {
+            lines.copy_within(0..pos + 1, 1);
+            lines[0] = line;
             true
         } else {
-            lines.insert(0, line);
-            lines.truncate(self.ways);
+            lines.copy_within(0..self.ways - 1, 1);
+            lines[0] = line;
             false
         }
     }
@@ -109,6 +139,7 @@ impl Cache {
     }
 
     /// Performs an access to `cell` and returns its latency.
+    #[inline]
     pub fn access(&mut self, cell: u64) -> u64 {
         self.accesses += 1;
         if self.l1.access(cell) {

@@ -31,6 +31,7 @@
 pub mod cache;
 pub mod machine;
 pub mod predictor;
+pub mod reference;
 pub mod sim;
 pub mod stats;
 pub mod thread;
@@ -38,5 +39,7 @@ pub mod thread;
 pub use cache::{Cache, CacheConfig};
 pub use machine::MachineConfig;
 pub use predictor::BranchPredictor;
+pub use reference::ReferenceSimulator;
 pub use sim::{SimError, SimResult, SptSimulator};
 pub use stats::LoopSimStats;
+pub use thread::SpecBuf;

@@ -1,13 +1,17 @@
 //! A 2-bit saturating-counter branch predictor, shared by both cores.
 
 use spt_ir::{FuncId, InstId};
-use std::collections::HashMap;
 
 /// Per-branch 2-bit saturating counters (0–1 predict not-taken, 2–3 predict
 /// taken); new branches start weakly taken, reflecting backward-branch bias.
+///
+/// Counters live in dense per-function rows indexed by instruction id, lazily
+/// grown on first touch (new slots initialize to the weakly-taken state, so
+/// growth is observationally identical to the entry-on-demand map it
+/// replaced).
 #[derive(Clone, Debug, Default)]
 pub struct BranchPredictor {
-    table: HashMap<(FuncId, InstId), u8>,
+    table: Vec<Vec<u8>>,
     /// Total predictions made.
     pub predictions: u64,
     /// Mispredictions.
@@ -21,8 +25,17 @@ impl BranchPredictor {
     }
 
     /// Predicts, updates, and returns `true` when the prediction was wrong.
+    #[inline]
     pub fn mispredicted(&mut self, func: FuncId, inst: InstId, taken: bool) -> bool {
-        let counter = self.table.entry((func, inst)).or_insert(2);
+        let fi = func.index();
+        if self.table.len() <= fi {
+            self.table.resize_with(fi + 1, Vec::new);
+        }
+        let row = &mut self.table[fi];
+        if row.len() <= inst.index() {
+            row.resize(inst.index() + 1, 2);
+        }
+        let counter = &mut row[inst.index()];
         let predicted_taken = *counter >= 2;
         if taken && *counter < 3 {
             *counter += 1;

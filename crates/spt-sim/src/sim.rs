@@ -16,8 +16,8 @@ use crate::cache::Cache;
 use crate::machine::MachineConfig;
 use crate::predictor::BranchPredictor;
 use crate::stats::LoopSimStats;
-use crate::thread::{ExecError, ExecRecord, MemView, StepEvent, Thread, Timing};
-use spt_ir::{BlockId, Cfg, DomTree, FuncId, Module};
+use crate::thread::{ExecError, ExecRecord, MemView, SpecBuf, StepEvent, Thread, Timing};
+use spt_ir::{BlockId, DecodedModule, FuncId, Module};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -142,19 +142,20 @@ impl SptSimulator {
         let func = module
             .func_by_name(entry)
             .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
-        let (bases, _) = module.memory_layout();
+        let decoded = DecodedModule::new(module);
         Run {
-            module,
-            bases,
+            decoded: &decoded,
             config: &self.config,
             memory,
             cycle: 0,
             insts: 0,
             cache: Cache::new(self.config.cache.clone()),
             predictor: BranchPredictor::new(),
-            loops: HashMap::new(),
+            loops: Vec::new(),
             active_tags: Vec::new(),
-            latch_cache: HashMap::new(),
+            spec_buf: SpecBuf::new(self.config.spec_buffer_entries),
+            trace_pool: Vec::new(),
+            spec_thread: None,
         }
         .run(func, args)
     }
@@ -167,24 +168,54 @@ impl Default for SptSimulator {
 }
 
 struct Run<'m> {
-    module: &'m Module,
-    bases: Vec<usize>,
+    decoded: &'m DecodedModule,
     config: &'m MachineConfig,
     memory: Vec<u64>,
     cycle: u64,
     insts: u64,
     cache: Cache,
     predictor: BranchPredictor,
-    loops: HashMap<u32, LoopSimStats>,
-    /// `(tag, entry cycle)` of loops the main thread is currently inside.
-    active_tags: Vec<(u32, u64)>,
-    /// Cached latch block per `(func, header)` for spec-thread phi startup.
-    latch_cache: HashMap<(FuncId, BlockId), Option<BlockId>>,
+    /// Per-tag loop stats. Tags are few (one per SPT loop), so a
+    /// linear-scanned vector beats a hash map in the per-instruction
+    /// accounting paths; the final [`SimResult`] map is built once at the
+    /// end.
+    loops: Vec<(u32, LoopSimStats)>,
+    /// `(tag, entry cycle, stats slot)` of loops the main thread is
+    /// currently inside. The cached slot index into `loops` makes the
+    /// per-instruction attribution a direct indexed add (slots are stable:
+    /// `loops` only appends).
+    active_tags: Vec<(u32, u64, u32)>,
+    /// The speculative store buffer, reset and reused across episodes.
+    spec_buf: SpecBuf,
+    /// Retired episode traces, recycled to avoid a fresh allocation (and
+    /// regrowth) on every fork.
+    trace_pool: Vec<Vec<ExecRecord>>,
+    /// The speculative core's thread, reused (allocations and all) across
+    /// episodes.
+    spec_thread: Option<Thread>,
 }
 
 impl Run<'_> {
+    /// Stats slot for `tag`, created on first touch (insertion-ordered, like
+    /// the map it replaced — the final HashMap conversion erases order).
+    fn loop_stats(&mut self, tag: u32) -> &mut LoopSimStats {
+        match self.loops.iter().position(|&(t, _)| t == tag) {
+            Some(i) => &mut self.loops[i].1,
+            None => {
+                self.loops.push((tag, LoopSimStats::default()));
+                &mut self.loops.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Returns an episode's trace buffer to the pool for the next fork.
+    fn recycle_trace(&mut self, mut trace: Vec<ExecRecord>) {
+        trace.clear();
+        self.trace_pool.push(trace);
+    }
     fn run(mut self, func: FuncId, args: &[i64]) -> Result<SimResult, SimError> {
-        let mut thread = Thread::start(self.module, func, args.iter().map(|&a| a as u64).collect());
+        let mut thread =
+            Thread::start(self.decoded, func, args.iter().map(|&a| a as u64).collect());
         thread.max_depth = self.config.max_depth;
         let mut episode: Option<Episode> = None;
 
@@ -200,7 +231,7 @@ impl Run<'_> {
                     predictor: &mut self.predictor,
                     mispredict_penalty: self.config.branch_mispredict_penalty,
                 };
-                thread.step(self.module, &self.bases, &mut view, Some(&mut timing))?
+                thread.step(self.decoded, &mut view, Some(&mut timing))?
             };
             let (rec, event) = rec_event;
             self.insts += 1;
@@ -215,14 +246,13 @@ impl Run<'_> {
                     }
                 }
                 StepEvent::Kill { tag } => {
-                    if let Some(ep) = &episode {
-                        if ep.tag == tag {
-                            let wasted = ep.trace.len() as u64;
-                            let s = self.loops.entry(tag).or_default();
-                            s.kills += 1;
-                            s.wasted_insts += wasted;
-                            episode = None;
-                        }
+                    if episode.as_ref().is_some_and(|ep| ep.tag == tag) {
+                        let ep = episode.take().expect("matched episode");
+                        let wasted = ep.trace.len() as u64;
+                        let s = self.loop_stats(tag);
+                        s.kills += 1;
+                        s.wasted_insts += wasted;
+                        self.recycle_trace(ep.trace);
                     }
                     self.deactivate(tag);
                 }
@@ -245,8 +275,8 @@ impl Run<'_> {
 
         // Close any still-active loop attributions.
         let cycle = self.cycle;
-        while let Some((tag, entered)) = self.active_tags.pop() {
-            self.loops.entry(tag).or_default().loop_cycles += cycle - entered;
+        while let Some((_, entered, slot)) = self.active_tags.pop() {
+            self.loops[slot as usize].1.loop_cycles += cycle - entered;
         }
 
         Ok(SimResult {
@@ -254,72 +284,75 @@ impl Run<'_> {
             cycles: self.cycle,
             insts: self.insts,
             memory: self.memory,
-            loops: self.loops,
+            loops: self.loops.into_iter().collect(),
             cache_hit_rate: self.cache.hit_rate(),
             branch_miss_rate: self.predictor.miss_rate(),
         })
     }
 
     fn activate(&mut self, tag: u32) {
-        if !self.active_tags.iter().any(|&(t, _)| t == tag) {
-            self.active_tags.push((tag, self.cycle));
-            self.loops.entry(tag).or_default();
+        if !self.active_tags.iter().any(|&(t, _, _)| t == tag) {
+            self.loop_stats(tag);
+            let slot = self
+                .loops
+                .iter()
+                .position(|&(t, _)| t == tag)
+                .expect("slot just touched") as u32;
+            self.active_tags.push((tag, self.cycle, slot));
         }
     }
 
     fn deactivate(&mut self, tag: u32) {
-        if let Some(pos) = self.active_tags.iter().position(|&(t, _)| t == tag) {
-            let (_, entered) = self.active_tags.remove(pos);
-            self.loops.entry(tag).or_default().loop_cycles += self.cycle - entered;
+        if let Some(pos) = self.active_tags.iter().position(|&(t, _, _)| t == tag) {
+            let (_, entered, slot) = self.active_tags.remove(pos);
+            self.loops[slot as usize].1.loop_cycles += self.cycle - entered;
         }
     }
 
     /// Adds a main-thread instruction to every active loop's accounting.
+    #[inline]
     fn attribute_main(&mut self, rec: &ExecRecord) {
-        for &(tag, _) in &self.active_tags {
-            let s = self.loops.entry(tag).or_default();
+        for &(_, _, slot) in &self.active_tags {
+            let s = &mut self.loops[slot as usize].1;
             s.main_insts += 1;
             s.seq_cycles += rec.latency;
         }
     }
 
     /// Adds validated (free or re-executed) work to active loops.
+    #[inline]
     fn attribute_committed(&mut self, latency: u64) {
-        for &(tag, _) in &self.active_tags {
-            self.loops.entry(tag).or_default().seq_cycles += latency;
+        for &(_, _, slot) in &self.active_tags {
+            self.loops[slot as usize].1.seq_cycles += latency;
         }
     }
 
     /// Finds the latch predecessor of `header` in `func` (the in-loop
-    /// predecessor), for speculative-thread phi startup.
-    fn latch_of(&mut self, func: FuncId, header: BlockId) -> Option<BlockId> {
-        let module = self.module;
-        *self.latch_cache.entry((func, header)).or_insert_with(|| {
-            let f = module.func(func);
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(&cfg);
-            cfg.preds(header)
-                .iter()
-                .copied()
-                .find(|&p| dom.dominates(header, p))
-        })
+    /// predecessor), for speculative-thread phi startup. Pre-decoded as the
+    /// module's per-block back-edge facts, so this is one array read.
+    fn latch_of(&self, func: FuncId, header: BlockId) -> Option<BlockId> {
+        self.decoded.func(func).facts.back_pred[header.index()]
     }
 
     /// Spawns an episode: runs the speculative core eagerly against the
     /// current memory snapshot, producing its trace on its own clock.
     fn spawn(&mut self, main: &Thread, func: FuncId, target: BlockId, tag: u32) -> Episode {
         self.cycle += self.config.fork_overhead;
-        self.loops.entry(tag).or_default().forks += 1;
+        self.loop_stats(tag).forks += 1;
 
         let main_depth = main.depth();
-        let (context, args) = main.context();
+        let (context, args) = main.context_ref();
         let latch = self.latch_of(func, target).unwrap_or(target);
-        let mut spec = Thread::start_spec(self.module, func, &context, args, target, latch);
+        let mut spec = self
+            .spec_thread
+            .take()
+            .unwrap_or_else(|| Thread::start(self.decoded, func, Vec::new()));
+        spec.restart_spec(self.decoded, func, context, args, target, latch);
         spec.max_depth = self.config.max_depth;
 
-        let mut buf: HashMap<u64, u64> = HashMap::new();
+        self.spec_buf.reset(self.config.spec_buffer_entries);
         let mut spec_cycle = self.cycle;
-        let mut trace: Vec<ExecRecord> = Vec::new();
+        let mut trace: Vec<ExecRecord> = self.trace_pool.pop().unwrap_or_default();
         let depth0 = spec.depth();
 
         loop {
@@ -329,8 +362,7 @@ impl Run<'_> {
             let step = {
                 let mut view = MemView::Overlay {
                     base: &self.memory,
-                    buf: &mut buf,
-                    cap: self.config.spec_buffer_entries,
+                    buf: &mut self.spec_buf,
                 };
                 let mut timing = Timing {
                     cycle: &mut spec_cycle,
@@ -338,7 +370,7 @@ impl Run<'_> {
                     predictor: &mut self.predictor,
                     mispredict_penalty: self.config.branch_mispredict_penalty,
                 };
-                spec.step(self.module, &self.bases, &mut view, Some(&mut timing))
+                spec.step(self.decoded, &mut view, Some(&mut timing))
             };
             match step {
                 Ok((rec, event)) => match event {
@@ -371,6 +403,7 @@ impl Run<'_> {
                 Err(_) => break,
             }
         }
+        self.spec_thread = Some(spec);
         Episode {
             tag,
             spawn_func: func,
@@ -391,8 +424,14 @@ impl Run<'_> {
         ep: Episode,
     ) -> Result<(Option<Episode>, Option<Option<u64>>), SimError> {
         let arrival = self.cycle;
-        let stats = self.loops.entry(ep.tag).or_default();
-        stats.commits += 1;
+        self.loop_stats(ep.tag).commits += 1;
+        // Slot index of `ep.tag`, valid for the whole replay: the stats
+        // vector only ever appends.
+        let ti = self
+            .loops
+            .iter()
+            .position(|&(t, _)| t == ep.tag)
+            .expect("slot just touched");
 
         let mut k = 0usize;
         let mut pending_fork = false;
@@ -403,7 +442,7 @@ impl Run<'_> {
             let expected = &ep.trace[k];
             let step = {
                 let mut view = MemView::Direct(&mut self.memory);
-                thread.step(self.module, &self.bases, &mut view, None)?
+                thread.step(self.decoded, &mut view, None)?
             };
             let (rec, event) = step;
             self.insts += 1;
@@ -411,7 +450,7 @@ impl Run<'_> {
             let same_site = rec.func == expected.func && rec.inst == expected.inst;
             if same_site {
                 let equal = rec.result == expected.result && rec.store == expected.store;
-                let s = self.loops.entry(ep.tag).or_default();
+                let s = &mut self.loops[ti].1;
                 if equal {
                     s.free_insts += 1;
                 } else {
@@ -424,7 +463,7 @@ impl Run<'_> {
             } else {
                 // Control divergence: this instruction and everything after
                 // is executed non-speculatively.
-                let s = self.loops.entry(ep.tag).or_default();
+                let s = &mut self.loops[ti].1;
                 s.reexec_insts += 1;
                 s.reexec_cycles += rec.latency.max(1);
                 s.wasted_insts += (ep.trace.len() - k) as u64;
@@ -441,8 +480,7 @@ impl Run<'_> {
                     }
                     self.deactivate(tag);
                     if killed {
-                        let s = self.loops.entry(ep.tag).or_default();
-                        s.wasted_insts += (ep.trace.len() - k) as u64;
+                        self.loops[ti].1.wasted_insts += (ep.trace.len() - k) as u64;
                         k = ep.trace.len();
                     }
                 }
@@ -459,11 +497,11 @@ impl Run<'_> {
 
         // Work the speculative core did beyond the catch-up point is wasted.
         if k < ep.trace.len() {
-            let s = self.loops.entry(ep.tag).or_default();
-            s.wasted_insts += (ep.trace.len() - k) as u64;
+            self.loops[ti].1.wasted_insts += (ep.trace.len() - k) as u64;
         }
 
         self.cycle += self.config.commit_overhead;
+        self.recycle_trace(ep.trace);
 
         if let Some(value) = finished {
             return Ok((None, Some(value)));

@@ -6,11 +6,17 @@
 //! validation comparison) and any control event (block transfer, fork,
 //! kill, return). Memory is accessed through a [`MemView`] — direct for the
 //! main core, a write-buffer overlay for the speculative core.
+//!
+//! The executor runs over the pre-decoded module form
+//! ([`spt_ir::DecodedModule`]): one flat opcode per instruction with
+//! operands already resolved to value slots or constant bits, block
+//! transfers driven by pre-decoded per-edge phi-source rows, and the
+//! speculative write buffer an inline open-addressed table ([`SpecBuf`])
+//! instead of a `HashMap`.
 
 use crate::cache::Cache;
 use crate::predictor::BranchPredictor;
-use spt_ir::{BlockId, FuncId, InstId, InstKind, Module, Operand, Ty};
-use std::collections::{HashMap, VecDeque};
+use spt_ir::{BlockId, DKind, DecodedFunc, DecodedModule, FuncId, InstId};
 use std::fmt;
 
 /// Execution faults.
@@ -40,6 +46,132 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Absent-key marker for [`SpecBuf`] slots. Cell indexes are bounded by the
+/// module memory size, so the marker can never collide with a real key.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// The speculative store buffer: a small linear-probing hash table with a
+/// *semantic* capacity (the machine's `spec_buffer_entries`) enforced
+/// exactly like the `HashMap` it replaced — an insert of a *new* cell when
+/// `len >= cap` faults with [`ExecError::SpecBufferFull`]; overwrites always
+/// succeed.
+#[derive(Clone, Debug)]
+pub struct SpecBuf {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    len: usize,
+    cap: usize,
+    /// Occupied slot indices, so reset clears only the dirty slots instead
+    /// of refilling the whole table (episodes typically buffer a handful of
+    /// cells; the table is sized for the worst case).
+    used: Vec<u32>,
+}
+
+impl SpecBuf {
+    /// An empty buffer holding at most `cap` distinct cells.
+    pub fn new(cap: usize) -> Self {
+        let mut buf = SpecBuf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+            cap,
+            used: Vec::new(),
+        };
+        buf.reset(cap);
+        buf
+    }
+
+    /// Clears the buffer and (re)sizes it for `cap` distinct cells. Reuses
+    /// the existing allocation when possible, so a simulator can keep one
+    /// buffer across episodes.
+    pub fn reset(&mut self, cap: usize) {
+        self.cap = cap;
+        let want = cap.saturating_mul(2).next_power_of_two().clamp(16, 1 << 16);
+        if self.keys.len() == want {
+            for &i in &self.used {
+                self.keys[i as usize] = EMPTY_KEY;
+            }
+        } else {
+            self.keys = vec![EMPTY_KEY; want];
+            self.vals = vec![0; want];
+        }
+        self.used.clear();
+        self.len = 0;
+    }
+
+    /// Number of distinct buffered cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no writes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn slot_of(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let k = self.keys[idx];
+            if k == key || k == EMPTY_KEY {
+                return idx;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// The buffered value for `cell`, if any.
+    #[inline]
+    pub fn get(&self, cell: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None; // common case: nothing buffered yet, skip the probe
+        }
+        let idx = self.slot_of(cell);
+        if self.keys[idx] == cell {
+            Some(self.vals[idx])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, cell: u64, bits: u64) -> Result<(), ExecError> {
+        let idx = self.slot_of(cell);
+        if self.keys[idx] == cell {
+            self.vals[idx] = bits;
+            return Ok(());
+        }
+        if self.len >= self.cap {
+            return Err(ExecError::SpecBufferFull);
+        }
+        self.keys[idx] = cell;
+        self.vals[idx] = bits;
+        self.used.push(idx as u32);
+        self.len += 1;
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; self.vals.len() * 2]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; self.keys.len()]);
+        self.used.clear();
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                let idx = self.slot_of(k);
+                self.keys[idx] = k;
+                self.vals[idx] = v;
+                self.used.push(idx as u32);
+            }
+        }
+    }
+}
+
 /// Memory as seen by a core.
 pub enum MemView<'a> {
     /// Committed memory (main core, replay).
@@ -48,25 +180,25 @@ pub enum MemView<'a> {
     Overlay {
         /// Committed memory at fork time.
         base: &'a [u64],
-        /// Buffered speculative writes.
-        buf: &'a mut HashMap<u64, u64>,
-        /// Buffer capacity.
-        cap: usize,
+        /// Buffered speculative writes (capacity enforced by the buffer).
+        buf: &'a mut SpecBuf,
     },
 }
 
 impl MemView<'_> {
+    #[inline]
     fn read(&self, cell: i64) -> Result<u64, ExecError> {
         let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
         match self {
             MemView::Direct(m) => m.get(idx).copied().ok_or(ExecError::OutOfBounds(cell)),
-            MemView::Overlay { base, buf, .. } => match buf.get(&(idx as u64)) {
-                Some(&v) => Ok(v),
+            MemView::Overlay { base, buf } => match buf.get(idx as u64) {
+                Some(v) => Ok(v),
                 None => base.get(idx).copied().ok_or(ExecError::OutOfBounds(cell)),
             },
         }
     }
 
+    #[inline]
     fn write(&mut self, cell: i64, bits: u64) -> Result<(), ExecError> {
         let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
         match self {
@@ -75,15 +207,11 @@ impl MemView<'_> {
                 *slot = bits;
                 Ok(())
             }
-            MemView::Overlay { base, buf, cap } => {
+            MemView::Overlay { base, buf } => {
                 if idx >= base.len() {
                     return Err(ExecError::OutOfBounds(cell));
                 }
-                if buf.len() >= *cap && !buf.contains_key(&(idx as u64)) {
-                    return Err(ExecError::SpecBufferFull);
-                }
-                buf.insert(idx as u64, bits);
-                Ok(())
+                buf.insert(idx as u64, bits)
             }
         }
     }
@@ -99,6 +227,74 @@ pub struct Timing<'a> {
     pub predictor: &'a mut BranchPredictor,
     /// Misprediction penalty.
     pub mispredict_penalty: u64,
+}
+
+/// Static timing-mode selector for [`Thread::step`]: the executor is
+/// monomorphized once per mode, so the timed instantiation charges
+/// cache/predictor/cycle costs without per-site `Option` checks and the
+/// untimed one (validation replay) compiles the timing code out entirely.
+trait TimingMode {
+    /// Whether this mode charges timing at all.
+    const TIMED: bool;
+    fn cache_access(&mut self, cell: u64) -> u64;
+    fn mispredicted(&mut self, func: FuncId, inst: InstId, taken: bool) -> bool;
+    fn penalty(&self) -> u64;
+    fn now(&self) -> u64;
+    /// Advances the core clock by `latency` and returns the new cycle.
+    fn advance(&mut self, latency: u64) -> u64;
+}
+
+struct Timed<'a, 'b>(&'b mut Timing<'a>);
+
+impl TimingMode for Timed<'_, '_> {
+    const TIMED: bool = true;
+    #[inline(always)]
+    fn cache_access(&mut self, cell: u64) -> u64 {
+        self.0.cache.access(cell)
+    }
+    #[inline(always)]
+    fn mispredicted(&mut self, func: FuncId, inst: InstId, taken: bool) -> bool {
+        self.0.predictor.mispredicted(func, inst, taken)
+    }
+    #[inline(always)]
+    fn penalty(&self) -> u64 {
+        self.0.mispredict_penalty
+    }
+    #[inline(always)]
+    fn now(&self) -> u64 {
+        *self.0.cycle
+    }
+    #[inline(always)]
+    fn advance(&mut self, latency: u64) -> u64 {
+        *self.0.cycle += latency;
+        *self.0.cycle
+    }
+}
+
+struct Untimed;
+
+impl TimingMode for Untimed {
+    const TIMED: bool = false;
+    #[inline(always)]
+    fn cache_access(&mut self, _cell: u64) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn mispredicted(&mut self, _func: FuncId, _inst: InstId, _taken: bool) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn penalty(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn now(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn advance(&mut self, _latency: u64) -> u64 {
+        0
+    }
 }
 
 /// What one step executed.
@@ -157,32 +353,47 @@ struct Frame {
     values: Vec<u64>,
     args: Vec<u64>,
     block: BlockId,
-    pos: usize,
+    /// Fetch cursor: absolute position of the next instruction in the
+    /// function's flat [`DecodedFunc::stream`] (leading phis are delivered
+    /// through `pending`).
+    pos: u32,
+    /// End (exclusive) of the current block's body in the stream.
+    end: u32,
     ret_slot: Option<InstId>,
-    pending_phis: VecDeque<(InstId, u64)>,
+    /// Phi writes scheduled by the last transfer, delivered one per step
+    /// from `pending_head` onward.
+    pending: Vec<(InstId, u64)>,
+    pending_head: usize,
 }
 
 /// A core's architectural state: a stack of call frames.
 pub struct Thread {
     frames: Vec<Frame>,
+    /// Returned frames, recycled on the next call so the call/return hot
+    /// path reuses value vectors instead of allocating per call.
+    pool: Vec<Frame>,
     /// Maximum call depth.
     pub max_depth: usize,
 }
 
 impl Thread {
     /// Starts a thread at `func`'s entry with the given arguments.
-    pub fn start(module: &Module, func: FuncId, args: Vec<u64>) -> Self {
-        let f = module.func(func);
+    pub fn start(decoded: &DecodedModule, func: FuncId, args: Vec<u64>) -> Self {
+        let df = decoded.func(func);
+        let eb = &df.blocks[df.entry.index()];
         Thread {
             frames: vec![Frame {
                 func,
-                values: vec![0; f.insts.len()],
+                values: vec![0; df.num_values()],
                 args,
-                block: f.entry,
-                pos: 0,
+                block: df.entry,
+                pos: eb.body_start,
+                end: eb.body_end,
                 ret_slot: None,
-                pending_phis: VecDeque::new(),
+                pending: Vec::new(),
+                pending_head: 0,
             }],
+            pool: Vec::new(),
             max_depth: 256,
         }
     }
@@ -193,43 +404,43 @@ impl Thread {
     /// semantics of "the context of the main thread is copied to the
     /// speculative thread" (§1).
     pub fn start_spec(
-        module: &Module,
+        decoded: &DecodedModule,
         func: FuncId,
         context: &[u64],
         args: Vec<u64>,
         header: BlockId,
         latch: BlockId,
     ) -> Self {
-        let f = module.func(func);
-        let mut frame = Frame {
-            func,
-            values: context.to_vec(),
-            args,
-            block: header,
-            pos: 0,
-            ret_slot: None,
-            pending_phis: VecDeque::new(),
-        };
-        // Atomically evaluate header phis from the latch edge.
-        let mut nphis = 0;
-        let mut pending = Vec::new();
-        for &i in &f.block(header).insts {
-            if let InstKind::Phi { args } = &f.inst(i).kind {
-                nphis += 1;
-                let v = args
-                    .iter()
-                    .find(|(p, _)| *p == latch)
-                    .map(|(_, op)| read_operand(*op, &frame.values))
-                    .unwrap_or(0);
-                pending.push((i, v));
-            } else {
-                break;
+        let df = decoded.func(func);
+        let hb = &df.blocks[header.index()];
+        let values = context.to_vec();
+        let mut pending = Vec::with_capacity(hb.phis.len());
+        match hb.preds.iter().position(|&p| p == latch) {
+            Some(pi) => {
+                let row = &hb.phi_srcs[pi];
+                for (k, &phi) in hb.phis.iter().enumerate() {
+                    pending.push((phi, row[k].map(|dv| dv.read(&values)).unwrap_or(0)));
+                }
+            }
+            None => {
+                for &phi in hb.phis.iter() {
+                    pending.push((phi, 0));
+                }
             }
         }
-        frame.pos = nphis;
-        frame.pending_phis = pending.into();
         Thread {
-            frames: vec![frame],
+            frames: vec![Frame {
+                func,
+                values,
+                args,
+                block: header,
+                pos: hb.body_start,
+                end: hb.body_end,
+                ret_slot: None,
+                pending,
+                pending_head: 0,
+            }],
+            pool: Vec::new(),
             max_depth: 256,
         }
     }
@@ -256,18 +467,104 @@ impl Thread {
         (f.values.clone(), f.args.clone())
     }
 
+    /// Borrowed view of the innermost frame's context, for callers that
+    /// copy it into a reused thread instead of allocating.
+    pub fn context_ref(&self) -> (&[u64], &[u64]) {
+        let f = self.frames.last().expect("live thread");
+        (&f.values, &f.args)
+    }
+
+    /// Re-initializes this thread as a speculative thread (same semantics
+    /// as [`Thread::start_spec`]) while reusing its allocations — the fork
+    /// hot path calls this once per episode.
+    pub fn restart_spec(
+        &mut self,
+        decoded: &DecodedModule,
+        func: FuncId,
+        context: &[u64],
+        args: &[u64],
+        header: BlockId,
+        latch: BlockId,
+    ) {
+        let df = decoded.func(func);
+        let hb = &df.blocks[header.index()];
+        let mut frame = match self.frames.pop() {
+            Some(f) => {
+                while let Some(extra) = self.frames.pop() {
+                    self.pool.push(extra);
+                }
+                f
+            }
+            None => self.pool.pop().unwrap_or_else(|| Frame {
+                func,
+                values: Vec::new(),
+                args: Vec::new(),
+                block: header,
+                pos: 0,
+                end: 0,
+                ret_slot: None,
+                pending: Vec::new(),
+                pending_head: 0,
+            }),
+        };
+        frame.func = func;
+        frame.values.clear();
+        frame.values.extend_from_slice(context);
+        frame.args.clear();
+        frame.args.extend_from_slice(args);
+        frame.block = header;
+        frame.pos = hb.body_start;
+        frame.end = hb.body_end;
+        frame.ret_slot = None;
+        frame.pending.clear();
+        frame.pending_head = 0;
+        match hb.preds.iter().position(|&p| p == latch) {
+            Some(pi) => {
+                let row = &hb.phi_srcs[pi];
+                for (k, &phi) in hb.phis.iter().enumerate() {
+                    frame
+                        .pending
+                        .push((phi, row[k].map(|dv| dv.read(&frame.values)).unwrap_or(0)));
+                }
+            }
+            None => {
+                for &phi in hb.phis.iter() {
+                    frame.pending.push((phi, 0));
+                }
+            }
+        }
+        self.frames.push(frame);
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError`] on faults; speculative callers treat faults as
     /// "stop speculating here".
+    #[inline]
     pub fn step(
         &mut self,
-        module: &Module,
-        region_bases: &[usize],
+        decoded: &DecodedModule,
         mem: &mut MemView<'_>,
-        mut timing: Option<&mut Timing<'_>>,
+        timing: Option<&mut Timing<'_>>,
+    ) -> Result<(ExecRecord, StepEvent), ExecError> {
+        match timing {
+            Some(t) => self.step_impl(decoded, mem, &mut Timed(t)),
+            None => self.step_impl(decoded, mem, &mut Untimed),
+        }
+    }
+
+    /// The monomorphized executor body. `inline(always)` so each call site
+    /// (main loop, speculative run, validation replay) gets its own
+    /// specialized copy — the record fields a caller ignores are then dead
+    /// stores the optimizer removes.
+    #[inline(always)]
+    fn step_impl<T: TimingMode>(
+        &mut self,
+        decoded: &DecodedModule,
+        mem: &mut MemView<'_>,
+        timing: &mut T,
     ) -> Result<(ExecRecord, StepEvent), ExecError> {
         let depth = self.frames.len();
         let frame = self
@@ -275,12 +572,14 @@ impl Thread {
             .last_mut()
             .ok_or_else(|| ExecError::Malformed("step on finished thread".into()))?;
         let func_id = frame.func;
-        let f = module.func(func_id);
+        let df = decoded.func(func_id);
 
         // Deferred phi writes from the last transfer.
-        if let Some((phi, bits)) = frame.pending_phis.pop_front() {
+        if frame.pending_head < frame.pending.len() {
+            let (phi, bits) = frame.pending[frame.pending_head];
+            frame.pending_head += 1;
             frame.values[phi.index()] = bits;
-            let cycle_end = timing.as_ref().map(|t| *t.cycle).unwrap_or(0);
+            let cycle_end = timing.now();
             return Ok((
                 ExecRecord {
                     func: func_id,
@@ -294,155 +593,176 @@ impl Thread {
             ));
         }
 
-        let insts = &f.block(frame.block).insts;
-        let inst_id = *insts.get(frame.pos).ok_or_else(|| {
-            ExecError::Malformed(format!("fell off block {} in {}", frame.block, f.name))
-        })?;
+        if frame.pos >= frame.end {
+            return Err(ExecError::Malformed(format!(
+                "fell off block {} in {}",
+                frame.block, df.name
+            )));
+        }
+        let inst_id = df.stream[frame.pos as usize];
         frame.pos += 1;
-        let inst = f.inst(inst_id);
-        let mut latency = inst.latency();
+        let di = &df.insts[inst_id.index()];
+        let mut latency = di.latency;
         let mut result: Option<u64> = None;
         let mut store: Option<(i64, u64)> = None;
         let mut event = StepEvent::Continue;
 
-        macro_rules! op {
-            ($o:expr) => {
-                read_operand($o, &frame.values)
-            };
-        }
-
-        match &inst.kind {
-            InstKind::Param { index } => {
-                let v = frame.args.get(*index).copied().unwrap_or(0);
+        match &di.kind {
+            DKind::Param { index } => {
+                let v = frame.args.get(*index as usize).copied().unwrap_or(0);
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
             }
-            InstKind::Binary { op, lhs, rhs } => {
-                let (a, b) = (op!(*lhs), op!(*rhs));
-                let v = match inst.ty.unwrap_or(Ty::I64) {
-                    Ty::I64 => op.eval_i64(a as i64, b as i64) as u64,
-                    Ty::F64 => op.eval_f64(f64::from_bits(a), f64::from_bits(b)).to_bits(),
-                };
+            DKind::BinI64 { op, lhs, rhs } => {
+                let (a, b) = (lhs.read(&frame.values), rhs.read(&frame.values));
+                let v = op.eval_i64(a as i64, b as i64) as u64;
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
             }
-            InstKind::Unary { op, val } => {
-                let a = op!(*val);
-                let v = match (inst.ty.unwrap_or(Ty::I64), op) {
-                    (Ty::F64, spt_ir::UnOp::IntToFloat) => ((a as i64) as f64).to_bits(),
-                    (Ty::I64, spt_ir::UnOp::FloatToInt) => (f64::from_bits(a) as i64) as u64,
-                    (Ty::I64, _) => op.eval_i64(a as i64) as u64,
-                    (Ty::F64, _) => op.eval_f64(f64::from_bits(a)).to_bits(),
-                };
+            DKind::BinF64 { op, lhs, rhs } => {
+                let (a, b) = (lhs.read(&frame.values), rhs.read(&frame.values));
+                let v = op.eval_f64(f64::from_bits(a), f64::from_bits(b)).to_bits();
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
             }
-            InstKind::Cmp {
-                op,
-                operand_ty,
-                lhs,
-                rhs,
-            } => {
-                let (a, b) = (op!(*lhs), op!(*rhs));
-                let t = match operand_ty {
-                    Ty::I64 => op.eval_i64(a as i64, b as i64),
-                    Ty::F64 => op.eval_f64(f64::from_bits(a), f64::from_bits(b)),
-                };
-                let v = t as u64;
+            DKind::UnI64 { op, val } => {
+                let a = val.read(&frame.values);
+                let v = op.eval_i64(a as i64) as u64;
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
             }
-            InstKind::Copy { val } => {
-                let v = op!(*val);
+            DKind::UnF64 { op, val } => {
+                let a = val.read(&frame.values);
+                let v = op.eval_f64(f64::from_bits(a)).to_bits();
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
             }
-            InstKind::Phi { .. } => {
+            DKind::IntToFloat { val } => {
+                let a = val.read(&frame.values);
+                let v = ((a as i64) as f64).to_bits();
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            DKind::FloatToInt { val } => {
+                let a = val.read(&frame.values);
+                let v = (f64::from_bits(a) as i64) as u64;
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            DKind::CmpI64 { op, lhs, rhs } => {
+                let (a, b) = (lhs.read(&frame.values), rhs.read(&frame.values));
+                let v = op.eval_i64(a as i64, b as i64) as u64;
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            DKind::CmpF64 { op, lhs, rhs } => {
+                let (a, b) = (lhs.read(&frame.values), rhs.read(&frame.values));
+                let v = op.eval_f64(f64::from_bits(a), f64::from_bits(b)) as u64;
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            DKind::Copy { val } => {
+                let v = val.read(&frame.values);
+                frame.values[inst_id.index()] = v;
+                result = Some(v);
+            }
+            DKind::SkippedPhi => {
                 return Err(ExecError::Malformed(format!(
                     "unscheduled phi {inst_id} executed directly"
                 )));
             }
-            InstKind::RegionBase { region } => {
-                let base = if region.is_unknown() {
-                    0
-                } else {
-                    region_bases[region.index()] as u64
-                };
-                frame.values[inst_id.index()] = base;
-                result = Some(base);
+            DKind::Const { bits } => {
+                frame.values[inst_id.index()] = *bits;
+                result = Some(*bits);
             }
-            InstKind::Load { addr, .. } => {
-                let cell = op!(*addr) as i64;
+            DKind::Load { addr } => {
+                let cell = addr.read(&frame.values) as i64;
                 let v = mem.read(cell)?;
                 frame.values[inst_id.index()] = v;
                 result = Some(v);
-                if let Some(t) = timing.as_mut() {
-                    latency = t.cache.access(cell as u64).max(1);
+                if T::TIMED {
+                    latency = timing.cache_access(cell as u64).max(1);
                 }
             }
-            InstKind::Store { addr, val, .. } => {
-                let cell = op!(*addr) as i64;
-                let bits = op!(*val);
+            DKind::Store { addr, val } => {
+                let cell = addr.read(&frame.values) as i64;
+                let bits = val.read(&frame.values);
                 mem.write(cell, bits)?;
                 store = Some((cell, bits));
-                if let Some(t) = timing.as_mut() {
-                    latency = t.cache.access(cell as u64).clamp(1, 4);
+                if T::TIMED {
+                    latency = timing.cache_access(cell as u64).clamp(1, 4);
                 }
             }
-            InstKind::Call { callee, args } => {
+            DKind::Call { callee, args } => {
                 if depth >= self.max_depth {
                     return Err(ExecError::StackOverflow);
                 }
-                let callee_func = module.func(*callee);
-                let call_args: Vec<u64> = args.iter().map(|a| op!(*a)).collect();
-                let new_frame = Frame {
+                let callee_df = decoded.func(*callee);
+                let entry = callee_df.entry;
+                let entry_block = &callee_df.blocks[entry.index()];
+                let mut new_frame = self.pool.pop().unwrap_or_else(|| Frame {
                     func: *callee,
-                    values: vec![0; callee_func.insts.len()],
-                    args: call_args,
-                    block: callee_func.entry,
+                    values: Vec::new(),
+                    args: Vec::new(),
+                    block: entry,
                     pos: 0,
-                    ret_slot: Some(inst_id),
-                    pending_phis: VecDeque::new(),
-                };
+                    end: 0,
+                    ret_slot: None,
+                    pending: Vec::new(),
+                    pending_head: 0,
+                });
+                new_frame.args.clear();
+                new_frame
+                    .args
+                    .extend(args.iter().map(|a| a.read(&frame.values)));
+                new_frame.values.clear();
+                new_frame.values.resize(callee_df.num_values(), 0);
+                new_frame.func = *callee;
+                new_frame.block = entry;
+                new_frame.pos = entry_block.body_start;
+                new_frame.end = entry_block.body_end;
+                new_frame.ret_slot = Some(inst_id);
+                new_frame.pending.clear();
+                new_frame.pending_head = 0;
                 self.frames.push(new_frame);
                 event = StepEvent::Transfer {
-                    to: callee_func.entry,
+                    to: entry,
                     func: *callee,
                 };
             }
-            InstKind::VarLoad { .. } | InstKind::VarStore { .. } => {
+            DKind::Unsupported => {
                 return Err(ExecError::Malformed("non-SSA IR in simulator".into()));
             }
-            InstKind::Jump { target } => {
+            DKind::Jump { target } => {
                 let target = *target;
-                transfer(frame, f, target);
+                transfer(frame, df, target);
                 event = StepEvent::Transfer {
                     to: target,
                     func: func_id,
                 };
             }
-            InstKind::Branch {
+            DKind::Branch {
                 cond,
                 then_bb,
                 else_bb,
             } => {
-                let taken = op!(*cond) != 0;
+                let taken = cond.read(&frame.values) != 0;
                 let target = if taken { *then_bb } else { *else_bb };
-                if let Some(t) = timing.as_mut() {
-                    if t.predictor.mispredicted(func_id, inst_id, taken) {
-                        latency += t.mispredict_penalty;
-                    }
+                if T::TIMED && timing.mispredicted(func_id, inst_id, taken) {
+                    latency += timing.penalty();
                 }
-                transfer(frame, f, target);
+                transfer(frame, df, target);
                 event = StepEvent::Transfer {
                     to: target,
                     func: func_id,
                 };
             }
-            InstKind::Ret { val } => {
-                let bits = val.map(|v| op!(v));
+            DKind::Ret { val } => {
+                let bits = val.map(|v| v.read(&frame.values));
                 let ret_slot = frame.ret_slot;
-                self.frames.pop();
+                if let Some(done) = self.frames.pop() {
+                    self.pool.push(done);
+                }
                 match self.frames.last_mut() {
                     Some(parent) => {
                         if let (Some(slot), Some(bits)) = (ret_slot, bits) {
@@ -458,28 +778,19 @@ impl Thread {
                     }
                 }
             }
-            InstKind::SptFork {
-                loop_tag,
-                spawn_target,
-            } => {
+            DKind::SptFork { tag, target } => {
                 event = StepEvent::Fork {
-                    tag: *loop_tag,
-                    target: *spawn_target,
+                    tag: *tag,
+                    target: *target,
                     func: func_id,
                 };
             }
-            InstKind::SptKill { loop_tag } => {
-                event = StepEvent::Kill { tag: *loop_tag };
+            DKind::SptKill { tag } => {
+                event = StepEvent::Kill { tag: *tag };
             }
         }
 
-        let cycle_end = match timing.as_mut() {
-            Some(t) => {
-                *t.cycle += latency;
-                *t.cycle
-            }
-            None => 0,
-        };
+        let cycle_end = timing.advance(latency);
         Ok((
             ExecRecord {
                 func: func_id,
@@ -495,37 +806,33 @@ impl Thread {
 }
 
 /// Performs an intra-function block transfer: schedules the target's phi
-/// writes (evaluated atomically against the pre-transfer values) and points
-/// the frame at the first non-phi instruction.
-fn transfer(frame: &mut Frame, f: &spt_ir::Function, target: BlockId) {
+/// writes (evaluated atomically against the pre-transfer values via the
+/// pre-decoded phi-source row for the incoming edge) and points the frame at
+/// the target's body.
+fn transfer(frame: &mut Frame, df: &DecodedFunc, target: BlockId) {
     let from = frame.block;
-    let mut pending = Vec::new();
-    let mut nphis = 0;
-    for &i in &f.block(target).insts {
-        if let InstKind::Phi { args } = &f.inst(i).kind {
-            nphis += 1;
-            let v = args
-                .iter()
-                .find(|(p, _)| *p == from)
-                .map(|(_, op)| read_operand(*op, &frame.values))
-                .unwrap_or(0);
-            pending.push((i, v));
-        } else {
-            break;
+    let tb = &df.blocks[target.index()];
+    frame.pending.clear();
+    frame.pending_head = 0;
+    if !tb.phis.is_empty() {
+        match tb.preds.iter().position(|&p| p == from) {
+            Some(pi) => {
+                let row = &tb.phi_srcs[pi];
+                for (k, &phi) in tb.phis.iter().enumerate() {
+                    let v = row[k].map(|dv| dv.read(&frame.values)).unwrap_or(0);
+                    frame.pending.push((phi, v));
+                }
+            }
+            None => {
+                for &phi in tb.phis.iter() {
+                    frame.pending.push((phi, 0));
+                }
+            }
         }
     }
     frame.block = target;
-    frame.pos = nphis;
-    frame.pending_phis = pending.into();
-}
-
-#[inline]
-fn read_operand(op: Operand, values: &[u64]) -> u64 {
-    match op {
-        Operand::Inst(id) => values[id.index()],
-        Operand::ConstI64(v) => v as u64,
-        Operand::ConstF64Bits(b) => b,
-    }
+    frame.pos = tb.body_start;
+    frame.end = tb.body_end;
 }
 
 #[cfg(test)]
@@ -533,9 +840,11 @@ mod tests {
     use super::*;
     use crate::cache::{Cache, CacheConfig};
     use crate::predictor::BranchPredictor;
+    use spt_ir::Module;
 
     fn run_to_end(module: &Module, entry: &str, args: Vec<u64>) -> (Option<u64>, u64, Vec<u64>) {
         let func = module.func_by_name(entry).unwrap();
+        let decoded = DecodedModule::new(module);
         let (bases, size) = module.memory_layout();
         let mut memory = vec![0u64; size];
         for (gi, g) in module.globals.iter().enumerate() {
@@ -545,7 +854,7 @@ mod tests {
                 }
             }
         }
-        let mut thread = Thread::start(module, func, args);
+        let mut thread = Thread::start(&decoded, func, args);
         let mut cycle = 0u64;
         let mut cache = Cache::new(CacheConfig::default());
         let mut predictor = BranchPredictor::new();
@@ -558,7 +867,7 @@ mod tests {
                 mispredict_penalty: 5,
             };
             let (_rec, event) = thread
-                .step(module, &bases, &mut view, Some(&mut timing))
+                .step(&decoded, &mut view, Some(&mut timing))
                 .expect("no faults");
             if let StepEvent::Finished { value } = event {
                 return (value, cycle, memory);
@@ -622,12 +931,11 @@ mod tests {
     #[test]
     fn spec_overlay_buffers_writes() {
         let mut base = vec![1u64, 2, 3];
-        let mut buf = HashMap::new();
+        let mut buf = SpecBuf::new(8);
         {
             let mut view = MemView::Overlay {
                 base: &base,
                 buf: &mut buf,
-                cap: 8,
             };
             assert_eq!(view.read(1).unwrap(), 2);
             view.write(1, 42).unwrap();
@@ -635,23 +943,43 @@ mod tests {
         }
         // Base untouched.
         assert_eq!(base[1], 2);
-        assert_eq!(buf[&1], 42);
+        assert_eq!(buf.get(1), Some(42));
         base[0] = 9; // keep mutability used
     }
 
     #[test]
     fn spec_buffer_capacity_enforced() {
         let base = vec![0u64; 100];
-        let mut buf = HashMap::new();
+        let mut buf = SpecBuf::new(2);
         let mut view = MemView::Overlay {
             base: &base,
             buf: &mut buf,
-            cap: 2,
         };
         view.write(0, 1).unwrap();
         view.write(1, 1).unwrap();
         view.write(0, 2).unwrap(); // overwrite ok
         assert_eq!(view.write(2, 1).unwrap_err(), ExecError::SpecBufferFull);
+    }
+
+    #[test]
+    fn spec_buffer_survives_reset_and_growth() {
+        let mut buf = SpecBuf::new(4096);
+        for k in 0..4096u64 {
+            buf.insert(k * 3, k).unwrap();
+        }
+        assert_eq!(buf.len(), 4096);
+        for k in 0..4096u64 {
+            assert_eq!(buf.get(k * 3), Some(k));
+        }
+        assert_eq!(
+            buf.insert(99_999, 1).unwrap_err(),
+            ExecError::SpecBufferFull
+        );
+        buf.reset(2);
+        assert!(buf.is_empty());
+        assert_eq!(buf.get(0), None);
+        buf.insert(7, 7).unwrap();
+        assert_eq!(buf.get(7), Some(7));
     }
 
     #[test]

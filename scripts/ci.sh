@@ -16,6 +16,12 @@ echo "== tests =="
 cargo test -q --workspace --exclude spt-transform
 cargo test -q -p spt-transform --lib --test transform_extra
 
+echo "== engine equivalence (dense vs reference, bit-identical) =="
+cargo test -q --release --test engine_equivalence
+
+echo "== perfbench smoke =="
+cargo run --release -q -p spt-bench --bin perfbench -- --smoke
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

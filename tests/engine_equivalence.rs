@@ -1,0 +1,243 @@
+//! Differential oracle for the dense execution engines.
+//!
+//! The pre-decoded interpreter (`spt::profile::Interp`) and simulator
+//! (`spt::sim::SptSimulator`) are performance rewrites of the original
+//! match-per-step engines, which are retained verbatim as
+//! `ReferenceInterp`/`ReferenceSimulator`. Every observable output must be
+//! **bit-identical** between the two: interpreter results, all four profile
+//! summaries, and every `SimResult` field (floats compared via
+//! `f64::to_bits`). Every `spt-bench-suite` program goes through both.
+
+use spt::ir::{FuncId, InstId, Module, Ty};
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::profile::{Interp, InterpResult, ProfileCollector, ReferenceInterp, Val};
+use spt::sim::{ReferenceSimulator, SimResult, SptSimulator};
+
+/// Value-profiling targets: every I64-producing instruction, so the value
+/// profile is exercised on real data rather than an empty target set.
+fn value_targets(module: &Module) -> Vec<(FuncId, InstId, Ty)> {
+    let mut targets = Vec::new();
+    for func_id in module.func_ids() {
+        let func = module.func(func_id);
+        for (i, inst) in func.insts.iter().enumerate() {
+            if inst.ty == Some(Ty::I64) {
+                targets.push((func_id, InstId::new(i), Ty::I64));
+            }
+        }
+    }
+    targets
+}
+
+fn assert_interp_eq(name: &str, dense: &InterpResult, reference: &InterpResult) {
+    assert_eq!(dense.ret, reference.ret, "{name}: return value");
+    assert_eq!(
+        dense.insts_retired, reference.insts_retired,
+        "{name}: insts_retired"
+    );
+    assert_eq!(
+        dense.weighted_cycles, reference.weighted_cycles,
+        "{name}: weighted_cycles"
+    );
+    assert_eq!(dense.memory, reference.memory, "{name}: memory image");
+}
+
+fn assert_profiles_eq(
+    name: &str,
+    module: &Module,
+    targets: &[(FuncId, InstId, Ty)],
+    dense: &ProfileCollector,
+    reference: &ProfileCollector,
+) {
+    // Edge profile: entry counts, block counts, and every CFG edge.
+    for func_id in module.func_ids() {
+        let func = module.func(func_id);
+        assert_eq!(
+            dense.edges.entry_count(func_id),
+            reference.edges.entry_count(func_id),
+            "{name}/{}: entry count",
+            func.name
+        );
+        for bb in func.block_ids() {
+            assert_eq!(
+                dense.edges.block_count(func_id, bb),
+                reference.edges.block_count(func_id, bb),
+                "{name}/{}: block count {bb}",
+                func.name
+            );
+            for succ in func.successors(bb) {
+                assert_eq!(
+                    dense.edges.edge_count(func_id, bb, succ),
+                    reference.edges.edge_count(func_id, bb, succ),
+                    "{name}/{}: edge count {bb}->{succ}",
+                    func.name
+                );
+                assert_eq!(
+                    dense.edges.edge_prob(func_id, bb, succ).map(f64::to_bits),
+                    reference
+                        .edges
+                        .edge_prob(func_id, bb, succ)
+                        .map(f64::to_bits),
+                    "{name}/{}: edge prob {bb}->{succ}",
+                    func.name
+                );
+            }
+        }
+    }
+
+    // Dependence profile: the full dep-count table, per-instruction
+    // store/load execution counts, and the interprocedural tally.
+    assert_eq!(
+        dense.deps.dep_counts_map(),
+        reference.deps.dep_counts_map(),
+        "{name}: dep counts"
+    );
+    assert_eq!(
+        dense.deps.interproc_deps, reference.deps.interproc_deps,
+        "{name}: interprocedural deps"
+    );
+    for func_id in module.func_ids() {
+        let func = module.func(func_id);
+        for i in 0..func.insts.len() {
+            let inst = InstId::new(i);
+            assert_eq!(
+                dense.deps.store_count(func_id, inst),
+                reference.deps.store_count(func_id, inst),
+                "{name}/{}: store count {inst}",
+                func.name
+            );
+            assert_eq!(
+                dense.deps.load_count(func_id, inst),
+                reference.deps.load_count(func_id, inst),
+                "{name}/{}: load count {inst}",
+                func.name
+            );
+        }
+    }
+
+    // Loop profile: per-loop stats (field-exact) and the global totals.
+    assert_eq!(
+        dense.loops.iter(),
+        reference.loops.iter(),
+        "{name}: loop stats"
+    );
+    assert_eq!(
+        dense.loops.total_insts, reference.loops.total_insts,
+        "{name}: total insts"
+    );
+    assert_eq!(
+        dense.loops.total_cycles, reference.loops.total_cycles,
+        "{name}: total cycles"
+    );
+
+    // Value profile: every target's sample count, pattern, and confidence.
+    for &(func_id, inst, _) in targets {
+        assert_eq!(
+            dense.values.samples(func_id, inst),
+            reference.values.samples(func_id, inst),
+            "{name}: value samples for {inst}"
+        );
+        let (dp, dr) = dense.values.pattern(func_id, inst);
+        let (rp, rr) = reference.values.pattern(func_id, inst);
+        assert_eq!(dp, rp, "{name}: value pattern for {inst}");
+        assert_eq!(
+            dr.to_bits(),
+            rr.to_bits(),
+            "{name}: value-pattern ratio for {inst}"
+        );
+    }
+}
+
+fn assert_sim_eq(name: &str, dense: &SimResult, reference: &SimResult) {
+    assert_eq!(dense.ret, reference.ret, "{name}: return bits");
+    assert_eq!(dense.cycles, reference.cycles, "{name}: cycles");
+    assert_eq!(dense.insts, reference.insts, "{name}: insts");
+    assert_eq!(dense.memory, reference.memory, "{name}: memory image");
+    assert_eq!(dense.loops, reference.loops, "{name}: per-loop sim stats");
+    assert_eq!(
+        dense.cache_hit_rate.to_bits(),
+        reference.cache_hit_rate.to_bits(),
+        "{name}: cache hit rate"
+    );
+    assert_eq!(
+        dense.branch_miss_rate.to_bits(),
+        reference.branch_miss_rate.to_bits(),
+        "{name}: branch miss rate"
+    );
+}
+
+#[test]
+fn interpreter_and_profiles_match_reference_on_every_program() {
+    for b in spt::bench_suite::suite() {
+        let module = spt::frontend::compile(b.source).expect("compiles");
+        let targets = value_targets(&module);
+        let args = [Val::from_i64(b.train_arg)];
+
+        let mut dense_prof = ProfileCollector::with_value_targets(targets.iter().copied());
+        let dense_r = Interp::new(&module)
+            .run(b.entry, &args, &mut dense_prof)
+            .expect("dense interp runs");
+
+        let mut ref_prof = ProfileCollector::with_value_targets(targets.iter().copied());
+        let ref_r = ReferenceInterp::new(&module)
+            .run(b.entry, &args, &mut ref_prof)
+            .expect("reference interp runs");
+
+        assert_interp_eq(b.name, &dense_r, &ref_r);
+        assert_profiles_eq(b.name, &module, &targets, &dense_prof, &ref_prof);
+    }
+}
+
+#[test]
+fn simulator_matches_reference_on_every_program() {
+    let dense = SptSimulator::new();
+    let reference = ReferenceSimulator::new();
+    let mut spt_loops_seen = 0usize;
+    for b in spt::bench_suite::suite() {
+        // Baseline (non-speculative) module.
+        let module = spt::frontend::compile(b.source).expect("compiles");
+        let base_d = dense
+            .run(&module, b.entry, &[b.train_arg])
+            .expect("dense sim runs");
+        let base_r = reference
+            .run(&module, b.entry, &[b.train_arg])
+            .expect("reference sim runs");
+        assert_sim_eq(b.name, &base_d, &base_r);
+
+        // Transformed module: exercises fork/validate/commit, the spec
+        // buffer, and per-loop stats.
+        let input = ProfilingInput::new(b.entry, [b.train_arg]);
+        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let spt_d = dense
+            .run(&compiled.module, b.entry, &[b.train_arg])
+            .expect("dense sim runs spt");
+        let spt_r = reference
+            .run(&compiled.module, b.entry, &[b.train_arg])
+            .expect("reference sim runs spt");
+        assert_sim_eq(b.name, &spt_d, &spt_r);
+        spt_loops_seen += spt_d.loops.len();
+    }
+    assert!(
+        spt_loops_seen > 0,
+        "suite produced no SPT loops: speculative paths untested"
+    );
+}
+
+#[test]
+fn simulator_matches_reference_with_preset_memory() {
+    // run_with_memory drives the overlay/spec-buffer path from a non-zero
+    // image; equivalence must hold there too.
+    let b = spt::bench_suite::benchmark("gcc_s").expect("exists");
+    let module = spt::frontend::compile(b.source).expect("compiles");
+    let (_, n) = module.memory_layout();
+    let image: Vec<u64> = (0..n.max(64) as u64)
+        .map(|i| i.wrapping_mul(0x9E37))
+        .collect();
+    let dense = SptSimulator::new()
+        .run_with_memory(&module, b.entry, &[b.train_arg / 2], image.clone())
+        .expect("dense");
+    let reference = ReferenceSimulator::new()
+        .run_with_memory(&module, b.entry, &[b.train_arg / 2], image)
+        .expect("reference");
+    assert_sim_eq("gcc_s+memory", &dense, &reference);
+}
