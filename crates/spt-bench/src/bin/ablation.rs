@@ -34,11 +34,12 @@ fn main() {
         let mut visited = [0u64; 4]; // both, size-only, bound-only, none
         let mut greedy_worse = 0usize;
         let mut loops_analyzed = 0usize;
-        let module = spt_frontend::compile(b.source).expect("compiles");
+        let module = spt_frontend::compile(b.source)
+            .unwrap_or_else(|e| spt_bench::die(format!("{}: compile failed: {e}", b.name)));
         let mut collector = ProfileCollector::new();
         Interp::new(&module)
             .run(b.entry, &[Val::from_i64(b.train_arg)], &mut collector)
-            .expect("profiling run");
+            .unwrap_or_else(|e| spt_bench::die(format!("{}: profiling run failed: {e}", b.name)));
         for func_id in module.func_ids() {
             let func = module.func(func_id);
             let cfg = Cfg::compute(func);

@@ -40,6 +40,7 @@ fn main() {
         LoopOutcome::NestConflict.label(),
         LoopOutcome::NotProfiled.label(),
         LoopOutcome::NotCanonical.label(),
+        LoopOutcome::AnalysisFailed.label(),
     ];
 
     let (best_hist, best_total) = histogram(&CompilerConfig::best());

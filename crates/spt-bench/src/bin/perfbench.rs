@@ -344,7 +344,8 @@ fn main() {
         json.push('\n');
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    std::fs::write("BENCH_pipeline.json", &json)
+        .unwrap_or_else(|e| spt_bench::die(format!("cannot write BENCH_pipeline.json: {e}")));
     println!(
         "wrote BENCH_pipeline.json ({} history entr{})",
         history.len(),

@@ -18,16 +18,17 @@ fn speedups(machine: MachineConfig) -> f64 {
     // the in-order results (same value as the old sequential loop).
     let out = spt_core::parallel::parallel_map(&SAMPLE, |name| {
         let sim = SptSimulator::with_config(machine.clone());
-        let b = spt_bench_suite::benchmark(name).expect("exists");
+        let b = spt_bench_suite::benchmark(name)
+            .unwrap_or_else(|| spt_bench::die(format!("no such benchmark: {name}")));
         let input = ProfilingInput::new(b.entry, [b.train_arg]);
-        let compiled =
-            compile_and_transform(b.source, &input, &CompilerConfig::best()).expect("pipeline");
+        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
+            .unwrap_or_else(|e| spt_bench::die(format!("{name}: pipeline failed: {e}")));
         let base = sim
             .run(&compiled.baseline, b.entry, &[b.ref_arg])
-            .expect("baseline");
+            .unwrap_or_else(|e| spt_bench::die(format!("{name}: baseline sim failed: {e}")));
         let spt = sim
             .run(&compiled.module, b.entry, &[b.ref_arg])
-            .expect("spt");
+            .unwrap_or_else(|e| spt_bench::die(format!("{name}: SPT sim failed: {e}")));
         assert_eq!(base.ret, spt.ret);
         base.cycles as f64 / spt.cycles as f64
     });

@@ -15,10 +15,11 @@ fn main() {
     let suite = spt_bench_suite::suite();
     let rows: Vec<(&str, f64, f64, f64)> = spt_core::parallel::parallel_map(&suite, |b| {
         let sim = SptSimulator::new();
-        let module = spt_frontend::compile(b.source).expect("compiles");
+        let module = spt_frontend::compile(b.source)
+            .unwrap_or_else(|e| spt_bench::die(format!("{}: compile failed: {e}", b.name)));
         let r = sim
             .run(&module, b.entry, &[b.ref_arg])
-            .expect("baseline run");
+            .unwrap_or_else(|e| spt_bench::die(format!("{}: baseline run failed: {e}", b.name)));
         (b.name, r.ipc(), r.cache_hit_rate, r.branch_miss_rate)
     });
     println!(
@@ -44,7 +45,7 @@ fn main() {
     let lowest = rows
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("rows nonempty");
+        .unwrap_or_else(|| spt_bench::die("benchmark suite produced no rows"));
     println!(
         "lowest-IPC program: {} (paper: mcf at 0.44 — pointer chasing pays memory latency)",
         lowest.0

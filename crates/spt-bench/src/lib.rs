@@ -141,6 +141,17 @@ pub fn run_matrix(pairs: &[(&Benchmark, &CompilerConfig)]) -> Vec<BenchmarkRun> 
     spt_core::parallel::parallel_map(pairs, |&(b, c)| run_benchmark(b, c))
 }
 
+/// Prints `msg` to stderr and terminates the process with a nonzero exit
+/// code. The harness binaries call this for setup failures (compile,
+/// profiling, simulation, output I/O) instead of panicking: a clean message
+/// and exit status 1 rather than a backtrace — also from inside
+/// `parallel_map` workers, where a panic would otherwise tear down the
+/// whole fan-out with no usable error.
+pub fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
 /// Geometric-mean helper for speedup aggregation.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;

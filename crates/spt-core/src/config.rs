@@ -1,6 +1,49 @@
 //! Compiler configurations, mirroring the three compilations evaluated in
 //! §8 of the paper.
 
+/// Unified resource limits for one pipeline run, with explicit
+/// graceful-degradation semantics: hitting a budget never fails the
+/// compile — the affected component degrades (loop not speculated, search
+/// keeps its best-so-far, unroll skipped) and a
+/// [`crate::Diagnostic`] records the degradation. The single exception is
+/// [`ResourceBudget::interp_fuel`]: profiling is the pipeline's *input*, so
+/// a profiling run that exhausts its fuel surfaces as
+/// [`crate::PipelineError::Interp`] — there is nothing to degrade *to*
+/// without a profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceBudget {
+    /// Maximum instructions a profiling run may retire before aborting with
+    /// [`spt_profile::InterpError::OutOfFuel`].
+    pub interp_fuel: u64,
+    /// Hard cap on partition-search nodes visited per loop. On exhaustion
+    /// the search returns the best partition found so far (flagged via
+    /// `SearchResult::budget_exhausted`, reported as a diagnostic) instead
+    /// of being indistinguishable from an optimal result.
+    pub search_max_visited: u64,
+    /// Cap on per-function code growth from unrolling, as a multiple of the
+    /// function's pre-unroll instruction count. Unrolls that would exceed
+    /// it are skipped with a diagnostic.
+    pub unroll_growth_cap: f64,
+    /// Optional wall-clock deadline in milliseconds for stage 4 (pass-1
+    /// analysis). Loops whose analysis has not *started* by the deadline
+    /// degrade to [`crate::LoopOutcome::AnalysisFailed`] with a diagnostic.
+    /// `None` (the default) keeps reports fully deterministic; a finite
+    /// deadline trades determinism for bounded latency, so leave it unset
+    /// when byte-identical reports matter.
+    pub analysis_deadline_ms: Option<u64>,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            interp_fuel: 500_000_000,
+            search_max_visited: 1_000_000,
+            unroll_growth_cap: 64.0,
+            analysis_deadline_ms: None,
+        }
+    }
+}
+
 /// Thresholds and feature toggles for the SPT pipeline.
 #[derive(Clone, Debug)]
 pub struct CompilerConfig {
@@ -44,6 +87,8 @@ pub struct CompilerConfig {
     pub unroll_max_factor: usize,
     /// Confidence bar for SVP value patterns.
     pub svp_threshold: f64,
+    /// Resource limits with graceful-degradation semantics.
+    pub budget: ResourceBudget,
 }
 
 impl CompilerConfig {
@@ -66,6 +111,7 @@ impl CompilerConfig {
             max_vcs: 30,
             unroll_max_factor: 8,
             svp_threshold: 0.9,
+            budget: ResourceBudget::default(),
         }
     }
 

@@ -1,0 +1,184 @@
+//! Fail-point fault injection, compiled in only under the `failpoints`
+//! cargo feature.
+//!
+//! A *fail point* is a named site in the pipeline where a test can inject a
+//! fault: a panic (exercising the `catch_unwind` isolation boundaries), an
+//! error (exercising `Result` plumbing), or a delay (exercising wall-clock
+//! budgets). Sites are keyed twice: by a static **site name**
+//! (`"pipeline::analysis"`, `"pipeline::emission"`, …) and by a dynamic
+//! **key** describing the specific unit of work (for per-loop sites, the
+//! `"func_name@header"` pair), so a test can force a fault in *exactly one*
+//! loop's analysis and assert every other loop is untouched.
+//!
+//! Without the feature the [`fail_point!`](crate::fail_point) macro expands
+//! to nothing and this module is absent, so production builds carry zero
+//! overhead.
+//!
+//! ```ignore
+//! let _guard = spt_core::failpoint::scoped();          // clears on drop
+//! spt_core::failpoint::set_keyed(
+//!     "pipeline::analysis",
+//!     "kernel@bb2",
+//!     spt_core::failpoint::Action::panic("injected"),
+//! );
+//! // ... run the pipeline: the kernel loop degrades, the compile succeeds.
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// What an armed fail point does when hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with the given message (contained by the pipeline's isolation
+    /// boundaries).
+    Panic(String),
+    /// Surface an error carrying the given message; only meaningful at
+    /// sites invoked with an error handler (the three-argument
+    /// [`fail_point!`](crate::fail_point) form). At handler-less sites an
+    /// `Error` action panics, loudly, so a misconfigured test cannot
+    /// silently pass.
+    Error(String),
+    /// Sleep for the given number of milliseconds, then continue normally
+    /// (for deadline-budget tests).
+    Delay(u64),
+}
+
+impl Action {
+    /// Shorthand for [`Action::Panic`].
+    pub fn panic(msg: impl Into<String>) -> Self {
+        Action::Panic(msg.into())
+    }
+
+    /// Shorthand for [`Action::Error`].
+    pub fn error(msg: impl Into<String>) -> Self {
+        Action::Error(msg.into())
+    }
+
+    /// Parses the compact textual form used by test helpers:
+    /// `"panic(msg)"`, `"error(msg)"`, `"delay(ms)"`.
+    pub fn parse(text: &str) -> Option<Action> {
+        let text = text.trim();
+        let open = text.find('(')?;
+        let close = text.rfind(')')?;
+        if close < open {
+            return None;
+        }
+        let body = &text[open + 1..close];
+        match &text[..open] {
+            "panic" => Some(Action::Panic(body.to_string())),
+            "error" => Some(Action::Error(body.to_string())),
+            "delay" => body.parse().ok().map(Action::Delay),
+            _ => None,
+        }
+    }
+}
+
+/// One armed rule: an action plus an optional key filter.
+#[derive(Clone, Debug)]
+struct Rule {
+    /// `None` matches every hit of the site; `Some(k)` only hits whose
+    /// dynamic key equals `k`.
+    key: Option<String>,
+    action: Action,
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, Vec<Rule>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Vec<Rule>>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        // A panicked holder only ever *read or pushed* rules; the map is
+        // never left half-updated, so the poison is safe to ignore.
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `site` unconditionally: every hit performs `action`.
+pub fn set(site: &str, action: Action) {
+    registry()
+        .entry(site.to_string())
+        .or_default()
+        .push(Rule { key: None, action });
+}
+
+/// Arms `site` for hits whose dynamic key equals `key` only.
+pub fn set_keyed(site: &str, key: &str, action: Action) {
+    registry().entry(site.to_string()).or_default().push(Rule {
+        key: Some(key.to_string()),
+        action,
+    });
+}
+
+/// Disarms every rule for `site`.
+pub fn clear(site: &str) {
+    registry().remove(site);
+}
+
+/// Disarms everything.
+pub fn clear_all() {
+    registry().clear();
+}
+
+/// Evaluates a hit of `site` with dynamic `key`. Keyed rules take
+/// precedence over unkeyed ones; among equals the most recently armed rule
+/// wins. Called by the [`fail_point!`](crate::fail_point) macro — tests
+/// configure via [`set`]/[`set_keyed`] instead.
+pub fn eval(site: &str, key: &str) -> Option<Action> {
+    let reg = registry();
+    let rules = reg.get(site)?;
+    rules
+        .iter()
+        .rev()
+        .find(|r| r.key.as_deref() == Some(key))
+        .or_else(|| rules.iter().rev().find(|r| r.key.is_none()))
+        .map(|r| r.action.clone())
+}
+
+/// RAII guard that clears the whole registry on drop, so a test cannot leak
+/// armed fail points into the next one. Tests sharing a process must hold
+/// it around the whole injected region (the registry is process-global).
+pub struct ScopedClear(());
+
+impl Drop for ScopedClear {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+/// Clears the registry now *and* on drop of the returned guard.
+pub fn scoped() -> ScopedClear {
+    clear_all();
+    ScopedClear(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; this file's tests all touch distinct
+    // site names so they can run concurrently.
+
+    #[test]
+    fn keyed_rules_take_precedence() {
+        set("t::a", Action::panic("any"));
+        set_keyed("t::a", "k1", Action::error("one"));
+        assert_eq!(eval("t::a", "k1"), Some(Action::error("one")));
+        assert_eq!(eval("t::a", "k2"), Some(Action::panic("any")));
+        clear("t::a");
+        assert_eq!(eval("t::a", "k1"), None);
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        assert_eq!(eval("t::never-armed", ""), None);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Action::parse("panic(boom)"), Some(Action::panic("boom")));
+        assert_eq!(Action::parse("error(e)"), Some(Action::error("e")));
+        assert_eq!(Action::parse("delay(25)"), Some(Action::Delay(25)));
+        assert_eq!(Action::parse("delay(x)"), None);
+        assert_eq!(Action::parse("nonsense"), None);
+    }
+}

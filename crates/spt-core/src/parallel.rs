@@ -80,7 +80,13 @@ where
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every index visited exactly once"))
+        .map(|r| match r {
+            Some(r) => r,
+            // The cursor hands out every index in [0, len) exactly once and
+            // each worker's local results are merged above, so an empty slot
+            // is unreachable by construction.
+            None => unreachable!("every index visited exactly once"),
+        })
         .collect()
 }
 

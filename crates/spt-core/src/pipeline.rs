@@ -22,6 +22,7 @@
 //! 7. cleanup and verification.
 
 use crate::config::CompilerConfig;
+use crate::diag::{panic_message, Diagnostic, Severity, Stage};
 use crate::report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};
 use spt_cost::dep_graph::{DepGraph, DepGraphConfig, NodeClass, Profiles};
 use spt_cost::LoopCostModel;
@@ -35,6 +36,7 @@ use spt_transform::{
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How to run the program for profiling.
 #[derive(Clone, Debug)]
@@ -122,6 +124,45 @@ struct LoopAnalysis {
     canonical: bool,
     search_visited: u64,
     svp_applied: bool,
+    /// The partition search hit its visited-node budget; `cost` and the
+    /// move/replicate sets describe the best partition found so far.
+    search_budget_exhausted: bool,
+    /// Pass-1 analysis did not complete for this loop (contained panic or
+    /// analysis deadline); every analysis field is a conservative default
+    /// and the loop must not be speculated.
+    failed: bool,
+}
+
+impl LoopAnalysis {
+    /// The conservative stand-in for a loop whose analysis was cut short:
+    /// non-canonical (never transformable), infinite cost, empty partition.
+    fn failed(
+        func: FuncId,
+        loop_id: LoopId,
+        header: BlockId,
+        depth: usize,
+        parent_header: Option<BlockId>,
+    ) -> Self {
+        LoopAnalysis {
+            func,
+            loop_id,
+            header,
+            depth,
+            parent_header,
+            body_size: 0,
+            num_vcs: 0,
+            cost: f64::INFINITY,
+            prefork_size: 0,
+            move_insts: HashSet::new(),
+            replicate_insts: HashSet::new(),
+            skipped_too_many_vcs: false,
+            canonical: false,
+            search_visited: 0,
+            svp_applied: false,
+            search_budget_exhausted: false,
+            failed: true,
+        }
+    }
 }
 
 /// Runs the full pipeline on `source`.
@@ -171,7 +212,9 @@ pub struct StageTimings {
 ///
 /// # Errors
 ///
-/// See [`compile_and_transform`].
+/// See [`compile_and_transform`]. On `Err` the input module is left
+/// **unchanged**: all surgery happens on a scratch clone that is committed
+/// back only when the whole pipeline succeeds.
 pub fn transform_module(
     module: &mut Module,
     input: &ProfilingInput,
@@ -185,17 +228,32 @@ pub fn transform_module(
 ///
 /// # Errors
 ///
-/// See [`compile_and_transform`].
+/// See [`compile_and_transform`]. On `Err` the input module is left
+/// unchanged (error atomicity — see [`transform_module`]).
 pub fn transform_module_timed(
     module: &mut Module,
     input: &ProfilingInput,
     config: &CompilerConfig,
 ) -> Result<(CompilationReport, StageTimings), PipelineError> {
+    let mut scratch = module.clone();
+    let out = transform_scratch(&mut scratch, input, config)?;
+    *module = scratch;
+    Ok(out)
+}
+
+/// The pipeline proper, free to leave `module` half-transformed on error —
+/// [`transform_module_timed`] only commits it on success.
+fn transform_scratch(
+    module: &mut Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> Result<(CompilationReport, StageTimings), PipelineError> {
     let mut timings = StageTimings::default();
+    let mut diags: Vec<Diagnostic> = Vec::new();
     // --- Stage 2: preprocessing.
     let t = std::time::Instant::now();
     let mut unroll_factors: HashMap<(FuncId, BlockId), usize> = HashMap::new();
-    preprocess(module, config, &mut unroll_factors);
+    preprocess(module, config, &mut unroll_factors, &mut diags);
     spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
     timings.preprocess_s = t.elapsed().as_secs_f64();
 
@@ -203,13 +261,14 @@ pub fn transform_module_timed(
     // module form) is kept alive so the SVP stage can reuse it for the
     // value-profiling run instead of re-decoding an unchanged module.
     let t = std::time::Instant::now();
-    let interp = Interp::new(module);
+    let mut interp = Interp::new(module);
+    interp.fuel = config.budget.interp_fuel;
     let mut collector = collect_profile(&interp, input)?;
     timings.profile_s = t.elapsed().as_secs_f64();
 
     // --- Stage 4: pass 1 analysis.
     let t = std::time::Instant::now();
-    let mut analyses = analyze_module(module, &collector, config);
+    let mut analyses = analyze_module(module, &collector, config, &mut diags);
     timings.analysis_s = t.elapsed().as_secs_f64();
 
     // --- Stage 5: software value prediction.
@@ -230,7 +289,7 @@ pub fn transform_module_timed(
                 None => interp.run(&input.entry, &input.args, &mut vp)?,
             };
             drop(interp);
-            svp_rewrite(module, loop_phis, &vp, &mut svp_headers)
+            svp_rewrite(module, loop_phis, &vp, &mut svp_headers, &mut diags)
         };
         timings.svp_s = t.elapsed().as_secs_f64();
         if rewrote {
@@ -241,10 +300,10 @@ pub fn transform_module_timed(
             spt_ir::verify::verify_module(module)
                 .map_err(|e| PipelineError::Verify(e.to_string()))?;
             let t = std::time::Instant::now();
-            collector = run_profile(module, input)?;
+            collector = run_profile(module, input, config)?;
             timings.profile_s += t.elapsed().as_secs_f64();
             let t = std::time::Instant::now();
-            analyses = analyze_module(module, &collector, config);
+            analyses = analyze_module(module, &collector, config, &mut diags);
             timings.analysis_s += t.elapsed().as_secs_f64();
         }
     }
@@ -255,9 +314,18 @@ pub fn transform_module_timed(
 
     // --- Stage 6: pass 2 selection.
     let t_select = std::time::Instant::now();
-    let mut records = select(module, config, &collector, &mut analyses, &unroll_factors);
+    let mut records = select(
+        module,
+        config,
+        &collector,
+        &mut analyses,
+        &unroll_factors,
+        &mut diags,
+    );
 
-    // --- Emission.
+    // --- Emission. Each loop's emission is fault-isolated: the function is
+    // snapshotted first, and a contained panic restores it and degrades the
+    // loop instead of failing (or corrupting) the whole compile.
     let mut selected_out: Vec<SelectedLoop> = Vec::new();
     let mut next_tag: u32 = 1;
     for (idx, a) in analyses.iter().enumerate() {
@@ -275,6 +343,13 @@ pub fn transform_module_timed(
         };
         let Some(loop_id) = loop_id else {
             records[idx].outcome = LoopOutcome::NotCanonical;
+            diags.push(Diagnostic::for_loop(
+                Stage::Emission,
+                Severity::Warning,
+                a.func,
+                a.header,
+                "selected loop no longer present at emission time; not transformed",
+            ));
             continue;
         };
         let spec = SptLoopSpec {
@@ -283,8 +358,13 @@ pub fn transform_module_timed(
             replicate_insts: a.replicate_insts.clone(),
             loop_tag: next_tag,
         };
-        match emit_spt_loop(func, &spec) {
-            Ok(_info) => {
+        let snapshot = func.clone();
+        let emitted = catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point!("pipeline::emission", &format!("{}@{}", func.name, a.header));
+            emit_spt_loop(func, &spec)
+        }));
+        match emitted {
+            Ok(Ok(_info)) => {
                 selected_out.push(SelectedLoop {
                     func: a.func,
                     header: a.header,
@@ -295,8 +375,29 @@ pub fn transform_module_timed(
                 });
                 next_tag += 1;
             }
-            Err(_) => {
+            Ok(Err(e)) => {
                 records[idx].outcome = LoopOutcome::NotCanonical;
+                diags.push(Diagnostic::for_loop(
+                    Stage::Emission,
+                    Severity::Warning,
+                    a.func,
+                    a.header,
+                    format!("SPT emission declined: {e}; loop left sequential"),
+                ));
+            }
+            Err(payload) => {
+                *func = snapshot;
+                records[idx].outcome = LoopOutcome::AnalysisFailed;
+                diags.push(Diagnostic::for_loop(
+                    Stage::Emission,
+                    Severity::Error,
+                    a.func,
+                    a.header,
+                    format!(
+                        "recovered panic during SPT emission: {}; function restored, loop left sequential",
+                        panic_message(&*payload)
+                    ),
+                ));
             }
         }
     }
@@ -305,6 +406,9 @@ pub fn transform_module_timed(
     for func in &mut module.funcs {
         spt_ir::passes::cleanup(func);
     }
+    crate::fail_point!("pipeline::verify", "", |msg: String| PipelineError::Verify(
+        format!("failpoint: {msg}")
+    ));
     spt_ir::verify::verify_module(module).map_err(|e| PipelineError::Verify(e.to_string()))?;
     timings.select_emit_s = t_select.elapsed().as_secs_f64();
 
@@ -314,9 +418,17 @@ pub fn transform_module_timed(
             loops: records,
             selected: selected_out,
             profile_total_cycles: collector.loops.total_cycles,
+            diagnostics: diags,
         },
         timings,
     ))
+}
+
+/// Total instruction count of a function (the unroll growth-cap metric).
+fn func_inst_count(func: &spt_ir::Function) -> usize {
+    func.block_ids()
+        .map(|bb| func.block(bb).insts.len())
+        .sum::<usize>()
 }
 
 /// Stage 2: unrolling and global promotion.
@@ -324,6 +436,7 @@ fn preprocess(
     module: &mut Module,
     config: &CompilerConfig,
     unroll_factors: &mut HashMap<(FuncId, BlockId), usize>,
+    diags: &mut Vec<Diagnostic>,
 ) {
     let globals = module.globals.clone();
     for fi in 0..module.funcs.len() {
@@ -337,6 +450,11 @@ fn preprocess(
         }
 
         if config.unroll_counted || config.unroll_while {
+            // Per-function code-growth budget: unrolling may not blow the
+            // function up past `unroll_growth_cap` times its pre-unroll size.
+            let base_insts = func_inst_count(func).max(1);
+            let growth_limit =
+                ((base_insts as f64) * config.budget.unroll_growth_cap).ceil() as usize;
             // Attempt each loop once (identified by header).
             let mut attempted: HashSet<BlockId> = HashSet::new();
             loop {
@@ -364,6 +482,28 @@ fn preprocess(
                     if factor < 2 {
                         continue;
                     }
+                    // Growth-cap check: unrolling by `factor` adds roughly
+                    // `factor - 1` extra copies of the loop body.
+                    let body_insts: usize = forest
+                        .get(lid)
+                        .blocks
+                        .iter()
+                        .map(|&bb| func.block(bb).insts.len())
+                        .sum();
+                    let projected = func_inst_count(func) + body_insts * (factor - 1);
+                    if projected > growth_limit {
+                        diags.push(Diagnostic::for_loop(
+                            Stage::Preprocess,
+                            Severity::Warning,
+                            func_id,
+                            header,
+                            format!(
+                                "unroll x{factor} skipped: projected {projected} insts exceeds \
+                                 code-growth cap of {growth_limit}"
+                            ),
+                        ));
+                        continue;
+                    }
                     if unroll_loop(func, lid, factor).is_ok() {
                         unroll_factors.insert((func_id, header), factor);
                         spt_ir::passes::cleanup(func);
@@ -381,8 +521,14 @@ fn preprocess(
 }
 
 /// One profiling run with the full collector (decodes the module fresh).
-fn run_profile(module: &Module, input: &ProfilingInput) -> Result<ProfileCollector, PipelineError> {
-    collect_profile(&Interp::new(module), input)
+fn run_profile(
+    module: &Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> Result<ProfileCollector, PipelineError> {
+    let mut interp = Interp::new(module);
+    interp.fuel = config.budget.interp_fuel;
+    collect_profile(&interp, input)
 }
 
 /// One profiling run with the full collector against an already-built
@@ -391,6 +537,9 @@ fn collect_profile(
     interp: &Interp<'_>,
     input: &ProfilingInput,
 ) -> Result<ProfileCollector, PipelineError> {
+    crate::fail_point!("pipeline::profile", &input.entry, |msg: String| {
+        PipelineError::Interp(InterpError::Malformed(format!("failpoint: {msg}")))
+    });
     let mut collector = ProfileCollector::new();
     match &input.memory {
         Some(mem) => {
@@ -405,10 +554,19 @@ fn collect_profile(
 /// independent, so they fan out over [`crate::parallel::parallel_map`];
 /// results come back in (function, loop) discovery order, making the output
 /// — and every report built from it — identical to a sequential run.
+///
+/// Fault isolation: each loop's analysis runs under
+/// [`catch_unwind`], so a panic (or the optional analysis deadline)
+/// degrades that single loop to [`LoopAnalysis::failed`] — with a
+/// deterministic [`Diagnostic`] — while every other loop's analysis is
+/// unaffected. Per-loop diagnostics travel with the per-item results and are
+/// merged in item order, never through a shared sink, keeping the stream
+/// byte-identical across `SPT_THREADS` settings.
 fn analyze_module(
     module: &Module,
     collector: &ProfileCollector,
     config: &CompilerConfig,
+    diags: &mut Vec<Diagnostic>,
 ) -> Vec<LoopAnalysis> {
     // CFG/dominators/loop forest once per function, shared by its loops.
     let mut contexts: Vec<(FuncId, Cfg, LoopForest)> = Vec::new();
@@ -424,10 +582,78 @@ fn analyze_module(
         }
         contexts.push((func_id, cfg, forest));
     }
-    crate::parallel::parallel_map(&items, |&(ctx_idx, lid)| {
+    let deadline = config
+        .budget
+        .analysis_deadline_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let results = crate::parallel::parallel_map(&items, |&(ctx_idx, lid)| {
         let (func_id, ref cfg, ref forest) = contexts[ctx_idx];
-        analyze_loop(module, func_id, cfg, forest, lid, collector, config)
-    })
+        let l = forest.get(lid);
+        let header = l.header;
+        let depth = l.depth;
+        let parent_header = l.parent.map(|p| forest.get(p).header);
+        let mut item_diags: Vec<Diagnostic> = Vec::new();
+        if let Some(deadline) = deadline {
+            if std::time::Instant::now() >= deadline {
+                item_diags.push(Diagnostic::for_loop(
+                    Stage::Analysis,
+                    Severity::Error,
+                    func_id,
+                    header,
+                    "analysis deadline exceeded before this loop started; loop not speculated",
+                ));
+                return (
+                    LoopAnalysis::failed(func_id, lid, header, depth, parent_header),
+                    item_diags,
+                );
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point!(
+                "pipeline::analysis",
+                &format!("{}@{}", module.func(func_id).name, header)
+            );
+            analyze_loop(module, func_id, cfg, forest, lid, collector, config)
+        }));
+        let analysis = match outcome {
+            Ok(a) => {
+                if a.search_budget_exhausted {
+                    item_diags.push(Diagnostic::for_loop(
+                        Stage::Analysis,
+                        Severity::Warning,
+                        func_id,
+                        header,
+                        format!(
+                            "partition search budget exhausted after {} visited states; \
+                             keeping best partition found so far",
+                            a.search_visited
+                        ),
+                    ));
+                }
+                a
+            }
+            Err(payload) => {
+                item_diags.push(Diagnostic::for_loop(
+                    Stage::Analysis,
+                    Severity::Error,
+                    func_id,
+                    header,
+                    format!(
+                        "recovered panic during loop analysis: {}; loop not speculated",
+                        panic_message(&*payload)
+                    ),
+                ));
+                LoopAnalysis::failed(func_id, lid, header, depth, parent_header)
+            }
+        };
+        (analysis, item_diags)
+    });
+    let mut analyses = Vec::with_capacity(results.len());
+    for (a, item_diags) in results {
+        diags.extend(item_diags);
+        analyses.push(a);
+    }
+    analyses
 }
 
 /// Builds the cost model and searches the optimal partition for one loop.
@@ -463,6 +689,7 @@ fn analyze_loop(
     let search_config = SearchConfig {
         max_prefork_size: ((body_size as f64) * config.prefork_frac) as u64,
         max_vcs: config.max_vcs,
+        max_visited: config.budget.search_max_visited,
         ..SearchConfig::default()
     };
     let result = optimal_partition(&model, &search_config);
@@ -483,17 +710,9 @@ fn analyze_loop(
         }
     }
     {
-        let loop_blocks: std::collections::HashSet<BlockId> = {
-            let cfg = Cfg::compute(func);
-            let dom = DomTree::compute(&cfg);
-            let forest = LoopForest::compute(func, &cfg, &dom);
-            let blocks: std::collections::HashSet<BlockId> = forest
-                .ids()
-                .find(|&l| forest.get(l).header == header)
-                .map(|l| forest.get(l).blocks.iter().copied().collect())
-                .unwrap_or_default();
-            blocks
-        };
+        // Pass 1 never mutates the function, so the caller's forest is still
+        // valid — no need to recompute CFG/dominators/forest per loop.
+        let loop_blocks: HashSet<BlockId> = forest.get(loop_id).blocks.iter().copied().collect();
         let mut used_outside: HashSet<InstId> = HashSet::new();
         for bb in func.block_ids() {
             if loop_blocks.contains(&bb) {
@@ -549,6 +768,8 @@ fn analyze_loop(
         canonical: canonical && live_out_closure_legal,
         search_visited: result.visited,
         svp_applied: false,
+        search_budget_exhausted: result.budget_exhausted,
+        failed: false,
     }
 }
 
@@ -614,18 +835,24 @@ fn svp_targets(
 
 /// Stage 5, rewrite half: given value-profile results, rewrite the
 /// predictable carriers. Returns `true` when anything was rewritten.
+///
+/// Each rewrite is fault-isolated: `apply_svp` runs under [`catch_unwind`]
+/// against a snapshot of the function (and of the global table, since the
+/// predictor cell is a new global), so a contained panic rolls that one
+/// loop back and records a diagnostic instead of failing the compile.
 fn svp_rewrite(
     module: &mut Module,
     loop_phis: Vec<(FuncId, BlockId, InstId, InstId)>,
     vp: &ValueProfile,
     svp_headers: &mut HashSet<(FuncId, BlockId)>,
+    diags: &mut Vec<Diagnostic>,
 ) -> bool {
     // Rewrite predictable carriers.
     let mut rewrote = false;
     for (func_id, header, phi, carrier) in loop_phis {
         let (pattern, ratio) = vp.pattern(func_id, carrier);
         if matches!(pattern, spt_profile::ValuePattern::Unpredictable) {
-            continue;
+            continue; // no evidence of a pattern — routine, not a degradation
         }
         if vp.samples(func_id, carrier) < 8 {
             continue; // not enough evidence
@@ -639,11 +866,54 @@ fn svp_rewrite(
             let found = forest.ids().find(|&l| forest.get(l).header == header);
             found
         };
-        let Some(lid) = lid else { continue };
+        let Some(lid) = lid else {
+            diags.push(Diagnostic::for_loop(
+                Stage::Svp,
+                Severity::Warning,
+                func_id,
+                header,
+                "predictable loop no longer present after earlier SVP rewrites; skipped",
+            ));
+            continue;
+        };
         let miss = (1.0 - ratio).clamp(0.0, 1.0);
-        if spt_transform::apply_svp(module, func_id, lid, phi, pattern, miss).is_ok() {
-            svp_headers.insert((func_id, header));
-            rewrote = true;
+        let func_snapshot = module.func(func_id).clone();
+        let globals_len = module.globals.len();
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point!(
+                "pipeline::svp",
+                &format!("{}@{}", module.func(func_id).name, header)
+            );
+            spt_transform::apply_svp(module, func_id, lid, phi, pattern, miss)
+        }));
+        match applied {
+            Ok(Ok(_)) => {
+                svp_headers.insert((func_id, header));
+                rewrote = true;
+            }
+            Ok(Err(e)) => {
+                diags.push(Diagnostic::for_loop(
+                    Stage::Svp,
+                    Severity::Warning,
+                    func_id,
+                    header,
+                    format!("SVP rewrite declined: {e}; loop keeps its original carrier"),
+                ));
+            }
+            Err(payload) => {
+                *module.func_mut(func_id) = func_snapshot;
+                module.globals.truncate(globals_len);
+                diags.push(Diagnostic::for_loop(
+                    Stage::Svp,
+                    Severity::Error,
+                    func_id,
+                    header,
+                    format!(
+                        "recovered panic during SVP rewrite: {}; function restored",
+                        panic_message(&*payload)
+                    ),
+                ));
+            }
         }
     }
     rewrote
@@ -656,6 +926,7 @@ fn select(
     collector: &ProfileCollector,
     analyses: &mut [LoopAnalysis],
     unroll_factors: &HashMap<(FuncId, BlockId), usize>,
+    diags: &mut Vec<Diagnostic>,
 ) -> Vec<LoopRecord> {
     // Loop-profile lookup keyed by (func, header): recompute forest per
     // function to map headers to loop-profile ids.
@@ -684,7 +955,9 @@ fn select(
             .get(&(a.func, a.header))
             .copied()
             .unwrap_or(0.0);
-        let outcome = if !a.canonical {
+        let outcome = if a.failed {
+            LoopOutcome::AnalysisFailed
+        } else if !a.canonical {
             LoopOutcome::NotCanonical
         } else if a.skipped_too_many_vcs {
             LoopOutcome::TooManyVcs
@@ -771,6 +1044,20 @@ fn select(
                 records[loser].outcome = LoopOutcome::NestConflict;
             }
         }
+    }
+
+    // Every rejection gets a structured record: no silent non-selection.
+    for r in &records {
+        if r.outcome == LoopOutcome::Selected {
+            continue;
+        }
+        diags.push(Diagnostic::for_loop(
+            Stage::Selection,
+            Severity::Info,
+            r.func,
+            r.header,
+            format!("not selected: {}", r.outcome.label()),
+        ));
     }
     records
 }

@@ -1,6 +1,8 @@
 //! Per-loop decision records — the raw material for the paper's Figures
-//! 15–17 (loop breakdown, coverage, partition characteristics).
+//! 15–17 (loop breakdown, coverage, partition characteristics) — plus the
+//! structured diagnostic stream of the fault-isolated pipeline.
 
+use crate::diag::Diagnostic;
 use spt_ir::loops::LoopId;
 use spt_ir::{BlockId, FuncId};
 
@@ -31,6 +33,10 @@ pub enum LoopOutcome {
     /// The loop shape is not canonical (no dedicated preheader/latch), so
     /// the transformation cannot apply.
     NotCanonical,
+    /// Analysis or emission of this loop failed (a contained panic, or the
+    /// analysis budget/deadline cut it off before it ran). The loop is
+    /// simply not speculated; the compile itself still succeeds.
+    AnalysisFailed,
 }
 
 impl LoopOutcome {
@@ -47,6 +53,7 @@ impl LoopOutcome {
             LoopOutcome::NestConflict => "nest-conflict",
             LoopOutcome::NotProfiled => "not-profiled",
             LoopOutcome::NotCanonical => "not-canonical",
+            LoopOutcome::AnalysisFailed => "analysis-failed",
         }
     }
 }
@@ -116,6 +123,9 @@ pub struct CompilationReport {
     pub selected: Vec<SelectedLoop>,
     /// Total cycles of the profiling run (coverage denominators).
     pub profile_total_cycles: u64,
+    /// Structured degradation/decision diagnostics, in deterministic stage
+    /// order (byte-identical across `SPT_THREADS` settings).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CompilationReport {
@@ -148,6 +158,19 @@ impl CompilationReport {
             .iter()
             .filter(|l| l.outcome == LoopOutcome::Selected)
             .collect()
+    }
+
+    /// Diagnostics scoped to one loop (by containing function and header).
+    pub fn diagnostics_for(&self, func: FuncId, header: BlockId) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.func == Some(func) && d.header == Some(header))
+            .collect()
+    }
+
+    /// The most severe diagnostic severity present, if any.
+    pub fn max_severity(&self) -> Option<crate::diag::Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
     }
 }
 
@@ -187,6 +210,7 @@ mod tests {
             ],
             selected: Vec::new(),
             profile_total_cycles: 100,
+            diagnostics: Vec::new(),
         };
         let hist = report.outcome_histogram();
         assert_eq!(hist.len(), 2);
@@ -208,6 +232,7 @@ mod tests {
             LoopOutcome::NestConflict,
             LoopOutcome::NotProfiled,
             LoopOutcome::NotCanonical,
+            LoopOutcome::AnalysisFailed,
         ];
         let labels: HashSet<&str> = all.iter().map(|o| o.label()).collect();
         assert_eq!(labels.len(), all.len());

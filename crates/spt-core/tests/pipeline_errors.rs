@@ -1,0 +1,135 @@
+//! Graceful failure of the profiling stage and graceful degradation of the
+//! analysis stage.
+//!
+//! Profiling is the pipeline's *input*: when the profiling run cannot finish
+//! (fuel exhausted, wild memory access, missing entry function) the pipeline
+//! must fail with [`PipelineError::Interp`] — never a panic — and must leave
+//! the input module observably unchanged (`transform_module` is
+//! transactional: it commits a scratch clone only on success).
+
+use spt_core::pipeline::transform_module;
+use spt_core::{compile_and_transform, CompilerConfig, LoopOutcome, PipelineError, ProfilingInput};
+use spt_profile::InterpError;
+
+const PROGRAM: &str = "
+    global data[512]: int;
+    fn main(n: int) -> int {
+        let s = 0;
+        for (let i = 0; i < n; i = i + 1) {
+            data[i % 512] = i * 3 % 251;
+            s = s + data[i % 512] + i % 7;
+        }
+        return s;
+    }
+";
+
+/// Runs `transform_module` expecting an interpreter error, and asserts the
+/// module comes back byte-identical.
+fn expect_interp_error(
+    source: &str,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+) -> InterpError {
+    let mut module = spt_frontend::compile(source).expect("compiles");
+    let pristine = format!("{module:?}");
+    let err = transform_module(&mut module, input, config);
+    assert_eq!(
+        format!("{module:?}"),
+        pristine,
+        "failed transform must leave the input module unchanged"
+    );
+    match err {
+        Err(PipelineError::Interp(e)) => e,
+        other => panic!("expected PipelineError::Interp, got {other:?}"),
+    }
+}
+
+#[test]
+fn profiling_out_of_fuel_is_a_clean_interp_error() {
+    let mut config = CompilerConfig::best();
+    config.budget.interp_fuel = 100; // far below what the run needs
+    let e = expect_interp_error(PROGRAM, &ProfilingInput::new("main", [10_000]), &config);
+    assert!(matches!(e, InterpError::OutOfFuel), "got {e:?}");
+}
+
+#[test]
+fn profiling_oob_access_is_a_clean_interp_error() {
+    let src = "
+        global a[8]: int;
+        fn main(n: int) -> int {
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                a[i] = i;
+                s = s + a[i];
+            }
+            return s;
+        }
+    ";
+    // n = 100 runs off the end of the 8-element array.
+    let e = expect_interp_error(
+        src,
+        &ProfilingInput::new("main", [100]),
+        &CompilerConfig::best(),
+    );
+    assert!(matches!(e, InterpError::OutOfBounds { .. }), "got {e:?}");
+}
+
+#[test]
+fn missing_entry_function_is_a_clean_interp_error() {
+    let e = expect_interp_error(
+        PROGRAM,
+        &ProfilingInput::new("no_such_fn", [10]),
+        &CompilerConfig::best(),
+    );
+    assert!(matches!(e, InterpError::NoSuchFunction(_)), "got {e:?}");
+}
+
+#[test]
+fn expired_analysis_deadline_degrades_every_loop_but_compiles() {
+    let mut config = CompilerConfig::best();
+    config.budget.analysis_deadline_ms = Some(0); // already expired
+    let input = ProfilingInput::new("main", [400]);
+    let result = compile_and_transform(PROGRAM, &input, &config).expect("compile still succeeds");
+    assert!(!result.report.loops.is_empty());
+    for r in &result.report.loops {
+        assert_eq!(r.outcome, LoopOutcome::AnalysisFailed, "{r:?}");
+        assert!(
+            !result.report.diagnostics_for(r.func, r.header).is_empty(),
+            "degraded loop must carry a diagnostic"
+        );
+    }
+    assert!(result.report.selected.is_empty());
+    // Nothing was speculated, so the module is semantically the baseline.
+    let run = |m: &spt_ir::Module, n: i64| {
+        spt_profile::Interp::new(m)
+            .run(
+                "main",
+                &[spt_profile::Val::from_i64(n)],
+                &mut spt_profile::NoProfiler,
+            )
+            .expect("runs")
+            .ret
+            .expect("returns")
+            .as_i64()
+    };
+    for n in [0i64, 33, 400] {
+        assert_eq!(run(&result.module, n), run(&result.baseline, n));
+    }
+}
+
+#[test]
+fn search_budget_exhaustion_degrades_gracefully() {
+    // A tiny visited-state budget: searches return best-so-far and flag it;
+    // the compile succeeds and every record is still produced.
+    let mut config = CompilerConfig::best();
+    config.budget.search_max_visited = 1;
+    let input = ProfilingInput::new("main", [400]);
+    let result = compile_and_transform(PROGRAM, &input, &config).expect("compile succeeds");
+    assert!(!result.report.loops.is_empty());
+    // The budget diagnostic is a warning, not an error.
+    assert!(result
+        .report
+        .diagnostics
+        .iter()
+        .all(|d| d.severity != spt_core::Severity::Error));
+}

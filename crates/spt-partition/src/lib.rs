@@ -190,6 +190,12 @@ pub struct SearchResult {
     /// `true` when the loop was skipped for having too many candidates; the
     /// returned partition is then the empty one.
     pub skipped_too_many_vcs: bool,
+    /// `true` when the search stopped because it hit
+    /// [`SearchConfig::max_visited`]. The returned partition is then the
+    /// best one found so far, *not* necessarily the optimum — callers that
+    /// care about optimality (or observability of degraded results) must
+    /// check this flag instead of treating the result as exact.
+    pub budget_exhausted: bool,
 }
 
 /// Finds the minimum-misspeculation-cost legal partition of the loop, via
@@ -216,6 +222,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
             pruned_size: 0,
             pruned_bound: 0,
             skipped_too_many_vcs: true,
+            budget_exhausted: false,
         };
     }
 
@@ -234,6 +241,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
         visited: u64,
         pruned_size: u64,
         pruned_bound: u64,
+        exhausted: bool,
     }
 
     impl Ctx<'_> {
@@ -269,6 +277,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
         /// Explores descendants of `set` (whose max position is `max_pos`).
         fn search(&mut self, set: &mut Vec<usize>, max_pos: Option<usize>) {
             if self.visited >= self.config.max_visited {
+                self.exhausted = true;
                 return;
             }
             let start = max_pos.map_or(0, |m| m + 1);
@@ -299,6 +308,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
 
             for p in start..self.vc_graph.len() {
                 if self.visited >= self.config.max_visited {
+                    self.exhausted = true;
                     return;
                 }
                 if self.vc_graph.immovable[p] {
@@ -348,6 +358,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
         visited: 0,
         pruned_size: 0,
         pruned_bound: 0,
+        exhausted: false,
     };
     let mut set = Vec::new();
     ctx.search(&mut set, None);
@@ -367,6 +378,7 @@ pub fn optimal_partition(model: &LoopCostModel, config: &SearchConfig) -> Search
         pruned_size: ctx.pruned_size,
         pruned_bound: ctx.pruned_bound,
         skipped_too_many_vcs: false,
+        budget_exhausted: ctx.exhausted,
     }
 }
 
@@ -389,6 +401,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
             pruned_size: 0,
             pruned_bound: 0,
             skipped_too_many_vcs: true,
+            budget_exhausted: false,
         };
     }
 
@@ -402,6 +415,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
         visited: u64,
         pruned_size: u64,
         pruned_bound: u64,
+        exhausted: bool,
     }
 
     impl Ctx<'_> {
@@ -423,6 +437,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
         /// Explores descendants of `set` (whose max position is `max_pos`).
         fn search(&mut self, set: &mut Vec<usize>, max_pos: Option<usize>) {
             if self.visited >= self.config.max_visited {
+                self.exhausted = true;
                 return;
             }
             // Bound pruning: the best any descendant can do is the cost with
@@ -449,6 +464,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
             let start = max_pos.map_or(0, |m| m + 1);
             for p in start..self.vc_graph.len() {
                 if self.visited >= self.config.max_visited {
+                    self.exhausted = true;
                     return;
                 }
                 if self.vc_graph.immovable[p] {
@@ -499,6 +515,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
         visited: 0,
         pruned_size: 0,
         pruned_bound: 0,
+        exhausted: false,
     };
     let mut set = Vec::new();
     ctx.search(&mut set, None);
@@ -518,6 +535,7 @@ pub fn optimal_partition_reference(model: &LoopCostModel, config: &SearchConfig)
         pruned_size: ctx.pruned_size,
         pruned_bound: ctx.pruned_bound,
         skipped_too_many_vcs: false,
+        budget_exhausted: ctx.exhausted,
     }
 }
 
@@ -582,6 +600,7 @@ pub fn greedy_partition(model: &LoopCostModel, config: &SearchConfig) -> SearchR
         pruned_size: 0,
         pruned_bound: 0,
         skipped_too_many_vcs: false,
+        budget_exhausted: false,
     }
 }
 

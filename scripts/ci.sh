@@ -19,11 +19,23 @@ cargo test -q -p spt-transform --lib --test transform_extra
 echo "== engine equivalence (dense vs reference, bit-identical) =="
 cargo test -q --release --test engine_equivalence
 
+echo "== robustness fuzz (64 deterministic cases, both thread counts) =="
+# The vendored proptest derives its cases from the test name, so the seeds
+# are fixed and this run is byte-for-byte reproducible.
+cargo test -q --test pipeline_robustness
+
+echo "== fault injection (failpoints feature) =="
+cargo test -q -p spt-core --features failpoints --test failpoint_injection
+
 echo "== perfbench smoke =="
 cargo run --release -q -p spt-bench --bin perfbench -- --smoke
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+# spt-core's library additionally denies unwrap/expect in production code
+# (see the crate-level cfg_attr); this re-lints it so a local `#[allow]`
+# regression cannot slip through without tripping the stricter gate.
+cargo clippy -p spt-core --lib -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --all --check

@@ -14,7 +14,7 @@
 //!   --train N                         profiling argument (default --arg)
 //! ```
 
-use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput, Severity};
 use spt::profile::{Interp, NoProfiler, Val};
 use spt::sim::SptSimulator;
 use std::process::ExitCode;
@@ -165,6 +165,20 @@ fn cmd_analyze(source: &str, opts: &Options) -> ExitCode {
         compiled.report.selected.len(),
         compiled.report.selected_coverage() * 100.0
     );
+    // Surface warnings/errors (budget exhaustion, contained faults); the
+    // routine per-loop Info rejections are already visible in the table.
+    let notable: Vec<_> = compiled
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity != Severity::Info)
+        .collect();
+    if !notable.is_empty() {
+        println!("\ndiagnostics:");
+        for d in notable {
+            println!("  {d}");
+        }
+    }
     ExitCode::SUCCESS
 }
 
