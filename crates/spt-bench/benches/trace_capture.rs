@@ -1,0 +1,64 @@
+//! Overhead of trace capture on the profiling interpreter: the full-collector
+//! profiling run bare vs wrapped in [`CaptureProfiler`] (stream recording plus
+//! `finish`), and the pure capture cost over [`NoProfiler`]. The capture tax
+//! is paid once per program; every later profile/sim derives from the trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spt_core::ResourceBudget;
+use spt_profile::{Interp, NoProfiler, ProfileCollector, Val};
+use spt_trace::{svp_watch_set, CaptureProfiler};
+use std::hint::black_box;
+
+const N: i64 = 400;
+const PROGRAMS: [&str; 2] = ["gcc_s", "twolf_s"];
+
+fn bench_trace_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_capture");
+    let budget = ResourceBudget::default().trace_max_bytes;
+    for name in PROGRAMS {
+        let bench = spt_bench_suite::benchmark(name).expect("exists");
+        let module = spt_frontend::compile(bench.source).expect("compiles");
+        let hash = module.content_hash();
+        let watch = svp_watch_set(&module);
+        let args = [Val::from_i64(N)];
+
+        g.bench_function(format!("profiled_direct/{name}"), |b| {
+            let interp = Interp::new(&module);
+            b.iter(|| {
+                let mut collector = ProfileCollector::new();
+                black_box(
+                    interp
+                        .run(bench.entry, &args, &mut collector)
+                        .expect("runs"),
+                );
+                black_box(collector)
+            })
+        });
+        g.bench_function(format!("profiled_capture/{name}"), |b| {
+            let interp = Interp::new(&module);
+            b.iter(|| {
+                let mut cap = CaptureProfiler::new(ProfileCollector::new(), watch.clone(), budget);
+                let run = interp.run(bench.entry, &args, &mut cap).expect("runs");
+                let (trace, collector) = cap.finish(&run, hash, bench.entry, &args);
+                black_box((trace.expect("within budget"), collector))
+            })
+        });
+        g.bench_function(format!("capture_bare/{name}"), |b| {
+            let interp = Interp::new(&module);
+            b.iter(|| {
+                let mut cap = CaptureProfiler::new(NoProfiler, watch.clone(), budget);
+                let run = interp.run(bench.entry, &args, &mut cap).expect("runs");
+                let (trace, _) = cap.finish(&run, hash, bench.entry, &args);
+                black_box(trace.expect("within budget"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_trace_capture
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Replay throughput: driving the baseline machine simulator and the
+//! full-collector profiling pass from one captured trace, against direct
+//! re-execution of each. These are the per-configuration costs the
+//! `sensitivity` sweep pays at every machine point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spt_profile::{Interp, NoProfiler, ProfileCollector, Val};
+use spt_sim::{MachineConfig, SptSimulator};
+use spt_trace::{
+    replay_profile, replay_sim, svp_watch_set, CaptureProfiler, ReplayLimits, Trace, WatchSet,
+};
+use std::hint::black_box;
+
+const N: i64 = 400;
+const PROGRAMS: [&str; 2] = ["gcc_s", "twolf_s"];
+
+fn capture(module: &spt_ir::Module, entry: &str, watch: &WatchSet) -> Trace {
+    let interp = Interp::new(module);
+    let args = [Val::from_i64(N)];
+    let mut cap = CaptureProfiler::new(NoProfiler, watch.clone(), u64::MAX);
+    let run = interp.run(entry, &args, &mut cap).expect("runs");
+    let (trace, _) = cap.finish(&run, module.content_hash(), entry, &args);
+    trace.expect("within budget")
+}
+
+fn bench_trace_replay_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_replay_sim");
+    let machine = MachineConfig::default();
+    for name in PROGRAMS {
+        let bench = spt_bench_suite::benchmark(name).expect("exists");
+        let module = spt_frontend::compile(bench.source).expect("compiles");
+        let entry_id = module.func_by_name(bench.entry).expect("entry exists");
+        let watch = svp_watch_set(&module);
+        // Sim replay wants a pure control/memory trace (no watched defs);
+        // profile replay consumes the def stream for value profiling.
+        let sim_trace = capture(&module, bench.entry, &WatchSet::empty());
+        let trace = capture(&module, bench.entry, &watch);
+
+        g.bench_function(format!("sim_direct/{name}"), |b| {
+            let sim = SptSimulator::new();
+            b.iter(|| black_box(sim.run(&module, bench.entry, &[N]).expect("runs")))
+        });
+        g.bench_function(format!("sim_replay/{name}"), |b| {
+            let interp = Interp::new(&module);
+            b.iter(|| {
+                black_box(
+                    replay_sim(
+                        interp.decoded(),
+                        entry_id,
+                        &sim_trace,
+                        &machine,
+                        interp.initial_memory(),
+                    )
+                    .expect("replays"),
+                )
+            })
+        });
+        g.bench_function(format!("profile_replay/{name}"), |b| {
+            let interp = Interp::new(&module);
+            b.iter(|| {
+                let mut collector = ProfileCollector::new();
+                black_box(
+                    replay_profile(
+                        interp.decoded(),
+                        entry_id,
+                        &trace,
+                        &watch,
+                        interp.initial_memory(),
+                        &mut collector,
+                        ReplayLimits::default(),
+                    )
+                    .expect("replays"),
+                );
+                black_box(collector)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_trace_replay_sim
+}
+criterion_main!(benches);

@@ -19,6 +19,7 @@
 //! Smoke check (no file write): `... --bin perfbench -- --smoke`
 
 use spt_bench::{run_benchmark_timed, TimedBenchmarkRun};
+use spt_core::parallel::set_thread_count_override;
 use spt_core::CompilerConfig;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,6 +37,10 @@ struct Totals {
     select_emit_s: f64,
     sim_s: f64,
     search_visited: u64,
+    trace_capture_s: f64,
+    trace_replay_s: f64,
+    trace_hits: u64,
+    trace_misses: u64,
 }
 
 impl Totals {
@@ -53,6 +58,10 @@ impl Totals {
             t.select_emit_s += r.stages.select_emit_s;
             t.sim_s += r.sim_baseline_s + r.sim_spt_s;
             t.search_visited += r.stages.search_visited;
+            t.trace_capture_s += r.stages.trace_capture_s + r.sim_trace.capture_s;
+            t.trace_replay_s += r.stages.trace_replay_s + r.sim_trace.replay_s;
+            t.trace_hits += r.stages.trace_cache_hits + r.sim_trace.hits();
+            t.trace_misses += r.stages.trace_cache_misses + r.sim_trace.misses();
         }
         t
     }
@@ -70,7 +79,9 @@ impl Totals {
             "{{\"threads\": {threads}, \"wall_s\": {:.6}, \"compile_s\": {:.6}, \
              \"preprocess_s\": {:.6}, \"profile_s\": {:.6}, \"analysis_s\": {:.6}, \
              \"svp_s\": {:.6}, \"select_emit_s\": {:.6}, \"sim_s\": {:.6}, \
-             \"search_visited\": {}, \"search_nodes_per_s\": {:.1}}}",
+             \"search_visited\": {}, \"search_nodes_per_s\": {:.1}, \
+             \"trace_capture_s\": {:.6}, \"trace_replay_s\": {:.6}, \
+             \"trace_cache_hits\": {}, \"trace_cache_misses\": {}}}",
             self.wall_s,
             self.compile_s,
             self.preprocess_s,
@@ -80,20 +91,48 @@ impl Totals {
             self.select_emit_s,
             self.sim_s,
             self.search_visited,
-            self.search_nodes_per_s()
+            self.search_nodes_per_s(),
+            self.trace_capture_s,
+            self.trace_replay_s,
+            self.trace_hits,
+            self.trace_misses
         )
     }
 }
 
-/// Runs the whole suite under `best`, timed; parallelism is whatever
-/// `SPT_THREADS` currently dictates.
-fn run_suite_timed() -> (Vec<TimedBenchmarkRun>, f64) {
+/// The benchmarked configuration: `best` with trace capture/replay on and
+/// the artifact cache at `.spt-cache/` — the production setup this tool is
+/// meant to measure. Run it twice to see warm-cache numbers.
+fn traced_best() -> CompilerConfig {
+    spt_bench::with_trace(CompilerConfig::best())
+}
+
+/// Runs the whole suite, timed, under the current worker-count setting.
+fn run_suite_timed(config: &CompilerConfig) -> (Vec<TimedBenchmarkRun>, f64) {
     let suite = spt_bench_suite::suite();
-    let config = CompilerConfig::best();
     let t0 = Instant::now();
-    let runs = spt_core::parallel::parallel_map(&suite, |b| run_benchmark_timed(b, &config));
+    let runs = spt_core::parallel::parallel_map(&suite, |b| run_benchmark_timed(b, config));
     let wall = t0.elapsed().as_secs_f64();
     (runs, wall)
+}
+
+/// Order-stable FNV-1a digest over everything a run *computed* — reports
+/// and simulation results, never wall times or cache counters — so two runs
+/// of this tool print the same digest exactly when they produced the same
+/// results, whether they were served cold or from the cache.
+fn report_digest(runs: &[TimedBenchmarkRun]) -> u64 {
+    let mut h = spt_trace::codec::Fnv::new();
+    for r in runs {
+        h.update(format!("{:?}", r.run.report).as_bytes());
+        for sim in [&r.run.baseline, &r.run.spt] {
+            h.update_u64(sim.ret.unwrap_or(u64::MAX));
+            h.update_u64(sim.cycles);
+            h.update_u64(sim.insts);
+            h.update_u64(sim.cache_hit_rate.to_bits());
+            h.update_u64(sim.branch_miss_rate.to_bits());
+        }
+    }
+    h.finish()
 }
 
 /// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), or 0
@@ -135,6 +174,10 @@ fn print_mode(label: &str, t: &Totals, threads: usize) {
         t.search_visited,
         t.analysis_s,
         t.search_nodes_per_s()
+    );
+    println!(
+        "{:<12} trace: capture={:.3}s replay={:.3}s",
+        "", t.trace_capture_s, t.trace_replay_s
     );
 }
 
@@ -219,7 +262,7 @@ fn print_deltas(prev_entry: &str, seq: &Totals) {
         return;
     };
     println!("\nper-stage delta vs previous entry (sequential):");
-    let stages: [(&str, f64); 8] = [
+    let stages: [(&str, f64); 10] = [
         ("wall_s", seq.wall_s),
         ("compile_s", seq.compile_s),
         ("preprocess_s", seq.preprocess_s),
@@ -228,6 +271,8 @@ fn print_deltas(prev_entry: &str, seq: &Totals) {
         ("svp_s", seq.svp_s),
         ("select_emit_s", seq.select_emit_s),
         ("sim_s", seq.sim_s),
+        ("trace_capture_s", seq.trace_capture_s),
+        ("trace_replay_s", seq.trace_replay_s),
     ];
     for (name, now) in stages {
         let Some(before) = json_field(prev, name) else {
@@ -251,22 +296,26 @@ fn main() {
         "perfbench",
         "pipeline wall-time per stage, sequential vs parallel",
     );
+    let config = traced_best();
 
     // Sequential baseline first: force one worker everywhere (the override
     // reaches the nested per-loop fan-out too).
-    let saved = std::env::var("SPT_THREADS").ok();
-    std::env::set_var("SPT_THREADS", "1");
-    let (seq_runs, seq_wall) = run_suite_timed();
+    set_thread_count_override(Some(1));
+    let (seq_runs, seq_wall) = run_suite_timed(&config);
+    set_thread_count_override(None);
     let seq = Totals::from_runs(&seq_runs, seq_wall);
 
     if smoke {
         // Quick harness check: one sequential pass, no parallel run, no
-        // file write — just prove the suite compiles, runs, and times.
-        match &saved {
-            Some(v) => std::env::set_var("SPT_THREADS", v),
-            None => std::env::remove_var("SPT_THREADS"),
-        }
+        // file write — just prove the suite compiles, runs, and times. The
+        // digest covers only computed results, so consecutive smoke runs
+        // must print the same digest whether served cold or from the cache.
         print_mode("sequential", &seq, 1);
+        println!(
+            "trace cache: {} hits, {} misses",
+            seq.trace_hits, seq.trace_misses
+        );
+        println!("report digest: {:016x}", report_digest(&seq_runs));
         assert!(seq.wall_s > 0.0 && seq.profile_s > 0.0 && seq.sim_s > 0.0);
         if let Some(prev) = load_history("BENCH_pipeline.json").last() {
             print_deltas(prev, &seq);
@@ -276,12 +325,8 @@ fn main() {
     }
 
     // Then the parallel run under the real thread count.
-    match &saved {
-        Some(v) => std::env::set_var("SPT_THREADS", v),
-        None => std::env::remove_var("SPT_THREADS"),
-    }
     let threads = spt_core::parallel::thread_count();
-    let (par_runs, par_wall) = run_suite_timed();
+    let (par_runs, par_wall) = run_suite_timed(&config);
     let par = Totals::from_runs(&par_runs, par_wall);
 
     print_mode("sequential", &seq, 1);
@@ -293,6 +338,14 @@ fn main() {
     };
     let rss = peak_rss_kb();
     println!("\nsuite wall speedup: {speedup:.2}x  (peak RSS {rss} kB)");
+    println!(
+        "trace cache: {} hits, {} misses (sequential pass: {} hits, {} misses)",
+        seq.trace_hits + par.trace_hits,
+        seq.trace_misses + par.trace_misses,
+        seq.trace_hits,
+        seq.trace_misses
+    );
+    println!("report digest: {:016x}", report_digest(&seq_runs));
 
     // Reports must agree between the two modes — determinism is part of the
     // contract the parallel drivers advertise.

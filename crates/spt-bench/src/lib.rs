@@ -7,8 +7,14 @@
 
 use spt_bench_suite::Benchmark;
 use spt_core::pipeline::transform_module_timed;
-use spt_core::{CompilationReport, CompilerConfig, ProfilingInput, StageTimings};
-use spt_sim::{LoopSimStats, SimResult, SptSimulator};
+use spt_core::{
+    CompilationReport, CompilerConfig, ProfilingInput, ResourceBudget, StageTimings, TraceSettings,
+};
+use spt_profile::{Interp, NoProfiler, Val};
+use spt_sim::{LoopSimStats, MachineConfig, SimError, SimResult, SptSimulator};
+use spt_trace::{
+    has_spt_markers, replay_sim, ArtifactCache, CaptureProfiler, LoadOutcome, WatchSet,
+};
 use std::collections::HashMap;
 
 /// The measurements from running one benchmark under one configuration.
@@ -41,6 +47,47 @@ impl BenchmarkRun {
     }
 }
 
+/// Trace/artifact-cache statistics of the simulation side of a run (the
+/// pipeline's own trace counters live in [`StageTimings`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimTraceStats {
+    /// Simulations served whole from a cached `SimResult` memo.
+    pub memo_hits: u64,
+    /// Replays whose input trace came from the artifact cache.
+    pub trace_hits: u64,
+    /// Traces captured (interpreter run + recording) this call.
+    pub captures: u64,
+    /// Simulations run directly (tracing disabled for the module — e.g. it
+    /// carries SPT markers — or replay fell back).
+    pub direct_runs: u64,
+    /// Seconds spent capturing simulation traces.
+    pub capture_s: f64,
+    /// Seconds spent replaying traces through the simulator.
+    pub replay_s: f64,
+}
+
+impl SimTraceStats {
+    /// Artifact-cache hits (memo or trace).
+    pub fn hits(&self) -> u64 {
+        self.memo_hits + self.trace_hits
+    }
+
+    /// Runs that could not be served from the cache while tracing was on.
+    pub fn misses(&self) -> u64 {
+        self.captures + self.direct_runs
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &SimTraceStats) {
+        self.memo_hits += other.memo_hits;
+        self.trace_hits += other.trace_hits;
+        self.captures += other.captures;
+        self.direct_runs += other.direct_runs;
+        self.capture_s += other.capture_s;
+        self.replay_s += other.replay_s;
+    }
+}
+
 /// A [`BenchmarkRun`] plus the wall-clock breakdown of how it was produced.
 pub struct TimedBenchmarkRun {
     /// The measurements themselves.
@@ -53,6 +100,8 @@ pub struct TimedBenchmarkRun {
     pub sim_baseline_s: f64,
     /// SPT simulation seconds.
     pub sim_spt_s: f64,
+    /// Capture/replay/cache statistics of the two simulations.
+    pub sim_trace: SimTraceStats,
 }
 
 impl TimedBenchmarkRun {
@@ -67,6 +116,128 @@ impl TimedBenchmarkRun {
             + self.sim_baseline_s
             + self.sim_spt_s
     }
+}
+
+/// Simulates `entry(arg)` of `module` under `machine`, going through the
+/// trace backend when `settings.enabled`:
+///
+/// 1. a content-addressed `SimResult` memo (module hash + entry + args +
+///    machine config) is probed first — an exact repeat costs one file read;
+/// 2. otherwise, for marker-free modules, the run's trace is loaded from the
+///    cache (or captured once and stored) and **replayed** through the
+///    simulator — bit-identical to direct simulation (pinned by
+///    `tests/trace_equivalence.rs`) but shared across machine configs;
+/// 3. SPT-transformed modules (fork/kill markers) and any trace problem fall
+///    back to direct simulation.
+///
+/// With `settings.enabled == false` this is exactly a direct
+/// [`SptSimulator`] run.
+///
+/// # Errors
+///
+/// Whatever the underlying simulation returns; cache/trace problems never
+/// surface as errors.
+pub fn sim_with_cache(
+    module: &spt_ir::Module,
+    entry: &str,
+    arg: i64,
+    machine: &MachineConfig,
+    settings: &TraceSettings,
+    stats: &mut SimTraceStats,
+) -> Result<SimResult, SimError> {
+    if !settings.enabled {
+        return SptSimulator::with_config(machine.clone()).run(module, entry, &[arg]);
+    }
+    let module_hash = module.content_hash();
+    let cache = settings.cache_dir.as_ref().map(ArtifactCache::new);
+    let sim_key = ArtifactCache::sim_key(module_hash, entry, &[arg], machine);
+    if let Some(cache) = &cache {
+        if let LoadOutcome::Hit(hit) = cache.load_sim(sim_key) {
+            stats.memo_hits += 1;
+            return Ok(hit);
+        }
+    }
+    let result = match replayed_sim(
+        module,
+        module_hash,
+        entry,
+        arg,
+        machine,
+        cache.as_ref(),
+        stats,
+    ) {
+        Some(r) => r,
+        None => {
+            stats.direct_runs += 1;
+            SptSimulator::with_config(machine.clone()).run(module, entry, &[arg])?
+        }
+    };
+    if let Some(cache) = &cache {
+        cache.store_sim(sim_key, &result);
+    }
+    Ok(result)
+}
+
+/// The trace-replay path of [`sim_with_cache`]: `None` means "use direct
+/// simulation" (marker-bearing module, failed capture, or replay error).
+fn replayed_sim(
+    module: &spt_ir::Module,
+    module_hash: u64,
+    entry: &str,
+    arg: i64,
+    machine: &MachineConfig,
+    cache: Option<&ArtifactCache>,
+    stats: &mut SimTraceStats,
+) -> Option<SimResult> {
+    let interp = Interp::new(module);
+    if has_spt_markers(interp.decoded()) {
+        return None;
+    }
+    let entry_id = module.func_by_name(entry)?;
+    let val_args = [Val::from_i64(arg)];
+    let watch = WatchSet::empty();
+    let trace_key = ArtifactCache::trace_key(
+        module_hash,
+        entry,
+        &[val_args[0].0],
+        watch.hash(),
+        ArtifactCache::memory_hash(None),
+    );
+    let cached = match cache.map(|c| c.load_trace(trace_key)) {
+        Some(LoadOutcome::Hit(t)) => {
+            stats.trace_hits += 1;
+            Some(t)
+        }
+        _ => None,
+    };
+    let trace = match cached {
+        Some(t) => t,
+        None => {
+            let t0 = std::time::Instant::now();
+            let mut cap =
+                CaptureProfiler::new(NoProfiler, watch, ResourceBudget::default().trace_max_bytes);
+            let run = interp.run(entry, &val_args, &mut cap).ok()?;
+            let (trace, _) = cap.finish(&run, module_hash, entry, &val_args);
+            let trace = trace?; // over budget: direct fallback
+            stats.captures += 1;
+            stats.capture_s += t0.elapsed().as_secs_f64();
+            if let Some(cache) = cache {
+                cache.store_trace(trace_key, &trace);
+            }
+            trace
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let out = replay_sim(
+        interp.decoded(),
+        entry_id,
+        &trace,
+        machine,
+        interp.initial_memory(),
+    )
+    .ok()?;
+    stats.replay_s += t0.elapsed().as_secs_f64();
+    Some(out)
 }
 
 /// Runs `bench` under `config`: profile-guided compilation on the train
@@ -94,16 +265,29 @@ pub fn run_benchmark_timed(bench: &Benchmark, config: &CompilerConfig) -> TimedB
     let mut module = baseline_module.clone();
     let (report, stages) = transform_module_timed(&mut module, &input, config)
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bench.name));
-    let sim = SptSimulator::new();
+    let machine = MachineConfig::default();
+    let mut sim_trace = SimTraceStats::default();
     let t = std::time::Instant::now();
-    let baseline = sim
-        .run(&baseline_module, bench.entry, &[bench.ref_arg])
-        .unwrap_or_else(|e| panic!("{}: baseline sim failed: {e}", bench.name));
+    let baseline = sim_with_cache(
+        &baseline_module,
+        bench.entry,
+        bench.ref_arg,
+        &machine,
+        &config.trace,
+        &mut sim_trace,
+    )
+    .unwrap_or_else(|e| panic!("{}: baseline sim failed: {e}", bench.name));
     let sim_baseline_s = t.elapsed().as_secs_f64();
     let t = std::time::Instant::now();
-    let spt = sim
-        .run(&module, bench.entry, &[bench.ref_arg])
-        .unwrap_or_else(|e| panic!("{}: spt sim failed: {e}", bench.name));
+    let spt = sim_with_cache(
+        &module,
+        bench.entry,
+        bench.ref_arg,
+        &machine,
+        &config.trace,
+        &mut sim_trace,
+    )
+    .unwrap_or_else(|e| panic!("{}: spt sim failed: {e}", bench.name));
     let sim_spt_s = t.elapsed().as_secs_f64();
     assert_eq!(
         baseline.ret, spt.ret,
@@ -122,6 +306,7 @@ pub fn run_benchmark_timed(bench: &Benchmark, config: &CompilerConfig) -> TimedB
         stages,
         sim_baseline_s,
         sim_spt_s,
+        sim_trace,
     }
 }
 
@@ -150,6 +335,19 @@ pub fn run_matrix(pairs: &[(&Benchmark, &CompilerConfig)]) -> Vec<BenchmarkRun> 
 pub fn die(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
+}
+
+/// `config` with the trace capture/replay backend switched on over the
+/// shared `.spt-cache/` artifact cache. Results are bit-identical to the
+/// direct path (pinned by `tests/trace_equivalence.rs`); repeated harness
+/// runs replay cached traces instead of re-executing the interpreter and
+/// the baseline simulator.
+pub fn with_trace(mut config: CompilerConfig) -> CompilerConfig {
+    config.trace = TraceSettings {
+        enabled: true,
+        cache_dir: Some(".spt-cache".into()),
+    };
+    config
 }
 
 /// Geometric-mean helper for speedup aggregation.

@@ -1,6 +1,29 @@
 //! Compiler configurations, mirroring the three compilations evaluated in
 //! §8 of the paper.
 
+use std::path::PathBuf;
+
+/// Trace capture/replay settings for the pipeline's execution stages.
+///
+/// When enabled, the profile stage captures the training run's dynamic
+/// event streams once (a `spt_trace::Trace`) and derives later profiles —
+/// the SVP value-profiling run, the post-rewrite re-profile's inputs — by
+/// replaying that trace instead of re-interpreting the program. With a
+/// `cache_dir`, traces persist across processes in a content-addressed
+/// artifact cache keyed by module IR hash + entry + inputs + format
+/// version, so repeated runs skip capture entirely. Replay is bit-identical
+/// to direct execution (pinned by `tests/trace_equivalence.rs`); any cache
+/// problem degrades to direct execution with a diagnostic, never an error.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSettings {
+    /// Capture/replay the profiling run's trace (off by default; direct
+    /// interpretation is used when disabled).
+    pub enabled: bool,
+    /// On-disk artifact cache directory (conventionally `.spt-cache`).
+    /// `None` keeps traces in memory only for the current compile.
+    pub cache_dir: Option<PathBuf>,
+}
+
 /// Unified resource limits for one pipeline run, with explicit
 /// graceful-degradation semantics: hitting a budget never fails the
 /// compile — the affected component degrades (loop not speculated, search
@@ -31,6 +54,10 @@ pub struct ResourceBudget {
     /// deadline trades determinism for bounded latency, so leave it unset
     /// when byte-identical reports matter.
     pub analysis_deadline_ms: Option<u64>,
+    /// Cap on the in-memory size of a captured execution trace. A capture
+    /// that exceeds it is discarded (with a diagnostic) and the pipeline
+    /// falls back to direct interpretation for that run.
+    pub trace_max_bytes: u64,
 }
 
 impl Default for ResourceBudget {
@@ -40,6 +67,7 @@ impl Default for ResourceBudget {
             search_max_visited: 1_000_000,
             unroll_growth_cap: 64.0,
             analysis_deadline_ms: None,
+            trace_max_bytes: 128 << 20,
         }
     }
 }
@@ -89,6 +117,8 @@ pub struct CompilerConfig {
     pub svp_threshold: f64,
     /// Resource limits with graceful-degradation semantics.
     pub budget: ResourceBudget,
+    /// Trace capture/replay behavior for the execution stages.
+    pub trace: TraceSettings,
 }
 
 impl CompilerConfig {
@@ -112,6 +142,7 @@ impl CompilerConfig {
             unroll_max_factor: 8,
             svp_threshold: 0.9,
             budget: ResourceBudget::default(),
+            trace: TraceSettings::default(),
         }
     }
 

@@ -36,10 +36,11 @@ pub mod parallel;
 pub mod pipeline;
 pub mod report;
 
-pub use config::{CompilerConfig, ResourceBudget};
+pub use config::{CompilerConfig, ResourceBudget, TraceSettings};
 pub use diag::{Diagnostic, Severity, Stage};
 pub use pipeline::{
-    compile_and_transform, PipelineError, ProfilingInput, SptCompilation, StageTimings,
+    compile_and_transform, transform_module, transform_module_timed, PipelineError, ProfilingInput,
+    SptCompilation, StageTimings,
 };
 pub use report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};
 

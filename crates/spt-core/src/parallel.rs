@@ -6,24 +6,53 @@
 //! index**, so output order — and therefore every report derived from it —
 //! is identical to a sequential run regardless of scheduling.
 //!
-//! The worker count comes from [`thread_count`]: the `SPT_THREADS`
-//! environment variable when set (a positive integer; `1` forces the
-//! sequential path), otherwise [`std::thread::available_parallelism`]. No
-//! thread pool is kept alive between calls — workloads here are coarse
-//! enough (whole-loop analysis, whole-benchmark pipelines) that spawn cost
-//! is noise.
+//! The worker count comes from [`thread_count`]: a process-wide programmatic
+//! override ([`set_thread_count_override`]) when one is installed, else the
+//! `SPT_THREADS` environment variable (a positive integer; `1` forces the
+//! sequential path), else [`std::thread::available_parallelism`]. The
+//! environment is consulted **once** per process and cached — `thread_count`
+//! sits on the hot path of every fan-out, and runtime environment mutation
+//! is unsound in multithreaded programs anyway; harnesses that switch
+//! thread counts mid-process (perfbench, the determinism tests) use the
+//! override. No thread pool is kept alive between calls — workloads here
+//! are coarse enough (whole-loop analysis, whole-benchmark pipelines) that
+//! spawn cost is noise, but at one worker `parallel_map` runs inline with
+//! no spawn, no cursor, and (post-cache) no environment read at all.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Worker threads to use: `SPT_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism (1 if unknown).
+/// `0` = no override installed; any other value is the forced worker count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None` removes) a process-wide worker-count override
+/// that takes precedence over `SPT_THREADS`. `Some(0)` is treated as
+/// `Some(1)`: the sequential path.
+pub fn set_thread_count_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The `SPT_THREADS` setting at first use, cached for the process lifetime.
+fn env_thread_count() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SPT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Worker threads to use: the [`set_thread_count_override`] value if one is
+/// installed, else `SPT_THREADS` if set to a positive integer (read once per
+/// process), otherwise the machine's available parallelism (1 if unknown).
 pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var("SPT_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {}
+        n => return n,
+    }
+    if let Some(n) = env_thread_count() {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -110,6 +139,18 @@ mod tests {
 
     #[test]
     fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        // The override is process-global; the other tests in this module
+        // remain correct under any positive value, so brief overlap is fine.
+        set_thread_count_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_count_override(Some(0)); // clamps to the sequential path
+        assert_eq!(thread_count(), 1);
+        set_thread_count_override(None);
         assert!(thread_count() >= 1);
     }
 

@@ -4,10 +4,11 @@
 //! `spt_core::parallel::parallel_map` is what guarantees this; the test
 //! pins the guarantee on real bench-suite programs.
 //!
-//! One `#[test]` drives both thread counts back-to-back: the contract is
-//! process-global (`SPT_THREADS`), so splitting it across test functions
-//! would race on the environment.
+//! One `#[test]` drives both thread counts back-to-back: the worker-count
+//! override is process-global, so splitting it across test functions would
+//! race on it.
 
+use spt_core::parallel::set_thread_count_override;
 use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
 
 fn compile_all(programs: &[&str], config: &CompilerConfig) -> Vec<String> {
@@ -31,15 +32,11 @@ fn reports_are_identical_across_thread_counts() {
     let programs = ["gcc_s", "twolf_s", "parser_s"];
     let config = CompilerConfig::best();
 
-    let saved = std::env::var("SPT_THREADS").ok();
-    std::env::set_var("SPT_THREADS", "1");
+    set_thread_count_override(Some(1));
     let sequential = compile_all(&programs, &config);
-    std::env::set_var("SPT_THREADS", "4");
+    set_thread_count_override(Some(4));
     let parallel = compile_all(&programs, &config);
-    match saved {
-        Some(v) => std::env::set_var("SPT_THREADS", v),
-        None => std::env::remove_var("SPT_THREADS"),
-    }
+    set_thread_count_override(None);
 
     for ((name, seq), par) in programs.iter().zip(&sequential).zip(&parallel) {
         assert_eq!(

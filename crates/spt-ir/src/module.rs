@@ -325,6 +325,27 @@ impl Module {
         }
         summaries
     }
+
+    /// A content hash of the whole module (FNV-1a over its canonical `Debug`
+    /// rendering): two modules hash equal exactly when they are structurally
+    /// equal. Used as the invalidation key for execution-trace artifacts —
+    /// any IR change (a pass, an unroll, an SVP rewrite) changes the hash.
+    pub fn content_hash(&self) -> u64 {
+        use std::fmt::Write as _;
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let _ = write!(h, "{self:?}");
+        h.0
+    }
 }
 
 /// Convenience helper: an operand referring to instruction `id`.
@@ -337,6 +358,18 @@ mod tests {
     use super::*;
     use crate::builder::FuncBuilder;
     use crate::ops::BinOp;
+
+    #[test]
+    fn content_hash_tracks_structure() {
+        let mut m1 = Module::new();
+        m1.add_global("g", 4, Ty::I64);
+        let mut m2 = m1.clone();
+        assert_eq!(m1.content_hash(), m2.content_hash());
+        m2.add_global("h", 1, Ty::I64);
+        assert_ne!(m1.content_hash(), m2.content_hash());
+        m1.add_global("h", 2, Ty::I64);
+        assert_ne!(m1.content_hash(), m2.content_hash());
+    }
 
     #[test]
     fn function_arena_basics() {

@@ -280,7 +280,9 @@ impl<'m> ReferenceInterp<'m> {
                         else_bb,
                     } => {
                         let c = self.operand(*cond, &values);
-                        let target = if c.is_truthy() { *then_bb } else { *else_bb };
+                        let taken = c.is_truthy();
+                        let target = if taken { *then_bb } else { *else_bb };
+                        state.profiler.on_branch(func_id, i, taken);
                         self.retire(func_id, i, latency, &loop_stack, state)?;
                         state.profiler.on_block(func_id, Some(block), target);
                         from = Some(block);

@@ -1,0 +1,424 @@
+//! The content-addressed on-disk artifact cache (`.spt-cache/`).
+//!
+//! Artifacts are keyed by a hash over everything that determines their
+//! content: module IR content hash, entry name, arguments, watched-def set,
+//! memory-image override, machine configuration (for simulation memos) and
+//! the trace format version. A key therefore *is* the artifact identity —
+//! files are immutable once written, and any IR or input change produces a
+//! new key rather than invalidating in place.
+//!
+//! Robustness contract: a missing file is a [`LoadOutcome::Miss`]; any
+//! unreadable, truncated, corrupt or stale-version file is a
+//! [`LoadOutcome::Corrupt`] that callers treat as "warn and fall back to
+//! direct execution" — never a panic, never a poisoned result. Stores are
+//! atomic (unique temp file + rename) so parallel writers and killed
+//! processes can only ever leave whole files or invisible temp droppings,
+//! and store errors are silently ignored (the cache is an accelerator, not
+//! a source of truth).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spt_sim::{LoopSimStats, MachineConfig, SimResult};
+
+use crate::codec::{get_varint, put_varint, Fnv};
+use crate::trace::{Trace, TRACE_FORMAT_VERSION};
+
+/// Magic prefix of simulation-memo artifact files.
+const SIM_MAGIC: &[u8; 8] = b"SPTSIMRS";
+
+/// Uniquifier for temp-file names within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Result of a cache probe.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadOutcome<T> {
+    /// The artifact was present and decoded cleanly.
+    Hit(T),
+    /// No artifact under this key.
+    Miss,
+    /// An artifact exists but cannot be trusted (truncated, corrupt, stale
+    /// format version, unreadable). Callers warn and fall back to direct
+    /// execution.
+    Corrupt(String),
+}
+
+/// A directory of immutable, content-addressed execution artifacts.
+#[derive(Clone, Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Key for an interpreter trace: module IR, entry, args, watched-def
+    /// set, initial-memory override and format version all participate.
+    pub fn trace_key(
+        module_hash: u64,
+        entry: &str,
+        args: &[u64],
+        watch_hash: u64,
+        memory_hash: u64,
+    ) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"trace");
+        h.update_u64(TRACE_FORMAT_VERSION as u64);
+        h.update_u64(module_hash);
+        h.update(entry.as_bytes());
+        h.update_u64(args.len() as u64);
+        for &a in args {
+            h.update_u64(a);
+        }
+        h.update_u64(watch_hash);
+        h.update_u64(memory_hash);
+        h.finish()
+    }
+
+    /// Key for a simulation-result memo. The machine configuration enters
+    /// through its canonical `Debug` rendering, so any parameter change —
+    /// including future fields — changes the key.
+    pub fn sim_key(module_hash: u64, entry: &str, args: &[i64], machine: &MachineConfig) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"sim");
+        h.update_u64(TRACE_FORMAT_VERSION as u64);
+        h.update_u64(module_hash);
+        h.update(entry.as_bytes());
+        h.update_u64(args.len() as u64);
+        for &a in args {
+            h.update_u64(a as u64);
+        }
+        h.update(format!("{machine:?}").as_bytes());
+        h.finish()
+    }
+
+    /// Content hash of an initial-memory override (0 when the module's own
+    /// initial image is used).
+    pub fn memory_hash(memory: Option<&[u64]>) -> u64 {
+        match memory {
+            None => 0,
+            Some(m) => {
+                let mut h = Fnv::new();
+                h.update_u64(m.len() as u64);
+                for &w in m {
+                    h.update_u64(w);
+                }
+                h.finish()
+            }
+        }
+    }
+
+    fn path_for(&self, kind: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{kind}-{key:016x}.bin"))
+    }
+
+    /// Write `bytes` at `path` atomically; errors are ignored by contract.
+    fn store_bytes(&self, path: &Path, bytes: &[u8]) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn load_bytes(&self, path: &Path) -> LoadOutcome<Vec<u8>> {
+        match std::fs::read(path) {
+            Ok(bytes) => LoadOutcome::Hit(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => LoadOutcome::Miss,
+            Err(e) => LoadOutcome::Corrupt(format!("unreadable cache file: {e}")),
+        }
+    }
+
+    /// Probe for a trace under `key`.
+    pub fn load_trace(&self, key: u64) -> LoadOutcome<Trace> {
+        let path = self.path_for("trace", key);
+        match self.load_bytes(&path) {
+            LoadOutcome::Hit(bytes) => match Trace::from_bytes(&bytes) {
+                Ok(t) => LoadOutcome::Hit(t),
+                Err(e) => LoadOutcome::Corrupt(format!("{}: {e}", path.display())),
+            },
+            LoadOutcome::Miss => LoadOutcome::Miss,
+            LoadOutcome::Corrupt(e) => LoadOutcome::Corrupt(e),
+        }
+    }
+
+    /// Store a trace under `key`.
+    pub fn store_trace(&self, key: u64, trace: &Trace) {
+        self.store_bytes(&self.path_for("trace", key), &trace.to_bytes());
+    }
+
+    /// Probe for a simulation-result memo under `key`.
+    pub fn load_sim(&self, key: u64) -> LoadOutcome<SimResult> {
+        let path = self.path_for("sim", key);
+        match self.load_bytes(&path) {
+            LoadOutcome::Hit(bytes) => match decode_sim(&bytes) {
+                Ok(r) => LoadOutcome::Hit(r),
+                Err(e) => LoadOutcome::Corrupt(format!("{}: {e}", path.display())),
+            },
+            LoadOutcome::Miss => LoadOutcome::Miss,
+            LoadOutcome::Corrupt(e) => LoadOutcome::Corrupt(e),
+        }
+    }
+
+    /// Store a simulation-result memo under `key`.
+    pub fn store_sim(&self, key: u64, result: &SimResult) {
+        self.store_bytes(&self.path_for("sim", key), &encode_sim(result));
+    }
+}
+
+/// Serialize a [`SimResult`] bit-exactly (f64 rates via `to_bits`, loop
+/// stats sorted by tag so the encoding is canonical).
+fn encode_sim(r: &SimResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + r.memory.len() * 3);
+    out.extend_from_slice(SIM_MAGIC);
+    put_varint(&mut out, TRACE_FORMAT_VERSION as u64);
+    match r.ret {
+        Some(v) => {
+            out.push(1);
+            put_varint(&mut out, v);
+        }
+        None => out.push(0),
+    }
+    put_varint(&mut out, r.cycles);
+    put_varint(&mut out, r.insts);
+    put_varint(&mut out, r.memory.len() as u64);
+    for &w in &r.memory {
+        put_varint(&mut out, w);
+    }
+    let mut tags: Vec<u32> = r.loops.keys().copied().collect();
+    tags.sort_unstable();
+    put_varint(&mut out, tags.len() as u64);
+    for tag in tags {
+        let s = r.loops[&tag];
+        put_varint(&mut out, tag as u64);
+        for f in [
+            s.forks,
+            s.commits,
+            s.kills,
+            s.free_insts,
+            s.reexec_insts,
+            s.reexec_cycles,
+            s.main_insts,
+            s.loop_cycles,
+            s.seq_cycles,
+            s.wasted_insts,
+        ] {
+            put_varint(&mut out, f);
+        }
+    }
+    out.extend_from_slice(&r.cache_hit_rate.to_bits().to_le_bytes());
+    out.extend_from_slice(&r.branch_miss_rate.to_bits().to_le_bytes());
+    let mut h = Fnv::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn decode_sim(buf: &[u8]) -> Result<SimResult, String> {
+    if buf.len() < SIM_MAGIC.len() + 8 {
+        return Err("sim memo truncated".into());
+    }
+    if &buf[..SIM_MAGIC.len()] != SIM_MAGIC {
+        return Err("bad sim memo magic".into());
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let mut h = Fnv::new();
+    h.update(body);
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(tail);
+    if h.finish() != u64::from_le_bytes(raw) {
+        return Err("sim memo checksum mismatch".into());
+    }
+
+    let mut pos = SIM_MAGIC.len();
+    let take = |pos: &mut usize| get_varint(body, pos).ok_or("sim memo truncated");
+    let version = take(&mut pos)?;
+    if version != TRACE_FORMAT_VERSION as u64 {
+        return Err(format!(
+            "stale sim memo version {version} (expected {TRACE_FORMAT_VERSION})"
+        ));
+    }
+    let ret = match body.get(pos).copied().ok_or("sim memo truncated")? {
+        0 => {
+            pos += 1;
+            None
+        }
+        1 => {
+            pos += 1;
+            Some(take(&mut pos)?)
+        }
+        _ => return Err("bad ret tag in sim memo".into()),
+    };
+    let cycles = take(&mut pos)?;
+    let insts = take(&mut pos)?;
+    let mem_len = take(&mut pos)? as usize;
+    let mut memory = Vec::with_capacity(mem_len.min(1 << 24));
+    for _ in 0..mem_len {
+        memory.push(take(&mut pos)?);
+    }
+    let nloops = take(&mut pos)? as usize;
+    let mut loops = std::collections::HashMap::with_capacity(nloops.min(1 << 16));
+    for _ in 0..nloops {
+        let tag = take(&mut pos)? as u32;
+        let mut f = [0u64; 10];
+        for slot in &mut f {
+            *slot = take(&mut pos)?;
+        }
+        loops.insert(
+            tag,
+            LoopSimStats {
+                forks: f[0],
+                commits: f[1],
+                kills: f[2],
+                free_insts: f[3],
+                reexec_insts: f[4],
+                reexec_cycles: f[5],
+                main_insts: f[6],
+                loop_cycles: f[7],
+                seq_cycles: f[8],
+                wasted_insts: f[9],
+            },
+        );
+    }
+    let need = pos + 16;
+    if body.len() != need {
+        return Err("sim memo truncated".into());
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&body[pos..pos + 8]);
+    let cache_hit_rate = f64::from_bits(u64::from_le_bytes(raw));
+    raw.copy_from_slice(&body[pos + 8..pos + 16]);
+    let branch_miss_rate = f64::from_bits(u64::from_le_bytes(raw));
+
+    Ok(SimResult {
+        ret,
+        cycles,
+        insts,
+        memory,
+        loops,
+        cache_hit_rate,
+        branch_miss_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spt-cache-test-{}-{}-{tag}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_sim() -> SimResult {
+        let mut loops = std::collections::HashMap::new();
+        loops.insert(
+            3u32,
+            LoopSimStats {
+                forks: 1,
+                commits: 2,
+                kills: 3,
+                free_insts: 4,
+                reexec_insts: 5,
+                reexec_cycles: 6,
+                main_insts: 7,
+                loop_cycles: 8,
+                seq_cycles: 9,
+                wasted_insts: 10,
+            },
+        );
+        loops.insert(1u32, LoopSimStats::default());
+        SimResult {
+            ret: Some(42),
+            cycles: 1000,
+            insts: 500,
+            memory: vec![1, 2, 3, u64::MAX],
+            loops,
+            cache_hit_rate: 0.987654321,
+            branch_miss_rate: 0.0123456789,
+        }
+    }
+
+    fn sim_eq(a: &SimResult, b: &SimResult) -> bool {
+        a.ret == b.ret
+            && a.cycles == b.cycles
+            && a.insts == b.insts
+            && a.memory == b.memory
+            && a.loops == b.loops
+            && a.cache_hit_rate.to_bits() == b.cache_hit_rate.to_bits()
+            && a.branch_miss_rate.to_bits() == b.branch_miss_rate.to_bits()
+    }
+
+    #[test]
+    fn sim_memo_round_trip() {
+        let r = sample_sim();
+        let decoded = decode_sim(&encode_sim(&r)).unwrap();
+        assert!(sim_eq(&r, &decoded));
+    }
+
+    #[test]
+    fn sim_store_and_load() {
+        let cache = ArtifactCache::new(temp_dir("simrt"));
+        let r = sample_sim();
+        assert!(matches!(cache.load_sim(7), LoadOutcome::Miss));
+        cache.store_sim(7, &r);
+        match cache.load_sim(7) {
+            LoadOutcome::Hit(got) => assert!(sim_eq(&r, &got)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_not_fatal() {
+        let cache = ArtifactCache::new(temp_dir("corrupt"));
+        let r = sample_sim();
+        cache.store_sim(9, &r);
+        let path = cache.path_for("sim", 9);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load_sim(9), LoadOutcome::Corrupt(_)));
+        // Truncation too.
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(cache.load_sim(9), LoadOutcome::Corrupt(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn keys_separate_inputs() {
+        let k1 = ArtifactCache::trace_key(1, "main", &[5], 0, 0);
+        assert_ne!(k1, ArtifactCache::trace_key(2, "main", &[5], 0, 0));
+        assert_ne!(k1, ArtifactCache::trace_key(1, "other", &[5], 0, 0));
+        assert_ne!(k1, ArtifactCache::trace_key(1, "main", &[6], 0, 0));
+        assert_ne!(k1, ArtifactCache::trace_key(1, "main", &[5], 1, 0));
+        assert_ne!(k1, ArtifactCache::trace_key(1, "main", &[5], 0, 1));
+        let m1 = MachineConfig::default();
+        let mut m2 = MachineConfig::default();
+        m2.fork_overhead += 1;
+        assert_ne!(
+            ArtifactCache::sim_key(1, "main", &[5], &m1),
+            ArtifactCache::sim_key(1, "main", &[5], &m2)
+        );
+    }
+}

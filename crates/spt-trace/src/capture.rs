@@ -1,0 +1,279 @@
+//! Trace capture: a [`Profiler`] adapter that records the dynamic event
+//! streams of one interpreter run while transparently forwarding every hook
+//! to an inner profiler, plus the watched-def set describing which def
+//! values the trace must carry.
+
+use spt_ir::{Cfg, DomTree, FuncId, InstId, LoopForest, Module, Operand, Ty};
+use spt_profile::{InterpResult, LoopActivation, LoopEvent, Profiler, Val};
+
+use crate::codec::Fnv;
+use crate::trace::{push_bit, Trace};
+
+/// The set of instructions whose def values a trace records.
+///
+/// Replay produces `Val(0)` for every unwatched non-load def, so any
+/// collector that inspects def *values* (the value profiler) must have its
+/// targets inside this set. The set is identified by a content hash so the
+/// artifact-cache key changes when the watched set does.
+#[derive(Clone, Debug, Default)]
+pub struct WatchSet {
+    /// Per-function dense membership, indexed by `InstId` index.
+    funcs: Vec<Vec<bool>>,
+    /// The sorted, deduplicated member list.
+    pairs: Vec<(FuncId, InstId)>,
+    hash: u64,
+}
+
+impl WatchSet {
+    /// The empty watch set (no def values recorded).
+    pub fn empty() -> Self {
+        WatchSet {
+            funcs: Vec::new(),
+            pairs: Vec::new(),
+            hash: Fnv::new().finish(),
+        }
+    }
+
+    fn from_pairs(mut pairs: Vec<(FuncId, InstId)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut h = Fnv::new();
+        let mut funcs: Vec<Vec<bool>> = Vec::new();
+        for &(f, i) in &pairs {
+            h.update_u64(f.index() as u64);
+            h.update_u64(i.index() as u64);
+            if f.index() >= funcs.len() {
+                funcs.resize(f.index() + 1, Vec::new());
+            }
+            let fv = &mut funcs[f.index()];
+            if i.index() >= fv.len() {
+                fv.resize(i.index() + 1, false);
+            }
+            fv[i.index()] = true;
+        }
+        WatchSet {
+            funcs,
+            pairs,
+            hash: h.finish(),
+        }
+    }
+
+    /// The watched instructions, sorted.
+    pub fn pairs(&self) -> &[(FuncId, InstId)] {
+        &self.pairs
+    }
+
+    pub fn contains(&self, func: FuncId, inst: InstId) -> bool {
+        self.funcs
+            .get(func.index())
+            .and_then(|fv| fv.get(inst.index()).copied())
+            .unwrap_or(false)
+    }
+
+    /// Content hash identifying the set (part of the trace cache key).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The watched-def set for SVP value profiling on `module`: every latch-edge
+/// `I64` carrier of every single-latch loop header phi, in every function.
+///
+/// This is a superset of the pipeline's `svp_targets` selection (which only
+/// filters this population *down* by cost heuristics), so one captured trace
+/// can serve any later value-profiling pass over the same module.
+pub fn svp_watch_set(module: &Module) -> WatchSet {
+    let mut pairs = Vec::new();
+    for fid in module.func_ids() {
+        let func = module.func(fid);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        for lid in forest.ids() {
+            let l = forest.get(lid);
+            let latch = match l.latches.as_slice() {
+                [single] => *single,
+                _ => continue,
+            };
+            for &i in &func.block(l.header).insts {
+                if let spt_ir::InstKind::Phi { args } = &func.inst(i).kind {
+                    if func.inst(i).ty != Some(Ty::I64) {
+                        continue;
+                    }
+                    for (pred, v) in args {
+                        if *pred == latch {
+                            if let Operand::Inst(carrier) = v {
+                                pairs.push((fid, *carrier));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    WatchSet::from_pairs(pairs)
+}
+
+/// A profiler adapter that captures a [`Trace`] while forwarding every hook
+/// to `inner` unchanged — capture is observationally transparent to the
+/// inner collector.
+///
+/// If the recorded streams exceed `max_bytes` the capture marks itself
+/// poisoned, frees its buffers, and stops recording; forwarding continues so
+/// the inner profiler's results are unaffected (budget fallback, not error).
+pub struct CaptureProfiler<P> {
+    inner: P,
+    watch: WatchSet,
+    max_bytes: u64,
+    poisoned: bool,
+    branch_words: Vec<u64>,
+    branch_len: u64,
+    loads: Vec<i64>,
+    stores: Vec<(i64, u64)>,
+    defs: Vec<u64>,
+}
+
+impl<P: Profiler> CaptureProfiler<P> {
+    pub fn new(inner: P, watch: WatchSet, max_bytes: u64) -> Self {
+        CaptureProfiler {
+            inner,
+            watch,
+            max_bytes,
+            poisoned: false,
+            branch_words: Vec::new(),
+            branch_len: 0,
+            loads: Vec::new(),
+            stores: Vec::new(),
+            defs: Vec::new(),
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        self.branch_words.len() as u64 * 8
+            + self.loads.len() as u64 * 8
+            + self.stores.len() as u64 * 16
+            + self.defs.len() as u64 * 8
+    }
+
+    fn charge(&mut self) {
+        if !self.poisoned && self.approx_bytes() > self.max_bytes {
+            self.poisoned = true;
+            self.branch_words = Vec::new();
+            self.branch_len = 0;
+            self.loads = Vec::new();
+            self.stores = Vec::new();
+            self.defs = Vec::new();
+        }
+    }
+
+    /// True once the memory budget was exceeded and recording stopped.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Finish the capture: package the recorded streams plus the run header
+    /// into a [`Trace`] and hand back the inner profiler. Returns `None` for
+    /// the trace when the budget was exceeded mid-run.
+    pub fn finish(
+        self,
+        result: &InterpResult,
+        module_hash: u64,
+        entry: &str,
+        args: &[Val],
+    ) -> (Option<Trace>, P) {
+        let trace = if self.poisoned {
+            None
+        } else {
+            Some(Trace {
+                module_hash,
+                entry: entry.to_owned(),
+                args: args.iter().map(|v| v.0).collect(),
+                watch_hash: self.watch.hash(),
+                ret: result.ret.map(|v| v.0),
+                insts_retired: result.insts_retired,
+                weighted_cycles: result.weighted_cycles,
+                branch_words: self.branch_words,
+                branch_len: self.branch_len,
+                loads: self.loads,
+                stores: self.stores,
+                defs: self.defs,
+            })
+        };
+        (trace, self.inner)
+    }
+
+    /// The inner profiler, for inspection mid-run.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Profiler> Profiler for CaptureProfiler<P> {
+    fn on_block(&mut self, func: FuncId, from: Option<spt_ir::BlockId>, to: spt_ir::BlockId) {
+        self.inner.on_block(func, from, to);
+    }
+
+    fn on_inst(&mut self, func: FuncId, inst: InstId, latency: u64, loops: &[LoopActivation]) {
+        self.inner.on_inst(func, inst, latency, loops);
+    }
+
+    fn on_load(
+        &mut self,
+        func: FuncId,
+        inst: InstId,
+        addr: i64,
+        value: Val,
+        loops: &[LoopActivation],
+    ) {
+        if !self.poisoned {
+            self.loads.push(addr);
+            self.charge();
+        }
+        self.inner.on_load(func, inst, addr, value, loops);
+    }
+
+    fn on_store(
+        &mut self,
+        func: FuncId,
+        inst: InstId,
+        addr: i64,
+        value: Val,
+        loops: &[LoopActivation],
+    ) {
+        if !self.poisoned {
+            self.stores.push((addr, value.0));
+            self.charge();
+        }
+        self.inner.on_store(func, inst, addr, value, loops);
+    }
+
+    fn on_def(&mut self, func: FuncId, inst: InstId, value: Val, loops: &[LoopActivation]) {
+        if !self.poisoned && self.watch.contains(func, inst) {
+            self.defs.push(value.0);
+            self.charge();
+        }
+        self.inner.on_def(func, inst, value, loops);
+    }
+
+    fn on_branch(&mut self, func: FuncId, inst: InstId, taken: bool) {
+        if !self.poisoned {
+            push_bit(&mut self.branch_words, &mut self.branch_len, taken);
+            if self.branch_len % 64 == 1 {
+                self.charge();
+            }
+        }
+        self.inner.on_branch(func, inst, taken);
+    }
+
+    fn on_loop(&mut self, func: FuncId, event: LoopEvent, loops: &[LoopActivation]) {
+        self.inner.on_loop(func, event, loops);
+    }
+
+    fn on_call_enter(&mut self, caller: FuncId, inst: InstId, callee: FuncId) {
+        self.inner.on_call_enter(caller, inst, callee);
+    }
+
+    fn on_call_exit(&mut self, caller: FuncId, inst: InstId, callee: FuncId) {
+        self.inner.on_call_exit(caller, inst, callee);
+    }
+}

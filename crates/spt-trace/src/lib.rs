@@ -1,0 +1,37 @@
+//! Capture-once / replay-many execution backend.
+//!
+//! The pipeline and the bench harnesses execute the *same* program many
+//! times: once to profile, once per candidate configuration to simulate,
+//! and again on every re-run of a bench binary. This crate amortizes that:
+//!
+//! 1. **Capture** ([`CaptureProfiler`]): one interpreter run records the
+//!    dynamic event streams — taken branch directions, load/store cells,
+//!    watched def values — as a compact, delta-encoded [`Trace`].
+//! 2. **Replay** ([`replay_profile`], [`replay_sim`]): a linear scan of the
+//!    trace re-derives the full profile (every `Profiler` hook in original
+//!    order) or drives the SPT baseline simulator under any
+//!    [`MachineConfig`](spt_sim::MachineConfig), bit-identically to direct
+//!    execution and without re-evaluating any arithmetic.
+//! 3. **Cache** ([`ArtifactCache`]): traces and simulation memos persist in
+//!    a content-addressed directory (`.spt-cache/` by convention), keyed by
+//!    module IR hash + entry + inputs + format version, so repeated runs
+//!    skip capture entirely.
+//!
+//! Correctness is anchored by oracles: `tests/trace_equivalence.rs` at the
+//! workspace root pins replay output bit-identical to `Interp`,
+//! `ReferenceInterp` and `SptSimulator` over the whole benchmark suite.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod capture;
+pub mod codec;
+pub mod replay_profile;
+pub mod replay_sim;
+pub mod trace;
+
+pub use cache::{ArtifactCache, LoadOutcome};
+pub use capture::{svp_watch_set, CaptureProfiler, WatchSet};
+pub use replay_profile::{replay_profile, ReplayError, ReplayLimits};
+pub use replay_sim::{has_spt_markers, replay_sim};
+pub use trace::{Trace, TraceCursor, TRACE_FORMAT_VERSION};

@@ -1,0 +1,386 @@
+//! Trace-driven profile derivation: re-fires the exact profiler hook
+//! sequence of a captured interpreter run from one linear trace scan,
+//! without re-evaluating any arithmetic.
+//!
+//! The walker mirrors `Interp::call` arm for arm — same loop bookkeeping,
+//! same hook order, same retire/fuel accounting, same malformed-IR checks —
+//! but takes branch directions, load addresses, store pairs and watched def
+//! values from the trace streams instead of computing them. Unwatched def
+//! values are reported as `Val(0)` (loads report their exact value, since
+//! the memory image is replayed precisely); any collector that consumes def
+//! *values* must therefore have its targets inside the capture's
+//! [`WatchSet`](crate::WatchSet).
+
+use spt_ir::{BlockId, DKind, DecodedFunc, DecodedModule, FuncId, InstId};
+use spt_profile::{InterpError, InterpResult, LoopActivation, LoopEvent, Profiler, Val};
+use spt_sim::SimError;
+
+use crate::capture::WatchSet;
+use crate::trace::{Trace, TraceCursor};
+
+/// Replay failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A failure direct interpretation would also have produced (fuel,
+    /// stack depth, out-of-bounds, malformed IR). Propagate as a real error.
+    Interp(InterpError),
+    /// A failure direct simulation would also have produced.
+    Sim(SimError),
+    /// The trace does not match this module/run — a stream ran dry, had
+    /// events left over, or the retire totals disagree. Callers fall back
+    /// to capture.
+    Desync(String),
+    /// The module cannot be replayed by this backend (e.g. it carries SPT
+    /// fork/kill markers the baseline replayer does not model).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Interp(e) => write!(f, "replay: {e}"),
+            ReplayError::Sim(e) => write!(f, "replay: {e}"),
+            ReplayError::Desync(m) => write!(f, "trace desync: {m}"),
+            ReplayError::Unsupported(m) => write!(f, "trace replay unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<InterpError> for ReplayError {
+    fn from(e: InterpError) -> Self {
+        ReplayError::Interp(e)
+    }
+}
+
+impl From<SimError> for ReplayError {
+    fn from(e: SimError) -> Self {
+        ReplayError::Sim(e)
+    }
+}
+
+/// Execution limits mirrored from the interpreter.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayLimits {
+    /// Maximum retired instructions.
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for ReplayLimits {
+    fn default() -> Self {
+        // Same defaults as `Interp::new`.
+        ReplayLimits {
+            fuel: 500_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// Derive a full profile from `trace` by replaying it over `decoded`,
+/// firing every hook of `profiler` in the exact order direct interpretation
+/// would. Returns the run's [`InterpResult`] (bit-identical to the original
+/// on success).
+pub fn replay_profile<P: Profiler>(
+    decoded: &DecodedModule,
+    entry: FuncId,
+    trace: &Trace,
+    watch: &WatchSet,
+    initial_memory: Vec<u64>,
+    profiler: &mut P,
+    limits: ReplayLimits,
+) -> Result<InterpResult, ReplayError> {
+    if watch.hash() != trace.watch_hash {
+        return Err(ReplayError::Desync(format!(
+            "watch-set hash {:#x} does not match trace {:#x}",
+            watch.hash(),
+            trace.watch_hash
+        )));
+    }
+    let mut r = Replayer {
+        decoded,
+        cursor: TraceCursor::new(trace),
+        watch,
+        profiler,
+        memory: initial_memory,
+        insts_retired: 0,
+        weighted_cycles: 0,
+        next_activation: 0,
+        limits,
+    };
+    r.call(entry, 0)?;
+    if !r.cursor.fully_consumed() {
+        return Err(ReplayError::Desync(
+            "replay finished with unconsumed trace events".into(),
+        ));
+    }
+    if r.insts_retired != trace.insts_retired || r.weighted_cycles != trace.weighted_cycles {
+        return Err(ReplayError::Desync(format!(
+            "retire totals diverged: replayed {}/{} cycles vs trace {}/{}",
+            r.insts_retired, r.weighted_cycles, trace.insts_retired, trace.weighted_cycles
+        )));
+    }
+    Ok(InterpResult {
+        ret: trace.ret.map(Val),
+        insts_retired: r.insts_retired,
+        weighted_cycles: r.weighted_cycles,
+        memory: r.memory,
+    })
+}
+
+struct Replayer<'a, P: Profiler> {
+    decoded: &'a DecodedModule,
+    cursor: TraceCursor<'a>,
+    watch: &'a WatchSet,
+    profiler: &'a mut P,
+    memory: Vec<u64>,
+    insts_retired: u64,
+    weighted_cycles: u64,
+    next_activation: u64,
+    limits: ReplayLimits,
+}
+
+impl<P: Profiler> Replayer<'_, P> {
+    fn next_branch(&mut self) -> Result<bool, ReplayError> {
+        self.cursor
+            .next_branch()
+            .ok_or_else(|| ReplayError::Desync("branch stream exhausted".into()))
+    }
+
+    fn next_load(&mut self) -> Result<i64, ReplayError> {
+        self.cursor
+            .next_load()
+            .ok_or_else(|| ReplayError::Desync("load stream exhausted".into()))
+    }
+
+    fn next_store(&mut self) -> Result<(i64, u64), ReplayError> {
+        self.cursor
+            .next_store()
+            .ok_or_else(|| ReplayError::Desync("store stream exhausted".into()))
+    }
+
+    fn next_def(&mut self) -> Result<Val, ReplayError> {
+        self.cursor
+            .next_def()
+            .map(Val)
+            .ok_or_else(|| ReplayError::Desync("def stream exhausted".into()))
+    }
+
+    /// Def value for an on_def site: watched insts read the recorded value;
+    /// unwatched ones report `Val(0)`.
+    fn def_value(&mut self, func: FuncId, inst: InstId) -> Result<Val, ReplayError> {
+        if self.watch.contains(func, inst) {
+            self.next_def()
+        } else {
+            Ok(Val(0))
+        }
+    }
+
+    fn retire(
+        &mut self,
+        func: FuncId,
+        inst: InstId,
+        latency: u64,
+        loops: &[LoopActivation],
+    ) -> Result<(), ReplayError> {
+        self.insts_retired += 1;
+        self.weighted_cycles += latency;
+        self.profiler.on_inst(func, inst, latency, loops);
+        if self.insts_retired > self.limits.fuel {
+            return Err(InterpError::OutOfFuel.into());
+        }
+        Ok(())
+    }
+
+    fn check_addr(&self, addr: i64) -> Result<usize, ReplayError> {
+        if addr < 0 || addr as usize >= self.memory.len() {
+            Err(InterpError::OutOfBounds { addr }.into())
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    fn update_loops(
+        &mut self,
+        func_id: FuncId,
+        df: &DecodedFunc,
+        from: Option<BlockId>,
+        to: BlockId,
+        loop_stack: &mut Vec<LoopActivation>,
+    ) {
+        let facts = &df.facts;
+        while let Some(top) = loop_stack.last() {
+            if facts.loop_contains(top.loop_id, to) {
+                break;
+            }
+            let Some(act) = loop_stack.pop() else { break };
+            self.profiler
+                .on_loop(func_id, LoopEvent::Exit(act.loop_id), loop_stack);
+        }
+        if let Some(lid) = facts.header_loop[to.index()] {
+            let is_active_top = loop_stack.last().map(|a| a.loop_id) == Some(lid);
+            let from_inside = from.is_some_and(|f| facts.loop_contains(lid, f));
+            if is_active_top && from_inside {
+                if let Some(top) = loop_stack.last_mut() {
+                    top.iter += 1;
+                }
+                self.profiler
+                    .on_loop(func_id, LoopEvent::Iterate(lid), loop_stack);
+            } else {
+                let act = LoopActivation {
+                    loop_id: lid,
+                    activation: self.next_activation,
+                    iter: 0,
+                };
+                self.next_activation += 1;
+                loop_stack.push(act);
+                self.profiler
+                    .on_loop(func_id, LoopEvent::Enter(lid), loop_stack);
+            }
+        }
+    }
+
+    /// Replays one function activation. Returns whether the executed `Ret`
+    /// carried a value (so `Call` sites know to fire `on_def`).
+    fn call(&mut self, func_id: FuncId, depth: usize) -> Result<bool, ReplayError> {
+        if depth >= self.limits.max_depth {
+            return Err(InterpError::StackOverflow.into());
+        }
+        let df = self.decoded.func(func_id);
+        let mut loop_stack: Vec<LoopActivation> = Vec::new();
+
+        let mut block = df.entry;
+        let mut from: Option<BlockId> = None;
+        self.profiler.on_block(func_id, None, block);
+
+        'blocks: loop {
+            self.update_loops(func_id, df, from, block, &mut loop_stack);
+
+            let b = &df.blocks[block.index()];
+
+            if !b.phis.is_empty() {
+                let Some(pred) = from else {
+                    return Err(InterpError::Malformed(format!(
+                        "phi {} in entry block of {}",
+                        b.phis[0], df.name
+                    ))
+                    .into());
+                };
+                let srcs = match b.preds.iter().position(|&p| p == pred) {
+                    Some(pi) => &b.phi_srcs[pi],
+                    None => {
+                        return Err(InterpError::Malformed(format!(
+                            "phi {} missing arg for pred {pred}",
+                            b.phis[0]
+                        ))
+                        .into())
+                    }
+                };
+                for (k, &i) in b.phis.iter().enumerate() {
+                    if srcs[k].is_none() {
+                        return Err(InterpError::Malformed(format!(
+                            "phi {i} missing arg for pred {pred}"
+                        ))
+                        .into());
+                    }
+                    let v = self.def_value(func_id, i)?;
+                    self.profiler.on_def(func_id, i, v, &loop_stack);
+                    self.retire(func_id, i, 0, &loop_stack)?;
+                }
+            }
+
+            for &i in b.body.iter() {
+                let di = &df.insts[i.index()];
+                let latency = di.latency;
+                match &di.kind {
+                    DKind::Param { .. } | DKind::Const { .. } => {}
+                    DKind::BinI64 { .. }
+                    | DKind::BinF64 { .. }
+                    | DKind::UnI64 { .. }
+                    | DKind::UnF64 { .. }
+                    | DKind::IntToFloat { .. }
+                    | DKind::FloatToInt { .. }
+                    | DKind::CmpI64 { .. }
+                    | DKind::CmpF64 { .. }
+                    | DKind::Copy { .. } => {
+                        let v = self.def_value(func_id, i)?;
+                        self.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::Load { .. } => {
+                        let a = self.next_load()?;
+                        let cell = self.check_addr(a)?;
+                        let mv = Val(self.memory[cell]);
+                        self.profiler.on_load(func_id, i, a, mv, &loop_stack);
+                        let v = if self.watch.contains(func_id, i) {
+                            self.next_def()?
+                        } else {
+                            mv
+                        };
+                        self.profiler.on_def(func_id, i, v, &loop_stack);
+                    }
+                    DKind::Store { .. } => {
+                        let (a, v) = self.next_store()?;
+                        let cell = self.check_addr(a)?;
+                        self.memory[cell] = v;
+                        self.profiler.on_store(func_id, i, a, Val(v), &loop_stack);
+                    }
+                    DKind::Call { callee, .. } => {
+                        self.profiler.on_call_enter(func_id, i, *callee);
+                        let has_ret = self.call(*callee, depth + 1)?;
+                        self.profiler.on_call_exit(func_id, i, *callee);
+                        if has_ret {
+                            let v = self.def_value(func_id, i)?;
+                            self.profiler.on_def(func_id, i, v, &loop_stack);
+                        }
+                    }
+                    DKind::Unsupported => {
+                        return Err(InterpError::Malformed(
+                            "interpreter requires SSA form (run mem2reg first)".into(),
+                        )
+                        .into());
+                    }
+                    DKind::Jump { target } => {
+                        self.retire(func_id, i, latency, &loop_stack)?;
+                        self.profiler.on_block(func_id, Some(block), *target);
+                        from = Some(block);
+                        block = *target;
+                        continue 'blocks;
+                    }
+                    DKind::Branch {
+                        then_bb, else_bb, ..
+                    } => {
+                        let taken = self.next_branch()?;
+                        let target = if taken { *then_bb } else { *else_bb };
+                        self.profiler.on_branch(func_id, i, taken);
+                        self.retire(func_id, i, latency, &loop_stack)?;
+                        self.profiler.on_block(func_id, Some(block), target);
+                        from = Some(block);
+                        block = target;
+                        continue 'blocks;
+                    }
+                    DKind::Ret { val } => {
+                        self.retire(func_id, i, latency, &loop_stack)?;
+                        while let Some(act) = loop_stack.pop() {
+                            self.profiler.on_loop(
+                                func_id,
+                                LoopEvent::Exit(act.loop_id),
+                                &loop_stack,
+                            );
+                        }
+                        return Ok(val.is_some());
+                    }
+                    DKind::SptFork { .. } | DKind::SptKill { .. } => {}
+                    DKind::SkippedPhi => continue,
+                }
+                self.retire(func_id, i, latency, &loop_stack)?;
+            }
+            return Err(InterpError::Malformed(format!(
+                "block {block} of {} fell through without terminator",
+                df.name
+            ))
+            .into());
+        }
+    }
+}

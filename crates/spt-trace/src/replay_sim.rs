@@ -1,0 +1,237 @@
+//! Trace-driven baseline simulation: reproduces the SPT simulator's
+//! sequential (marker-free) run — cycles, cache behavior, branch-predictor
+//! behavior, retired-instruction count, final memory — from a captured
+//! trace, under *any* [`MachineConfig`].
+//!
+//! This works because the architectural instruction stream of a sequential
+//! run is config-invariant: the machine parameters only affect *timing*,
+//! and every timing input (load/store cell, branch direction keyed by
+//! instruction id) is either static or recorded in the trace. The walker
+//! mirrors `Thread::step` + the driver loop exactly: one step per pending
+//! phi delivery (latency 0), `cache.access(..).max(1)` loads,
+//! `cache.access(..).clamp(1, 4)` stores, mispredict penalties on branches,
+//! fuel checked before each step.
+//!
+//! Modules carrying `SPT_FORK`/`SPT_KILL` markers are refused
+//! ([`ReplayError::Unsupported`]): speculative episodes interleave two cores
+//! and are not replayable from a sequential trace.
+
+use spt_ir::{BlockId, DKind, DecodedModule, FuncId};
+use spt_sim::{BranchPredictor, Cache, MachineConfig, SimResult};
+use std::collections::HashMap;
+
+use crate::replay_profile::ReplayError;
+use crate::trace::{Trace, TraceCursor};
+
+use spt_sim::SimError;
+
+fn malformed(msg: String) -> ReplayError {
+    ReplayError::Sim(SimError::Exec(spt_sim::thread::ExecError::Malformed(msg)))
+}
+
+/// True when the module contains SPT fork/kill markers (then only the full
+/// simulator, not trace replay, can execute it).
+pub fn has_spt_markers(decoded: &DecodedModule) -> bool {
+    decoded.funcs.iter().any(|df| {
+        df.insts
+            .iter()
+            .any(|di| matches!(di.kind, DKind::SptFork { .. } | DKind::SptKill { .. }))
+    })
+}
+
+struct RFrame {
+    func: FuncId,
+    block: BlockId,
+    pos: u32,
+    end: u32,
+    /// Phi deliveries still owed for the last transfer into `block`; each
+    /// is one zero-latency step, exactly like `Thread`'s pending queue.
+    pending: u32,
+}
+
+/// Replay `trace` over `decoded` under `machine`, producing a [`SimResult`]
+/// bit-identical to `SptSimulator::with_config(machine)` directly executing
+/// the same marker-free module.
+pub fn replay_sim(
+    decoded: &DecodedModule,
+    entry: FuncId,
+    trace: &Trace,
+    machine: &MachineConfig,
+    initial_memory: Vec<u64>,
+) -> Result<SimResult, ReplayError> {
+    if has_spt_markers(decoded) {
+        return Err(ReplayError::Unsupported(
+            "module carries SPT fork/kill markers; trace replay models the sequential baseline only"
+                .into(),
+        ));
+    }
+
+    let mut cursor = TraceCursor::new(trace);
+    let mut memory = initial_memory;
+    let mut cycle: u64 = 0;
+    let mut insts: u64 = 0;
+    let mut cache = Cache::new(machine.cache.clone());
+    let mut predictor = BranchPredictor::new();
+
+    let edf = decoded.func(entry);
+    let eb = &edf.blocks[edf.entry.index()];
+    let mut frames = vec![RFrame {
+        func: entry,
+        block: edf.entry,
+        pos: eb.body_start,
+        end: eb.body_end,
+        pending: 0,
+    }];
+
+    loop {
+        // Mirror of the driver loop: fuel checked before every step.
+        if insts > machine.fuel {
+            return Err(SimError::OutOfFuel.into());
+        }
+        let depth = frames.len();
+        let Some(frame) = frames.last_mut() else {
+            return Err(malformed("step on finished thread".into()));
+        };
+        let func_id = frame.func;
+        let df = decoded.func(func_id);
+
+        if frame.pending > 0 {
+            frame.pending -= 1;
+            insts += 1;
+            continue;
+        }
+
+        if frame.pos >= frame.end {
+            return Err(malformed(format!(
+                "fell off block {} in {}",
+                frame.block, df.name
+            )));
+        }
+        let inst_id = df.stream[frame.pos as usize];
+        frame.pos += 1;
+        let di = &df.insts[inst_id.index()];
+        let mut latency = di.latency;
+
+        match &di.kind {
+            DKind::Param { .. }
+            | DKind::BinI64 { .. }
+            | DKind::BinF64 { .. }
+            | DKind::UnI64 { .. }
+            | DKind::UnF64 { .. }
+            | DKind::IntToFloat { .. }
+            | DKind::FloatToInt { .. }
+            | DKind::CmpI64 { .. }
+            | DKind::CmpF64 { .. }
+            | DKind::Copy { .. }
+            | DKind::Const { .. } => {}
+            DKind::SkippedPhi => {
+                return Err(malformed(format!(
+                    "unscheduled phi {inst_id} executed directly"
+                )));
+            }
+            DKind::Load { .. } => {
+                let cell = cursor
+                    .next_load()
+                    .ok_or_else(|| ReplayError::Desync("load stream exhausted".into()))?;
+                if cell < 0 || cell as usize >= memory.len() {
+                    return Err(
+                        SimError::Exec(spt_sim::thread::ExecError::OutOfBounds(cell)).into(),
+                    );
+                }
+                latency = cache.access(cell as u64).max(1);
+            }
+            DKind::Store { .. } => {
+                let (cell, bits) = cursor
+                    .next_store()
+                    .ok_or_else(|| ReplayError::Desync("store stream exhausted".into()))?;
+                if cell < 0 || cell as usize >= memory.len() {
+                    return Err(
+                        SimError::Exec(spt_sim::thread::ExecError::OutOfBounds(cell)).into(),
+                    );
+                }
+                memory[cell as usize] = bits;
+                latency = cache.access(cell as u64).clamp(1, 4);
+            }
+            DKind::Call { callee, .. } => {
+                if depth >= machine.max_depth {
+                    return Err(SimError::Exec(spt_sim::thread::ExecError::StackOverflow).into());
+                }
+                let callee_df = decoded.func(*callee);
+                let entry_block = &callee_df.blocks[callee_df.entry.index()];
+                frames.push(RFrame {
+                    func: *callee,
+                    block: callee_df.entry,
+                    pos: entry_block.body_start,
+                    end: entry_block.body_end,
+                    pending: 0,
+                });
+            }
+            DKind::Unsupported => {
+                return Err(malformed("non-SSA IR in simulator".into()));
+            }
+            DKind::Jump { target } => {
+                transfer(frame, df, *target);
+            }
+            DKind::Branch {
+                then_bb, else_bb, ..
+            } => {
+                let taken = cursor
+                    .next_branch()
+                    .ok_or_else(|| ReplayError::Desync("branch stream exhausted".into()))?;
+                let target = if taken { *then_bb } else { *else_bb };
+                if predictor.mispredicted(func_id, inst_id, taken) {
+                    latency += machine.branch_mispredict_penalty;
+                }
+                transfer(frame, df, target);
+            }
+            DKind::Ret { .. } => {
+                frames.pop();
+                if frames.is_empty() {
+                    cycle += latency;
+                    insts += 1;
+                    break;
+                }
+            }
+            DKind::SptFork { .. } | DKind::SptKill { .. } => {
+                return Err(ReplayError::Unsupported(
+                    "SPT marker reached during sequential trace replay".into(),
+                ));
+            }
+        }
+
+        cycle += latency;
+        insts += 1;
+    }
+
+    if !cursor.fully_consumed() {
+        return Err(ReplayError::Desync(
+            "simulation replay finished with unconsumed trace events".into(),
+        ));
+    }
+    if insts != trace.insts_retired {
+        return Err(ReplayError::Desync(format!(
+            "retired-instruction totals diverged: replayed {insts} vs trace {}",
+            trace.insts_retired
+        )));
+    }
+
+    Ok(SimResult {
+        ret: trace.ret,
+        cycles: cycle,
+        insts,
+        memory,
+        loops: HashMap::new(),
+        cache_hit_rate: cache.hit_rate(),
+        branch_miss_rate: predictor.miss_rate(),
+    })
+}
+
+/// Mirror of the executor's intra-function transfer: point the frame at the
+/// target block's body and owe one pending step per leading phi.
+fn transfer(frame: &mut RFrame, df: &spt_ir::DecodedFunc, target: BlockId) {
+    let tb = &df.blocks[target.index()];
+    frame.pending = tb.phis.len() as u32;
+    frame.block = target;
+    frame.pos = tb.body_start;
+    frame.end = tb.body_end;
+}

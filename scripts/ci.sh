@@ -27,15 +27,39 @@ cargo test -q --test pipeline_robustness
 echo "== fault injection (failpoints feature) =="
 cargo test -q -p spt-core --features failpoints --test failpoint_injection
 
-echo "== perfbench smoke =="
-cargo run --release -q -p spt-bench --bin perfbench -- --smoke
+echo "== trace equivalence (replay bit-identical to direct execution) =="
+cargo test -q --release --test trace_equivalence
+
+echo "== perfbench smoke: cold vs warm cache determinism =="
+# Two consecutive runs from an empty artifact cache: the first captures,
+# the second replays from `.spt-cache/`. The results-only report digests
+# must be byte-identical (the cache can never change an answer) and the
+# warm run must actually hit the cache.
+rm -rf .spt-cache
+cold_out=$(cargo run --release -q -p spt-bench --bin perfbench -- --smoke)
+warm_out=$(cargo run --release -q -p spt-bench --bin perfbench -- --smoke)
+echo "$warm_out"
+cold_digest=$(grep '^report digest:' <<<"$cold_out")
+warm_digest=$(grep '^report digest:' <<<"$warm_out")
+if [[ -z "$cold_digest" || "$cold_digest" != "$warm_digest" ]]; then
+  echo "FAIL: warm-cache report digest diverged from cold run" >&2
+  echo "  cold: ${cold_digest:-<missing>}" >&2
+  echo "  warm: ${warm_digest:-<missing>}" >&2
+  exit 1
+fi
+if ! grep -Eq '^trace cache: [1-9][0-9]* hits, 0 misses$' <<<"$warm_out"; then
+  echo "FAIL: warm perfbench run did not serve everything from the cache" >&2
+  grep '^trace cache:' <<<"$warm_out" >&2 || true
+  exit 1
+fi
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
-# spt-core's library additionally denies unwrap/expect in production code
-# (see the crate-level cfg_attr); this re-lints it so a local `#[allow]`
+# spt-core and spt-trace additionally deny unwrap/expect in production code
+# (see their crate-level cfg_attrs); this re-lints them so a local `#[allow]`
 # regression cannot slip through without tripping the stricter gate.
 cargo clippy -p spt-core --lib -- -D warnings
+cargo clippy -p spt-trace --lib -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --all --check

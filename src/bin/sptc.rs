@@ -12,7 +12,15 @@
 //!   --entry NAME                      entry function (default main)
 //!   --arg N                           entry argument (default 100)
 //!   --train N                         profiling argument (default --arg)
+//!   --no-cache                        disable trace capture and the
+//!                                     `.spt-cache/` artifact cache
 //! ```
+//!
+//! By default the pipeline commands (`analyze`, `compile`, `sim`) run with
+//! the trace backend on: the profiling run is captured once and memoized in
+//! `.spt-cache/`, so re-invoking `sptc` on the same file replays the cached
+//! trace instead of re-interpreting. Results are bit-identical either way;
+//! `--no-cache` forces direct interpretation with no artifacts written.
 
 use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput, Severity};
 use spt::profile::{Interp, NoProfiler, Val};
@@ -31,7 +39,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sptc <ir|analyze|compile|run|sim> <file.mc> \
-         [--config basic|best|anticipated] [--entry NAME] [--arg N] [--train N]"
+         [--config basic|best|anticipated] [--entry NAME] [--arg N] [--train N] [--no-cache]"
     );
     ExitCode::from(2)
 }
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut entry = "main".to_string();
     let mut arg = 100i64;
     let mut train: Option<i64> = None;
+    let mut no_cache = false;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -74,12 +83,17 @@ fn parse_args() -> Result<Options, ExitCode> {
                 i += 1;
                 train = Some(argv.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
             }
+            "--no-cache" => no_cache = true,
             other => {
                 eprintln!("unknown option {other:?}");
                 return Err(usage());
             }
         }
         i += 1;
+    }
+    if !no_cache {
+        config.trace.enabled = true;
+        config.trace.cache_dir = Some(".spt-cache".into());
     }
     Ok(Options {
         command,

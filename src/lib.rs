@@ -58,6 +58,7 @@ pub use spt_ir as ir;
 pub use spt_partition as partition;
 pub use spt_profile as profile;
 pub use spt_sim as sim;
+pub use spt_trace as trace;
 pub use spt_transform as transform;
 
 /// The two-pass cost-driven compilation pipeline (re-export of `spt-core`).
