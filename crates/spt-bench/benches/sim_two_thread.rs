@@ -1,11 +1,13 @@
 //! Isolated measurement of the two-thread SPT simulator hot loop on
-//! speculative (transformed) modules: the dense pre-decoded engine against
-//! the retained reference engine, plus the non-speculative baseline for
-//! scale. Spec-buffer and cache behavior dominate here, so this group is
-//! the early-warning signal for simulator-side engine regressions.
+//! speculative (transformed) modules: the fused superblock tier and the
+//! dense pre-decoded engine against the retained reference engine, plus the
+//! non-speculative baseline for scale. Spec-buffer and cache behavior
+//! dominate here, so this group is the early-warning signal for
+//! simulator-side engine regressions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spt_core::{compile_and_transform, CompilerConfig, ProfilingInput};
+use spt_ir::ExecTier;
 use spt_sim::{ReferenceSimulator, SptSimulator};
 use std::hint::black_box;
 
@@ -48,6 +50,28 @@ fn bench_sim_two_thread(c: &mut Criterion) {
                         .expect("runs"),
                 )
             })
+        });
+        g.bench_function(format!("super_spt/{name}"), |b| {
+            spt_ir::set_exec_tier_override(Some(ExecTier::Super));
+            b.iter(|| {
+                black_box(
+                    dense
+                        .run(&compiled.module, bench.entry, &[N])
+                        .expect("runs"),
+                )
+            });
+            spt_ir::set_exec_tier_override(None);
+        });
+        g.bench_function(format!("super_baseline/{name}"), |b| {
+            spt_ir::set_exec_tier_override(Some(ExecTier::Super));
+            b.iter(|| {
+                black_box(
+                    dense
+                        .run(&compiled.baseline, bench.entry, &[N])
+                        .expect("runs"),
+                )
+            });
+            spt_ir::set_exec_tier_override(None);
         });
     }
     g.finish();

@@ -15,8 +15,15 @@
 //! entry, so a regression shows up as a printed slowdown factor, not a
 //! silently overwritten number.
 //!
+//! Every history entry is stamped with its `entry` index and the git
+//! revision it measured (`"rev"`); legacy entries written before stamping
+//! are backfilled on load. Cache state is controllable: `--cold` clears
+//! `.spt-cache/` first so every stage runs from scratch, `--warm` primes
+//! the cache with an untimed pass so the measured run is all replay.
+//!
 //! Run: `cargo run --release -p spt-bench --bin perfbench`
 //! Smoke check (no file write): `... --bin perfbench -- --smoke`
+//! Cache control: `... --bin perfbench -- [--cold | --warm]`
 
 use spt_bench::{run_benchmark_timed, TimedBenchmarkRun};
 use spt_core::parallel::set_thread_count_override;
@@ -209,6 +216,36 @@ fn split_objects(body: &str) -> Vec<String> {
     out
 }
 
+/// The git revision being measured, or `"unknown"` outside a checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Stamps `entry`/`rev` onto a history record that predates stamping, so
+/// every record in the rewritten file carries both (entry 0 included).
+fn normalize_entry(e: &str, i: usize) -> String {
+    let mut inserts = String::new();
+    if !e.contains("\"entry\":") {
+        let _ = write!(inserts, "\"entry\": {i}, ");
+    }
+    if !e.contains("\"rev\":") {
+        inserts.push_str("\"rev\": \"unknown\", ");
+    }
+    if inserts.is_empty() {
+        return e.to_string();
+    }
+    let body = e.trim_start().strip_prefix('{').unwrap_or(e).trim_start();
+    format!("{{{inserts}{body}")
+}
+
 /// Loads prior history entries from `BENCH_pipeline.json`. A legacy
 /// single-snapshot file (no `"history"` key) becomes the first entry.
 fn load_history(path: &str) -> Vec<String> {
@@ -291,12 +328,32 @@ fn print_deltas(prev_entry: &str, seq: &Totals) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let smoke = has("--smoke");
+    let cold = has("--cold");
+    let warm = has("--warm");
+    if cold && warm {
+        spt_bench::die("--cold and --warm are mutually exclusive");
+    }
     spt_bench::header(
         "perfbench",
         "pipeline wall-time per stage, sequential vs parallel",
     );
     let config = traced_best();
+
+    if cold {
+        // Start from an empty artifact cache: every stage pays full cost.
+        let _ = std::fs::remove_dir_all(".spt-cache");
+        println!("cache mode: cold (.spt-cache/ cleared)");
+    } else if warm {
+        // Prime the cache with a throwaway pass; the measured run below is
+        // then served entirely from replay.
+        set_thread_count_override(Some(1));
+        let _ = run_suite_timed(&config);
+        set_thread_count_override(None);
+        println!("cache mode: warm (.spt-cache/ primed by an untimed pass)");
+    }
 
     // Sequential baseline first: force one worker everywhere (the override
     // reaches the nested per-loop fan-out too).
@@ -374,15 +431,30 @@ fn main() {
             r.stages.search_visited
         );
     }
-    let mut history = load_history("BENCH_pipeline.json");
+    let mut history: Vec<String> = load_history("BENCH_pipeline.json")
+        .iter()
+        .enumerate()
+        .map(|(i, e)| normalize_entry(e, i))
+        .collect();
     if let Some(prev) = history.last() {
         print_deltas(prev, &seq);
     }
+    let cache_mode = if cold {
+        "cold"
+    } else if warm {
+        "warm"
+    } else {
+        "as-found"
+    };
     let entry = format!(
-        "{{\"entry\": {}, \"config\": \"best\", \"sequential\": {}, \"parallel\": {}, \
+        "{{\"entry\": {}, \"rev\": \"{}\", \"config\": \"best\", \
+         \"exec_tier\": \"{}\", \"cache_mode\": \"{cache_mode}\", \
+         \"sequential\": {}, \"parallel\": {}, \
          \"suite_wall_speedup\": {speedup:.3}, \"peak_rss_kb\": {rss}, \
          \"per_benchmark_sequential\": [{per_bench}]}}",
         history.len(),
+        git_revision(),
+        format!("{:?}", spt_ir::exec_tier()).to_lowercase(),
         seq.json(1),
         par.json(threads)
     );

@@ -257,6 +257,25 @@ pub fn transform_module_timed(
     Ok(out)
 }
 
+/// Routes the `superblock::lower` fail point into [`spt_ir::superblock`]'s
+/// lowering hook: a `Panic` action fires *inside* the per-function lowering
+/// fault domain, so tests can prove one function degrades to the dense tier
+/// while the rest of the module fuses. An `Error` action also panics
+/// (lowering has no error channel; degradation is the recovery).
+#[cfg(feature = "failpoints")]
+fn superblock_lower_failpoint(name: &str) {
+    if let Some(act) = crate::failpoint::eval("superblock::lower", name) {
+        match act {
+            crate::failpoint::Action::Panic(msg) | crate::failpoint::Action::Error(msg) => {
+                panic!("failpoint superblock::lower [{name}]: {msg}")
+            }
+            crate::failpoint::Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+}
+
 /// The pipeline proper, free to leave `module` half-transformed on error —
 /// [`transform_module_timed`] only commits it on success.
 fn transform_scratch(
@@ -264,6 +283,8 @@ fn transform_scratch(
     input: &ProfilingInput,
     config: &CompilerConfig,
 ) -> Result<(CompilationReport, StageTimings), PipelineError> {
+    #[cfg(feature = "failpoints")]
+    spt_ir::superblock::set_lower_hook(Some(superblock_lower_failpoint));
     let mut timings = StageTimings::default();
     let mut diags: Vec<Diagnostic> = Vec::new();
     // --- Stage 2: preprocessing.
@@ -282,6 +303,25 @@ fn transform_scratch(
     let (mut collector, trace_bundle) =
         collect_profile(module, &interp, input, config, &mut diags, &mut timings)?;
     timings.profile_s = t.elapsed().as_secs_f64();
+
+    // Superblock-tier observability: when the profiling engine runs fused
+    // code, surface every function a lowering fault degraded to the dense
+    // tier. Results are unaffected (the dense tier is exact), so this is a
+    // warning, not an error.
+    if spt_ir::exec_tier() == spt_ir::ExecTier::Super {
+        for (fid, why) in &interp.superblock().degraded {
+            diags.push(Diagnostic::for_func(
+                Stage::Profile,
+                Severity::Warning,
+                *fid,
+                format!(
+                    "superblock lowering of `{}` failed ({why}); \
+                     function degraded to the dense execution tier",
+                    module.func(*fid).name
+                ),
+            ));
+        }
+    }
 
     // --- Stage 4: pass 1 analysis.
     let t = std::time::Instant::now();

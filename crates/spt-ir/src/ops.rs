@@ -38,7 +38,7 @@ pub enum BinOp {
 
 impl BinOp {
     /// Evaluates the operator on two `i64` operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval_i64(self, a: i64, b: i64) -> i64 {
         match self {
             BinOp::Add => a.wrapping_add(b),
@@ -72,7 +72,7 @@ impl BinOp {
     ///
     /// Bitwise/shift operators are meaningless on floats; they evaluate to
     /// `0.0` and are rejected earlier by the verifier.
-    #[inline]
+    #[inline(always)]
     pub fn eval_f64(self, a: f64, b: f64) -> f64 {
         match self {
             BinOp::Add => a + b,
@@ -149,7 +149,7 @@ pub enum UnOp {
 impl UnOp {
     /// Evaluates the operator on an `i64` operand, returning an `i64`
     /// whenever the result type is integral.
-    #[inline]
+    #[inline(always)]
     pub fn eval_i64(self, a: i64) -> i64 {
         match self {
             UnOp::Neg => a.wrapping_neg(),
@@ -161,7 +161,7 @@ impl UnOp {
     }
 
     /// Evaluates the operator on an `f64` operand.
-    #[inline]
+    #[inline(always)]
     pub fn eval_f64(self, a: f64) -> f64 {
         match self {
             UnOp::Neg => -a,
@@ -240,7 +240,7 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// Evaluates the comparison on `i64` operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval_i64(self, a: i64, b: i64) -> bool {
         match self {
             CmpOp::Eq => a == b,
@@ -253,7 +253,7 @@ impl CmpOp {
     }
 
     /// Evaluates the comparison on `f64` operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval_f64(self, a: f64, b: f64) -> bool {
         match self {
             CmpOp::Eq => a == b,

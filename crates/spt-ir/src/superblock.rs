@@ -1,0 +1,1531 @@
+//! Superblock lowering: fused threaded-code compilation of the decoded IR.
+//!
+//! The dense engines ([`crate::DecodedModule`]) dispatch one [`DKind`] per
+//! executed instruction. This module compiles each straight-line block body
+//! once per module into an array of *superinstructions* ([`SInst`]) that the
+//! engines' superblock tiers execute by threaded-code dispatch:
+//!
+//! * **constant folding** — pure ops whose operands are all immediates
+//!   collapse to a single pre-computed [`SOpc::FoldedDef`];
+//! * **immediate specialization** — every opcode comes in slot/slot and
+//!   slot/immediate forms (`AddRR`/`AddImm`, `CmpRR`/`CmpImm`, `StoreRR`/
+//!   `StoreRI`/…), so the hot dispatch loop never re-discriminates operand
+//!   kinds: an [`SInst`] operand (`a`, `b`, `aux`) is always a value-array
+//!   slot index, and constants live pre-extracted in `imm`;
+//! * **peephole fusion** — the three dominant adjacent pairs (`CmpI64` +
+//!   `Branch`, `Load` + `BinI64`, `BinI64` + `Store`) become single ops
+//!   ([`SOpc::CmpBr`], [`SOpc::LoadBin`], [`SOpc::BinStore`] and their
+//!   immediate forms);
+//! * **register windows** — when a fused pair's intermediate value has no
+//!   other use in the function (counting every operand, phi-source row and
+//!   context copy), its write to the frame's value array is elided
+//!   ([`NO_SLOT`]): the value flows through the pair in a register instead
+//!   of round-tripping through the slot array. Fused pairs execute
+//!   atomically in the interpreter and main-simulator tiers; the validation
+//!   replay, which may stop mid-pair, rewrites constituent slots
+//!   unconditionally (see `spt-sim`), so an elided slot can never be
+//!   observed stale.
+//!
+//! The hot [`SInst`] is a 40-byte `Copy` record; the cold per-op metadata
+//! engines need only for accounting and event replay (constituent
+//! [`InstId`]s and static latencies) lives in a parallel [`SMeta`] array.
+//!
+//! **Fallback contract**: a block is lowered only if it is a straight-line
+//! run — no `Call`, no [`DKind::Unsupported`], no stray [`DKind::SkippedPhi`],
+//! at most [`MAX_FUSED_PHIS`] leading phis, exactly one terminator in tail
+//! position, and every constant operand representable in the compact
+//! encoding (a constant store address must fit in `u32`). Irregular blocks
+//! keep `range: None` and the engines execute them on the dense tier,
+//! instruction by instruction, with identical semantics; lowering commits a
+//! block's ops and `op_at` marks only after the whole block lowers, so a
+//! late bail-out leaves no stale state. A panic during one function's
+//! lowering (exercised via the `superblock::lower` failpoint, injected
+//! through [`set_lower_hook`]) degrades that whole function to the dense
+//! tier and is reported in [`SuperblockModule::degraded`] instead of
+//! propagating.
+//!
+//! Lowering is purely structural: per-instruction retire order, profiler
+//! events and timing semantics are properties of the executing engine, which
+//! replays them per constituent instruction ([`SMeta::inst`]/[`SMeta::inst2`])
+//! of each fused op. [`SBlock::retires`]/[`SBlock::cycles`] additionally
+//! pre-aggregate a fused block's retirement accounting so non-observing runs
+//! can batch it per block entry.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::decoded::{DBlock, DInst, DKind, DVal, DecodedFunc, DecodedModule};
+use crate::ids::{BlockId, FuncId, InstId};
+use crate::ops::{BinOp, CmpOp, UnOp};
+use std::sync::Mutex;
+
+/// Slot sentinel: the op defines no slot (or the write is elided because the
+/// fused consumer is the value's only use).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Leading-phi cap for fused blocks; phi-heavier merges fall back to the
+/// dense tier.
+pub const MAX_FUSED_PHIS: usize = 16;
+
+/// Flag bit on [`SInst::flags`]: the *swapped* operand order.
+/// For `LoadBin`/`LoadBinImm` the loaded value is the **right** operand of
+/// the binary op; for `BinStoreImm` the immediate is the **left** operand.
+pub const F_SWAP: u8 = 1;
+
+/// [`SOpc::Fuse2`] flag: the first op's second operand is the packed
+/// immediate `imm1` (low 32 bits of `imm`, sign-extended) instead of slot
+/// `b`.
+pub const F2_IMM1: u8 = 2;
+/// [`SOpc::Fuse2`] flag: the second op's other operand is the packed
+/// immediate `imm2` (high 32 bits of `imm`, sign-extended) instead of slot
+/// `aux`.
+pub const F2_IMM2: u8 = 4;
+/// [`SOpc::Fuse2`] flag: the intermediate value is the **right** operand of
+/// the second op.
+pub const F2_R_RIGHT: u8 = 8;
+/// [`SOpc::Fuse2`] flag: the first op's operands are reversed (`bin(y, x)`
+/// instead of `bin(x, y)`).
+pub const F2_OP1_REV: u8 = 16;
+
+/// Superinstruction opcodes. Field usage per opcode is documented on
+/// [`SInst`]. `RR` suffixes read both operands from slots, `Imm` forms carry
+/// one constant in [`SInst::imm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SOpc {
+    /// Parameter read: `dst = args[imm]` (missing arg reads 0). No def hook.
+    Param,
+    /// Constant materialization: `dst = imm`. No def hook.
+    ConstV,
+    /// Constant-folded pure op: `dst = imm`, def hook fires.
+    FoldedDef,
+    /// `dst = a + b` (wrapping `i64`).
+    AddRR,
+    /// `dst = a + imm` (wrapping `i64`).
+    AddImm,
+    /// `dst = a - b` (wrapping `i64`).
+    SubRR,
+    /// `dst = a - imm` (wrapping `i64`).
+    SubImm,
+    /// `dst = imm - a` (wrapping `i64`).
+    RsbImm,
+    /// `dst = a * b` (wrapping `i64`).
+    MulRR,
+    /// `dst = a * imm` (wrapping `i64`).
+    MulImm,
+    /// Generic integer binary op: `dst = bin(a, b)`.
+    BinRR,
+    /// Generic integer binary op: `dst = bin(a, imm)`.
+    BinImm,
+    /// Generic integer binary op, immediate on the left: `dst = bin(imm, a)`.
+    BinImmL,
+    /// Float binary op: `dst = bin(a, b)`.
+    BinF64RR,
+    /// Float binary op: `dst = bin(a, imm)`.
+    BinF64Imm,
+    /// Float binary op, immediate on the left: `dst = bin(imm, a)`.
+    BinF64ImmL,
+    /// Integer unary op `un` on `a`.
+    UnI64,
+    /// Float unary op `un` on `a`.
+    UnF64,
+    /// `i64 -> f64` conversion of `a`.
+    IntToFloat,
+    /// `f64 -> i64` conversion of `a`.
+    FloatToInt,
+    /// Value copy of slot `a`.
+    Copy,
+    /// Integer comparison: `dst = cmp(a, b)` as 0/1.
+    CmpRR,
+    /// Integer comparison: `dst = cmp(a, imm)` as 0/1. A constant left
+    /// operand is canonicalized here via [`cmp_swapped`].
+    CmpImm,
+    /// Float comparison: `dst = cmp(a, b)` as 0/1.
+    CmpF64RR,
+    /// Float comparison: `dst = cmp(a, imm)` as 0/1 (left constants
+    /// canonicalized via [`cmp_swapped`]; exact for NaN, which compares
+    /// false under every ordering either way).
+    CmpF64Imm,
+    /// Memory load from address slot `a`.
+    Load,
+    /// Memory load from constant address `imm`.
+    LoadImm,
+    /// Store value slot `b` to address slot `a`.
+    StoreRR,
+    /// Store constant `imm` to address slot `a`.
+    StoreRI,
+    /// Store value slot `b` to constant address `imm`.
+    StoreIR,
+    /// Store constant `imm` to constant address `aux` (blocks whose constant
+    /// address does not fit `u32` stay dense).
+    StoreII,
+    /// Unconditional jump to `t1`.
+    Jump,
+    /// Conditional branch on slot `a`: `t1` when non-zero, else `t2`.
+    Branch,
+    /// Branch on the constant condition `imm`.
+    BranchImm,
+    /// Return with value slot `a`.
+    RetVal,
+    /// Return with constant value `imm`.
+    RetImm,
+    /// Return without value.
+    RetVoid,
+    /// `SPT_FORK` marker: tag `imm`, spawn target `t1`.
+    SptFork,
+    /// `SPT_KILL` marker: tag `imm`.
+    SptKill,
+    /// Fused integer compare (`cmp`, `a`, `b`, def `dst`) feeding a branch
+    /// (`t1`/`t2`).
+    CmpBr,
+    /// Fused integer compare against `imm` feeding a branch.
+    CmpBrImm,
+    /// Fused load from slot `a` (def `dst`) feeding a `BinI64` with slot
+    /// operand `b` (def `aux`); [`F_SWAP`] means the loaded value is the
+    /// right operand.
+    LoadBin,
+    /// Fused load from slot `a` (def `dst`) feeding a `BinI64` with constant
+    /// operand `imm` (def `aux`); [`F_SWAP`] as for `LoadBin`.
+    LoadBinImm,
+    /// Fused `BinI64` on slots `a`, `b` (def `dst`) feeding a store to
+    /// address slot `aux`.
+    BinStore,
+    /// Fused `BinI64` on slot `a` and constant `imm` (def `dst`) feeding a
+    /// store to address slot `aux`; [`F_SWAP`] means the constant is the
+    /// left operand.
+    BinStoreImm,
+    /// Address-generation fusion: `BinI64` on slots `a`, `b` (def `aux`,
+    /// [`NO_SLOT`] when elided) computing the address of a load (def `dst`).
+    AgenLoad,
+    /// As [`SOpc::AgenLoad`] with constant operand `imm` ([`F_SWAP`] means
+    /// the constant is the left operand).
+    AgenLoadImm,
+    /// Address-generation fusion: `BinI64` on slots `a`, `b` (def `dst`,
+    /// [`NO_SLOT`] when elided) computing the address of a store of value
+    /// slot `aux`.
+    AgenStore,
+    /// As [`SOpc::AgenStore`] with constant operand `imm` ([`F_SWAP`] means
+    /// the constant is the left operand).
+    AgenStoreImm,
+    /// Fused loop backedge: `BinI64` on slots `a`, `b` (def `dst`) followed
+    /// by an unconditional jump to `t1`. The def is kept (it typically feeds
+    /// the header phi).
+    BinJump,
+    /// As [`SOpc::BinJump`] with constant operand `imm` ([`F_SWAP`] means
+    /// the constant is the left operand).
+    BinImmJump,
+    /// Fused pure integer chain: `r = bin(x, y1)` then `dst = bin2(r, z)`,
+    /// with `x` in slot `a`, `y1` in slot `b` or the packed immediate `imm1`
+    /// ([`F2_IMM1`]; [`F2_OP1_REV`] reverses the first op's operands), and
+    /// `z` in slot `aux` or the packed immediate `imm2` ([`F2_IMM2`];
+    /// [`F2_R_RIGHT`] puts `r` on the right of `bin2`). The single-use
+    /// intermediate `r` is elided. `imm` packs both sign-extended 32-bit
+    /// immediates (`imm1` low, `imm2` high); wider constants decline.
+    Fuse2,
+    /// [`SOpc::Fuse2`] specialized to flags exactly [`F2_IMM1`]`|`[`F2_IMM2`]:
+    /// `dst = bin2(bin(a, imm1), imm2)`, branch-free.
+    Fuse2II,
+    /// [`SOpc::Fuse2`] specialized to flags exactly [`F2_IMM1`]:
+    /// `dst = bin2(bin(a, imm1), aux)`, branch-free.
+    Fuse2IR,
+    /// [`SOpc::Fuse2`] specialized to flags exactly
+    /// [`F2_IMM1`]`|`[`F2_R_RIGHT`]: `dst = bin2(aux, bin(a, imm1))`,
+    /// branch-free.
+    Fuse2IRr,
+}
+
+/// One superinstruction: a compact 40-byte `Copy` record. `a`/`b`/`aux` are
+/// always value-array slot indices (constants are pre-extracted into `imm`
+/// by lowering), so the hot loops never re-discriminate operand kinds.
+/// Unused fields hold inert defaults. The constituent [`DInst`] ids and
+/// static latencies live in the parallel cold array
+/// [`SuperblockFunc::meta`].
+#[derive(Clone, Copy, Debug)]
+pub struct SInst {
+    /// Opcode.
+    pub opc: SOpc,
+    /// Per-opcode flag bits ([`F_SWAP`]).
+    pub flags: u8,
+    /// Binary operator, for the generic/fused binary opcodes.
+    pub bin: BinOp,
+    /// Second binary operator, for [`SOpc::Fuse2`].
+    pub bin2: BinOp,
+    /// Comparison operator, for the compare opcodes.
+    pub cmp: CmpOp,
+    /// Unary operator, for `UnI64`/`UnF64`.
+    pub un: UnOp,
+    /// Primary destination slot ([`NO_SLOT`] = none/elided).
+    pub dst: u32,
+    /// First operand slot.
+    pub a: u32,
+    /// Second operand slot.
+    pub b: u32,
+    /// Third slot: `LoadBin*`'s binary-op destination, `BinStore*`'s store
+    /// address, `StoreII`'s (u32-ranged) constant address.
+    pub aux: u32,
+    /// Immediate payload (folded bits, specialized-op immediate, parameter
+    /// index, or SPT tag).
+    pub imm: u64,
+    /// Primary control target.
+    pub t1: BlockId,
+    /// Secondary control target (`Branch`/`CmpBr*` else-target).
+    pub t2: BlockId,
+}
+
+impl SInst {
+    fn new(opc: SOpc) -> SInst {
+        SInst {
+            opc,
+            flags: 0,
+            bin: BinOp::Add,
+            bin2: BinOp::Add,
+            cmp: CmpOp::Eq,
+            un: UnOp::Neg,
+            dst: NO_SLOT,
+            a: 0,
+            b: 0,
+            aux: 0,
+            imm: 0,
+            t1: BlockId(0),
+            t2: BlockId(0),
+        }
+    }
+}
+
+/// Cold per-op metadata, parallel to [`SuperblockFunc::ops`]: the
+/// constituent decoded instructions and their static latencies, read only by
+/// the simulator tiers and the observing interpreter for per-instruction
+/// event replay and accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct SMeta {
+    /// Primary constituent instruction.
+    pub inst: InstId,
+    /// Secondary constituent instruction (fused pairs; `inst` otherwise).
+    pub inst2: InstId,
+    /// Stream position of `inst` ([`DecodedFunc::stream`]). The gap to the
+    /// previous op's end is the run of elided zero-latency constant defs
+    /// crossed before this op; the simulator retires them here.
+    pub pos: u32,
+    /// Static latency of `inst`.
+    pub lat: u32,
+    /// Static latency of `inst2`.
+    pub lat2: u32,
+}
+
+impl SMeta {
+    fn new(inst: InstId, lat: u64) -> SMeta {
+        SMeta {
+            inst,
+            inst2: inst,
+            pos: 0,
+            lat: u32::try_from(lat).unwrap_or(u32::MAX),
+            lat2: 0,
+        }
+    }
+}
+
+/// One block's superblock view.
+#[derive(Clone, Debug)]
+pub struct SBlock {
+    /// `[start, end)` into [`SuperblockFunc::ops`], or `None` when the block
+    /// executes on the dense tier (irregular shape; see the module docs).
+    pub range: Option<(u32, u32)>,
+    /// Instructions retired by one entry to a fused block (leading phis +
+    /// body). 0 for dense blocks.
+    pub retires: u64,
+    /// Summed static latency of one entry to a fused block. 0 for dense
+    /// blocks.
+    pub cycles: u64,
+    /// Pre-resolved phi schedules, one per predecessor: entering from
+    /// `preds[k]` performs the moves `(dst_slot, src)` of `phis[k].1`, all
+    /// sources read before any destination is written. Empty when the block
+    /// has no phis; a block whose phi rows cannot be fully resolved at
+    /// build time (entry block, missing source) is left dense so the dense
+    /// arm reproduces the exact runtime error.
+    #[allow(clippy::type_complexity)]
+    pub phis: Vec<(BlockId, Box<[(u32, DVal)]>)>,
+    /// `(slot, bits)` of the block's elided region-base constant defs,
+    /// written as raw data on fused entry instead of dispatching. Their
+    /// reads inside fused ops are folded to immediates at build time; the
+    /// slot writes keep every dense-fallback read of the same slots exact.
+    pub consts: Box<[(u32, u64)]>,
+}
+
+/// One function's superblock code.
+#[derive(Clone, Debug)]
+pub struct SuperblockFunc {
+    /// Per-block ranges, indexed by [`BlockId`].
+    pub blocks: Box<[SBlock]>,
+    /// All fused ops, grouped per block.
+    pub ops: Box<[SInst]>,
+    /// Cold constituent metadata, parallel to `ops`.
+    pub meta: Box<[SMeta]>,
+    /// Per position of [`DecodedFunc::stream`]: index of the fused op
+    /// starting at that instruction, or `u32::MAX` when none does (dense
+    /// block, or interior of a fused pair). Used by the simulator to
+    /// resynchronize fused execution after a dense stretch.
+    pub op_at: Box<[u32]>,
+    /// Set when lowering this function panicked: every block is dense.
+    pub degraded: Option<String>,
+}
+
+/// The superblock tier's code for a whole module, built once per
+/// [`DecodedModule`].
+#[derive(Clone, Debug)]
+pub struct SuperblockModule {
+    /// Per-function code, indexed by [`FuncId`].
+    pub funcs: Vec<SuperblockFunc>,
+    /// Functions degraded to the dense tier by a lowering fault, with the
+    /// panic text, in function order.
+    pub degraded: Vec<(FuncId, String)>,
+}
+
+/// Fault-injection hook type: called with each function's name before it is
+/// lowered.
+pub type LowerHook = fn(&str);
+
+static LOWER_HOOK: Mutex<Option<LowerHook>> = Mutex::new(None);
+
+/// Installs (or with `None` removes) a process-wide hook called at the start
+/// of every function's lowering, *inside* the per-function fault domain. The
+/// fault-isolation harness routes the `superblock::lower` failpoint through
+/// this: a panicking hook degrades exactly the function it fires for.
+pub fn set_lower_hook(hook: Option<LowerHook>) {
+    *LOWER_HOOK.lock().unwrap_or_else(|e| e.into_inner()) = hook;
+}
+
+fn lower_hook() -> Option<LowerHook> {
+    *LOWER_HOOK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl SuperblockModule {
+    /// Lowers every function of `decoded`. Never panics: a fault while
+    /// lowering one function degrades that function to the dense tier and
+    /// records it in [`SuperblockModule::degraded`].
+    pub fn build(decoded: &DecodedModule) -> SuperblockModule {
+        let hook = lower_hook();
+        let mut funcs = Vec::with_capacity(decoded.funcs.len());
+        let mut degraded = Vec::new();
+        for (fi, df) in decoded.funcs.iter().enumerate() {
+            let lowered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(h) = hook {
+                    h(&df.name);
+                }
+                lower_func(df)
+            }));
+            match lowered {
+                Ok(sf) => funcs.push(sf),
+                Err(payload) => {
+                    let why = panic_text(payload);
+                    degraded.push((FuncId::new(fi), why.clone()));
+                    funcs.push(degraded_func(df, why));
+                }
+            }
+        }
+        SuperblockModule { funcs, degraded }
+    }
+
+    /// The superblock code for `func`.
+    #[inline]
+    pub fn func(&self, func: FuncId) -> &SuperblockFunc {
+        &self.funcs[func.index()]
+    }
+}
+
+fn degraded_func(df: &DecodedFunc, why: String) -> SuperblockFunc {
+    SuperblockFunc {
+        blocks: df
+            .blocks
+            .iter()
+            .map(|_| SBlock {
+                range: None,
+                retires: 0,
+                cycles: 0,
+                phis: Vec::new(),
+                consts: Box::new([]),
+            })
+            .collect(),
+        ops: Box::new([]),
+        meta: Box::new([]),
+        op_at: vec![u32::MAX; df.stream.len()].into_boxed_slice(),
+        degraded: Some(why),
+    }
+}
+
+/// Counts every read of each value slot in the function: instruction
+/// operands (including call arguments, branch conditions, store
+/// addresses/values and return operands) and phi-source rows. A slot with
+/// exactly one counted use that is the consumer half of a fused pair never
+/// needs its value-array write.
+fn count_uses(df: &DecodedFunc) -> Vec<u32> {
+    let mut uses = vec![0u32; df.num_values()];
+    let mut touch = |dv: DVal| {
+        if let DVal::Slot(s) = dv {
+            uses[s as usize] = uses[s as usize].saturating_add(1);
+        }
+    };
+    for di in df.insts.iter() {
+        match &di.kind {
+            DKind::Param { .. }
+            | DKind::Const { .. }
+            | DKind::Jump { .. }
+            | DKind::SptFork { .. }
+            | DKind::SptKill { .. }
+            | DKind::SkippedPhi
+            | DKind::Unsupported => {}
+            DKind::BinI64 { lhs, rhs, .. }
+            | DKind::BinF64 { lhs, rhs, .. }
+            | DKind::CmpI64 { lhs, rhs, .. }
+            | DKind::CmpF64 { lhs, rhs, .. } => {
+                touch(*lhs);
+                touch(*rhs);
+            }
+            DKind::UnI64 { val, .. }
+            | DKind::UnF64 { val, .. }
+            | DKind::IntToFloat { val }
+            | DKind::FloatToInt { val }
+            | DKind::Copy { val } => touch(*val),
+            DKind::Load { addr } => touch(*addr),
+            DKind::Store { addr, val } => {
+                touch(*addr);
+                touch(*val);
+            }
+            DKind::Call { args, .. } => {
+                for a in args.iter() {
+                    touch(*a);
+                }
+            }
+            DKind::Branch { cond, .. } => touch(*cond),
+            DKind::Ret { val } => {
+                if let Some(v) = val {
+                    touch(*v);
+                }
+            }
+        }
+    }
+    for b in df.blocks.iter() {
+        for row in b.phi_srcs.iter() {
+            for src in row.iter().flatten() {
+                touch(*src);
+            }
+        }
+    }
+    uses
+}
+
+fn is_terminator(kind: &DKind) -> bool {
+    matches!(
+        kind,
+        DKind::Jump { .. } | DKind::Branch { .. } | DKind::Ret { .. }
+    )
+}
+
+/// The comparison that computes `cmp(a, b)` as `swapped(b, a)`. Exact for
+/// integers and floats alike: `Eq`/`Ne` are symmetric and the orderings
+/// mirror (`<` ↔ `>`), including NaN operands, for which every ordered
+/// comparison is false in both orders.
+pub fn cmp_swapped(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// `slot -> bits` for every zero-latency constant def in the function
+/// (region bases), used to fold their reads into immediates at build time.
+fn const_map(df: &DecodedFunc) -> Vec<Option<u64>> {
+    let mut cmap = vec![None; df.insts.len()];
+    for (idx, di) in df.insts.iter().enumerate() {
+        if let DKind::Const { bits } = di.kind {
+            if di.latency == 0 {
+                cmap[idx] = Some(bits);
+            }
+        }
+    }
+    cmap
+}
+
+fn resolve_dval(v: DVal, cmap: &[Option<u64>]) -> DVal {
+    match v {
+        DVal::Slot(s) => cmap
+            .get(s as usize)
+            .copied()
+            .flatten()
+            .map_or(v, DVal::Bits),
+        b => b,
+    }
+}
+
+/// Clones `di` with every slot operand that names a constant def rewritten
+/// to its bits, so lowering encodes immediates and the const def's dispatch
+/// can be elided from the fused stream.
+fn resolve_inst(di: &DInst, cmap: &[Option<u64>]) -> DInst {
+    let r = |v: DVal| resolve_dval(v, cmap);
+    let kind = match &di.kind {
+        DKind::BinI64 { op, lhs, rhs } => DKind::BinI64 {
+            op: *op,
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        DKind::BinF64 { op, lhs, rhs } => DKind::BinF64 {
+            op: *op,
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        DKind::UnI64 { op, val } => DKind::UnI64 {
+            op: *op,
+            val: r(*val),
+        },
+        DKind::UnF64 { op, val } => DKind::UnF64 {
+            op: *op,
+            val: r(*val),
+        },
+        DKind::IntToFloat { val } => DKind::IntToFloat { val: r(*val) },
+        DKind::FloatToInt { val } => DKind::FloatToInt { val: r(*val) },
+        DKind::CmpI64 { op, lhs, rhs } => DKind::CmpI64 {
+            op: *op,
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        DKind::CmpF64 { op, lhs, rhs } => DKind::CmpF64 {
+            op: *op,
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        DKind::Copy { val } => DKind::Copy { val: r(*val) },
+        DKind::Load { addr } => DKind::Load { addr: r(*addr) },
+        DKind::Store { addr, val } => DKind::Store {
+            addr: r(*addr),
+            val: r(*val),
+        },
+        DKind::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => DKind::Branch {
+            cond: r(*cond),
+            then_bb: *then_bb,
+            else_bb: *else_bb,
+        },
+        DKind::Ret { val } => DKind::Ret { val: val.map(r) },
+        other => other.clone(),
+    };
+    DInst {
+        kind,
+        latency: di.latency,
+    }
+}
+
+fn lower_func(df: &DecodedFunc) -> SuperblockFunc {
+    let uses = count_uses(df);
+    let cmap = const_map(df);
+    let mut ops: Vec<SInst> = Vec::new();
+    let mut meta: Vec<SMeta> = Vec::new();
+    let mut op_at = vec![u32::MAX; df.stream.len()];
+    let blocks: Box<[SBlock]> = df
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            let is_entry = BlockId(bi as u32) == df.entry;
+            lower_block(
+                df, b, is_entry, &uses, &cmap, &mut ops, &mut meta, &mut op_at,
+            )
+        })
+        .collect();
+    SuperblockFunc {
+        blocks,
+        ops: ops.into_boxed_slice(),
+        meta: meta.into_boxed_slice(),
+        op_at: op_at.into_boxed_slice(),
+        degraded: None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_block(
+    df: &DecodedFunc,
+    b: &DBlock,
+    is_entry: bool,
+    uses: &[u32],
+    cmap: &[Option<u64>],
+    ops: &mut Vec<SInst>,
+    meta: &mut Vec<SMeta>,
+    op_at: &mut [u32],
+) -> SBlock {
+    let dense = SBlock {
+        range: None,
+        retires: 0,
+        cycles: 0,
+        phis: Vec::new(),
+        consts: Box::new([]),
+    };
+    let body = &b.body;
+    if b.phis.len() > MAX_FUSED_PHIS || body.is_empty() {
+        return dense;
+    }
+    // Pre-resolve the phi rows into per-predecessor move schedules. A row
+    // that cannot be resolved statically (phis in the entry block, or a
+    // missing source) stays dense: the dense arm raises the exact
+    // `Malformed` error the reference engine would.
+    if !b.phis.is_empty() && is_entry {
+        return dense;
+    }
+    let mut phi_scheds = Vec::with_capacity(if b.phis.is_empty() { 0 } else { b.preds.len() });
+    if !b.phis.is_empty() {
+        for (pi, &pred) in b.preds.iter().enumerate() {
+            let mut moves = Vec::with_capacity(b.phis.len());
+            for (k, &i) in b.phis.iter().enumerate() {
+                match b.phi_srcs[pi][k] {
+                    Some(src) => moves.push((i.index() as u32, resolve_dval(src, cmap))),
+                    None => return dense,
+                }
+            }
+            phi_scheds.push((pred, moves.into_boxed_slice()));
+        }
+    }
+    let last = body.len() - 1;
+    for (k, &i) in body.iter().enumerate() {
+        let kind = &df.insts[i.index()].kind;
+        let irregular = matches!(
+            kind,
+            DKind::Call { .. } | DKind::Unsupported | DKind::SkippedPhi
+        ) || (is_terminator(kind) != (k == last));
+        if irregular {
+            return dense;
+        }
+    }
+
+    // Lower into a scratch list first and commit `ops`/`op_at` only when the
+    // whole block lowers: a late bail-out (e.g. an unencodable constant)
+    // must not leave stale op-start marks behind. Zero-latency constant defs
+    // are elided from the dispatch stream: their bits land in `consts`
+    // (written as raw data on fused entry) and their reads were folded to
+    // immediates by `resolve_inst`.
+    let mut tmp: Vec<(usize, SInst, SMeta)> = Vec::with_capacity(body.len());
+    let mut consts: Vec<(u32, u64)> = Vec::new();
+    let mut elided: Vec<usize> = Vec::new();
+    let mut k = 0usize;
+    while k < body.len() {
+        let i = body[k];
+        let pos = b.body_start as usize + k;
+        let raw = &df.insts[i.index()];
+        if let DKind::Const { bits } = raw.kind {
+            if raw.latency == 0 {
+                consts.push((i.0, bits));
+                elided.push(pos);
+                k += 1;
+                continue;
+            }
+        }
+        let di = resolve_inst(raw, cmap);
+        let nx = body
+            .get(k + 1)
+            .map(|&j| (j, resolve_inst(&df.insts[j.index()], cmap)));
+        let lowered = match fuse_pair(i, &di, nx.as_ref().map(|(j, d)| (*j, d)), uses) {
+            Some(pair) => Some((pair, 2usize)),
+            None => lower_single(i, &di).map(|s| (s, 1usize)),
+        };
+        let Some(((op, mut m), consumed)) = lowered else {
+            return dense;
+        };
+        m.pos = pos as u32;
+        tmp.push((pos, op, m));
+        k += consumed;
+    }
+    let start = ops.len() as u32;
+    // Elided positions forward-map to the next emitted op, so block entries
+    // and mid-block resumes that land on a skipped constant still find the
+    // fused stream; the simulator retires the crossed constants from the
+    // `SMeta::pos` gap.
+    let mut e = 0usize;
+    for (pos, op, m) in tmp {
+        while e < elided.len() && elided[e] < pos {
+            op_at[elided[e]] = ops.len() as u32;
+            e += 1;
+        }
+        op_at[pos] = ops.len() as u32;
+        ops.push(op);
+        meta.push(m);
+    }
+    let end = ops.len() as u32;
+    SBlock {
+        range: Some((start, end)),
+        retires: (b.phis.len() + body.len()) as u64,
+        cycles: body.iter().map(|&i| df.insts[i.index()].latency).sum(),
+        phis: phi_scheds,
+        consts: consts.into_boxed_slice(),
+    }
+}
+
+/// Encodes the binary-op operand shape shared by the address-generation
+/// fusions: slots in `a`/`b`, or one constant in `imm` with [`F_SWAP`]
+/// marking a constant left operand. Const/const declines so constant
+/// folding applies instead.
+fn agen(rr: SOpc, ri: SOpc, lhs: &DVal, rhs: &DVal) -> Option<SInst> {
+    Some(match (lhs, rhs) {
+        (DVal::Slot(x), DVal::Slot(y)) => {
+            let mut s = SInst::new(rr);
+            s.a = *x;
+            s.b = *y;
+            s
+        }
+        (DVal::Slot(x), DVal::Bits(c)) => {
+            let mut s = SInst::new(ri);
+            s.a = *x;
+            s.imm = *c;
+            s
+        }
+        (DVal::Bits(c), DVal::Slot(y)) => {
+            let mut s = SInst::new(ri);
+            s.a = *y;
+            s.imm = *c;
+            s.flags |= F_SWAP;
+            s
+        }
+        (DVal::Bits(_), DVal::Bits(_)) => return None,
+    })
+}
+
+/// Attempts to fuse `i` with the following instruction. Both constituents
+/// must be adjacent, the intermediate must feed the consumer directly, and
+/// (for the slot-write elision) `uses[..] == 1` proves the elided write
+/// unobservable (see the module docs for the mid-pair-stop contract).
+/// Const/const shapes are declined so constant folding applies instead.
+fn fuse_pair(
+    i: InstId,
+    di: &DInst,
+    next: Option<(InstId, &DInst)>,
+    uses: &[u32],
+) -> Option<(SInst, SMeta)> {
+    let (j, dj) = next?;
+    let elide = |slot: InstId| {
+        if uses[slot.index()] == 1 {
+            NO_SLOT
+        } else {
+            slot.0
+        }
+    };
+    let mut m = SMeta::new(i, di.latency);
+    m.inst2 = j;
+    m.lat2 = u32::try_from(dj.latency).unwrap_or(u32::MAX);
+    match (&di.kind, &dj.kind) {
+        (
+            DKind::CmpI64 { op, lhs, rhs },
+            DKind::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        ) if *cond == DVal::Slot(i.0) => {
+            let mut s = match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    let mut s = SInst::new(SOpc::CmpBr);
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.b = *y;
+                    s
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    let mut s = SInst::new(SOpc::CmpBrImm);
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.imm = *c;
+                    s
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    let mut s = SInst::new(SOpc::CmpBrImm);
+                    s.cmp = cmp_swapped(*op);
+                    s.a = *y;
+                    s.imm = *c;
+                    s
+                }
+                // Both constant: let folding produce the def instead.
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            };
+            s.dst = elide(i);
+            s.t1 = *then_bb;
+            s.t2 = *else_bb;
+            Some((s, m))
+        }
+        (DKind::Load { addr }, DKind::BinI64 { op, lhs, rhs }) => {
+            let DVal::Slot(addr_slot) = addr else {
+                return None;
+            };
+            let loaded = DVal::Slot(i.0);
+            let (other, swap) = if *lhs == loaded && *rhs != loaded {
+                (*rhs, false)
+            } else if *rhs == loaded && *lhs != loaded {
+                (*lhs, true)
+            } else {
+                return None;
+            };
+            let mut s = match other {
+                DVal::Slot(o) => {
+                    let mut s = SInst::new(SOpc::LoadBin);
+                    s.b = o;
+                    s
+                }
+                DVal::Bits(c) => {
+                    let mut s = SInst::new(SOpc::LoadBinImm);
+                    s.imm = c;
+                    s
+                }
+            };
+            s.bin = *op;
+            s.a = *addr_slot;
+            s.dst = elide(i);
+            s.aux = j.0;
+            if swap {
+                s.flags |= F_SWAP;
+            }
+            Some((s, m))
+        }
+        (DKind::BinI64 { op, lhs, rhs }, DKind::Store { addr, val }) if *val == DVal::Slot(i.0) => {
+            let DVal::Slot(addr_slot) = addr else {
+                return None;
+            };
+            let mut s = match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    let mut s = SInst::new(SOpc::BinStore);
+                    s.a = *x;
+                    s.b = *y;
+                    s
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    let mut s = SInst::new(SOpc::BinStoreImm);
+                    s.a = *x;
+                    s.imm = *c;
+                    s
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    let mut s = SInst::new(SOpc::BinStoreImm);
+                    s.a = *y;
+                    s.imm = *c;
+                    s.flags |= F_SWAP;
+                    s
+                }
+                // Both constant: let folding produce the def instead.
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            };
+            s.bin = *op;
+            s.dst = elide(i);
+            s.aux = *addr_slot;
+            Some((s, m))
+        }
+        // Address-generation fusion: the binary op computes the address of
+        // the following load/store.
+        (DKind::BinI64 { op, lhs, rhs }, DKind::Jump { target }) => {
+            // Loop backedge: the counter increment feeding the header phi
+            // plus the unconditional jump. The def is always kept.
+            let mut s = agen(SOpc::BinJump, SOpc::BinImmJump, lhs, rhs)?;
+            s.bin = *op;
+            s.dst = i.0;
+            s.t1 = *target;
+            Some((s, m))
+        }
+        (DKind::BinI64 { op, lhs, rhs }, DKind::Load { addr }) if *addr == DVal::Slot(i.0) => {
+            let mut s = agen(SOpc::AgenLoad, SOpc::AgenLoadImm, lhs, rhs)?;
+            s.bin = *op;
+            s.dst = j.0;
+            s.aux = elide(i);
+            Some((s, m))
+        }
+        (DKind::BinI64 { op, lhs, rhs }, DKind::Store { addr, val })
+            if *addr == DVal::Slot(i.0) && *val != DVal::Slot(i.0) =>
+        {
+            // The store value must be a slot: the immediate field may
+            // already carry the address computation's constant.
+            let DVal::Slot(v) = val else {
+                return None;
+            };
+            let mut s = agen(SOpc::AgenStore, SOpc::AgenStoreImm, lhs, rhs)?;
+            s.bin = *op;
+            s.dst = elide(i);
+            s.aux = *v;
+            Some((s, m))
+        }
+        (
+            DKind::BinI64 { op: op1, lhs, rhs },
+            DKind::BinI64 {
+                op: op2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => {
+            // Pure arithmetic chain. The intermediate must be single-use so
+            // its slot write can be elided outright (no second dst field),
+            // and both constants must fit a sign-extended i32 since they
+            // share the packed immediate.
+            if uses[i.index()] != 1 {
+                return None;
+            }
+            let r = DVal::Slot(i.0);
+            let (z, r_right) = if *l2 == r && *r2 != r {
+                (*r2, false)
+            } else if *r2 == r && *l2 != r {
+                (*l2, true)
+            } else {
+                return None;
+            };
+            let imm32 = |c: u64| i32::try_from(c as i64).ok().map(|w| w as u32);
+            let mut s = SInst::new(SOpc::Fuse2);
+            match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.a = *x;
+                    s.imm |= u64::from(imm32(*c)?);
+                    s.flags |= F2_IMM1;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.a = *y;
+                    s.imm |= u64::from(imm32(*c)?);
+                    s.flags |= F2_IMM1 | F2_OP1_REV;
+                }
+                // Both constant: let folding produce the def instead.
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            }
+            match z {
+                DVal::Slot(o) => s.aux = o,
+                DVal::Bits(c) => {
+                    s.imm |= u64::from(imm32(c)?) << 32;
+                    s.flags |= F2_IMM2;
+                }
+            }
+            if r_right {
+                s.flags |= F2_R_RIGHT;
+            }
+            s.bin = *op1;
+            s.bin2 = *op2;
+            s.dst = j.0;
+            // The dominant flag shapes get dedicated branch-free opcodes;
+            // the generic decoder stays for the long tail.
+            s.opc = match s.flags {
+                f if f == F2_IMM1 | F2_IMM2 => SOpc::Fuse2II,
+                f if f == F2_IMM1 => SOpc::Fuse2IR,
+                f if f == F2_IMM1 | F2_R_RIGHT => SOpc::Fuse2IRr,
+                _ => SOpc::Fuse2,
+            };
+            Some((s, m))
+        }
+        _ => None,
+    }
+}
+
+/// Folds a pure op with all-immediate operands to its result bits, using the
+/// exact evaluation rules of both engines.
+fn fold_const(kind: &DKind) -> Option<u64> {
+    let bits = |dv: DVal| match dv {
+        DVal::Bits(b) => Some(b),
+        DVal::Slot(_) => None,
+    };
+    Some(match kind {
+        DKind::BinI64 { op, lhs, rhs } => {
+            op.eval_i64(bits(*lhs)? as i64, bits(*rhs)? as i64) as u64
+        }
+        DKind::BinF64 { op, lhs, rhs } => op
+            .eval_f64(f64::from_bits(bits(*lhs)?), f64::from_bits(bits(*rhs)?))
+            .to_bits(),
+        DKind::UnI64 { op, val } => op.eval_i64(bits(*val)? as i64) as u64,
+        DKind::UnF64 { op, val } => op.eval_f64(f64::from_bits(bits(*val)?)).to_bits(),
+        DKind::IntToFloat { val } => ((bits(*val)? as i64) as f64).to_bits(),
+        DKind::FloatToInt { val } => (f64::from_bits(bits(*val)?) as i64) as u64,
+        DKind::CmpI64 { op, lhs, rhs } => {
+            (op.eval_i64(bits(*lhs)? as i64, bits(*rhs)? as i64) as i64) as u64
+        }
+        DKind::CmpF64 { op, lhs, rhs } => {
+            (op.eval_f64(f64::from_bits(bits(*lhs)?), f64::from_bits(bits(*rhs)?)) as i64) as u64
+        }
+        DKind::Copy { val } => bits(*val)?,
+        _ => return None,
+    })
+}
+
+/// Lowers one instruction, or `None` when it has no compact encoding (the
+/// whole block then stays dense).
+fn lower_single(i: InstId, di: &DInst) -> Option<(SInst, SMeta)> {
+    let m = SMeta::new(i, di.latency);
+    if let Some(folded) = fold_const(&di.kind) {
+        let mut s = SInst::new(SOpc::FoldedDef);
+        s.dst = i.0;
+        s.imm = folded;
+        return Some((s, m));
+    }
+    let def = |mut s: SInst| {
+        s.dst = i.0;
+        Some((s, m))
+    };
+    match &di.kind {
+        DKind::Param { index } => {
+            let mut s = SInst::new(SOpc::Param);
+            s.imm = *index as u64;
+            def(s)
+        }
+        DKind::Const { bits } => {
+            let mut s = SInst::new(SOpc::ConstV);
+            s.imm = *bits;
+            def(s)
+        }
+        DKind::BinI64 { op, lhs, rhs } => {
+            // Specialized shapes for the dominant operators; a constant on
+            // either side becomes an immediate form (reverse-subtract and
+            // generic left-immediate opcodes keep non-commutative operators
+            // exact).
+            let mut s = SInst::new(SOpc::BinRR);
+            s.bin = *op;
+            match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.opc = match op {
+                        BinOp::Add => SOpc::AddRR,
+                        BinOp::Sub => SOpc::SubRR,
+                        BinOp::Mul => SOpc::MulRR,
+                        _ => SOpc::BinRR,
+                    };
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.opc = match op {
+                        BinOp::Add => SOpc::AddImm,
+                        BinOp::Sub => SOpc::SubImm,
+                        BinOp::Mul => SOpc::MulImm,
+                        _ => SOpc::BinImm,
+                    };
+                    s.a = *x;
+                    s.imm = *c;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.opc = match op {
+                        BinOp::Add => SOpc::AddImm,
+                        BinOp::Sub => SOpc::RsbImm,
+                        BinOp::Mul => SOpc::MulImm,
+                        _ => SOpc::BinImmL,
+                    };
+                    s.a = *y;
+                    s.imm = *c;
+                }
+                // All-constant operands fold above.
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            }
+            def(s)
+        }
+        DKind::BinF64 { op, lhs, rhs } => {
+            let mut s = SInst::new(SOpc::BinF64RR);
+            s.bin = *op;
+            match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.opc = SOpc::BinF64Imm;
+                    s.a = *x;
+                    s.imm = *c;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.opc = SOpc::BinF64ImmL;
+                    s.a = *y;
+                    s.imm = *c;
+                }
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            }
+            def(s)
+        }
+        DKind::CmpI64 { op, lhs, rhs } => {
+            let mut s = SInst::new(SOpc::CmpRR);
+            match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.opc = SOpc::CmpImm;
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.imm = *c;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.opc = SOpc::CmpImm;
+                    s.cmp = cmp_swapped(*op);
+                    s.a = *y;
+                    s.imm = *c;
+                }
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            }
+            def(s)
+        }
+        DKind::CmpF64 { op, lhs, rhs } => {
+            let mut s = SInst::new(SOpc::CmpF64RR);
+            match (lhs, rhs) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.opc = SOpc::CmpF64Imm;
+                    s.cmp = *op;
+                    s.a = *x;
+                    s.imm = *c;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.opc = SOpc::CmpF64Imm;
+                    s.cmp = cmp_swapped(*op);
+                    s.a = *y;
+                    s.imm = *c;
+                }
+                (DVal::Bits(_), DVal::Bits(_)) => return None,
+            }
+            def(s)
+        }
+        DKind::UnI64 { op, val } => {
+            let DVal::Slot(x) = val else { return None };
+            let mut s = SInst::new(SOpc::UnI64);
+            s.un = *op;
+            s.a = *x;
+            def(s)
+        }
+        DKind::UnF64 { op, val } => {
+            let DVal::Slot(x) = val else { return None };
+            let mut s = SInst::new(SOpc::UnF64);
+            s.un = *op;
+            s.a = *x;
+            def(s)
+        }
+        DKind::IntToFloat { val } => {
+            let DVal::Slot(x) = val else { return None };
+            let mut s = SInst::new(SOpc::IntToFloat);
+            s.a = *x;
+            def(s)
+        }
+        DKind::FloatToInt { val } => {
+            let DVal::Slot(x) = val else { return None };
+            let mut s = SInst::new(SOpc::FloatToInt);
+            s.a = *x;
+            def(s)
+        }
+        DKind::Copy { val } => {
+            let DVal::Slot(x) = val else { return None };
+            let mut s = SInst::new(SOpc::Copy);
+            s.a = *x;
+            def(s)
+        }
+        DKind::Load { addr } => {
+            let mut s = SInst::new(SOpc::Load);
+            match addr {
+                DVal::Slot(x) => s.a = *x,
+                DVal::Bits(c) => {
+                    s.opc = SOpc::LoadImm;
+                    s.imm = *c;
+                }
+            }
+            def(s)
+        }
+        DKind::Store { addr, val } => {
+            let mut s = SInst::new(SOpc::StoreRR);
+            match (addr, val) {
+                (DVal::Slot(x), DVal::Slot(y)) => {
+                    s.a = *x;
+                    s.b = *y;
+                }
+                (DVal::Slot(x), DVal::Bits(c)) => {
+                    s.opc = SOpc::StoreRI;
+                    s.a = *x;
+                    s.imm = *c;
+                }
+                (DVal::Bits(c), DVal::Slot(y)) => {
+                    s.opc = SOpc::StoreIR;
+                    s.imm = *c;
+                    s.b = *y;
+                }
+                (DVal::Bits(c), DVal::Bits(v)) => {
+                    // The compact form keeps the constant address in `aux`;
+                    // an address outside u32 range stays dense so the dense
+                    // arm raises the exact out-of-bounds fault.
+                    let addr_i = *c as i64;
+                    if !(0..=u32::MAX as i64).contains(&addr_i) {
+                        return None;
+                    }
+                    s.opc = SOpc::StoreII;
+                    s.aux = addr_i as u32;
+                    s.imm = *v;
+                }
+            }
+            Some((s, m))
+        }
+        DKind::Jump { target } => {
+            let mut s = SInst::new(SOpc::Jump);
+            s.t1 = *target;
+            Some((s, m))
+        }
+        DKind::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            let mut s = SInst::new(SOpc::Branch);
+            match cond {
+                DVal::Slot(x) => s.a = *x,
+                DVal::Bits(c) => {
+                    s.opc = SOpc::BranchImm;
+                    s.imm = *c;
+                }
+            }
+            s.t1 = *then_bb;
+            s.t2 = *else_bb;
+            Some((s, m))
+        }
+        DKind::Ret { val } => match val {
+            Some(DVal::Slot(x)) => {
+                let mut s = SInst::new(SOpc::RetVal);
+                s.a = *x;
+                Some((s, m))
+            }
+            Some(DVal::Bits(c)) => {
+                let mut s = SInst::new(SOpc::RetImm);
+                s.imm = *c;
+                Some((s, m))
+            }
+            None => Some((SInst::new(SOpc::RetVoid), m)),
+        },
+        DKind::SptFork { tag, target } => {
+            let mut s = SInst::new(SOpc::SptFork);
+            s.imm = *tag as u64;
+            s.t1 = *target;
+            Some((s, m))
+        }
+        DKind::SptKill { tag } => {
+            let mut s = SInst::new(SOpc::SptKill);
+            s.imm = *tag as u64;
+            Some((s, m))
+        }
+        DKind::Call { .. } | DKind::Unsupported | DKind::SkippedPhi => {
+            // Unreachable by the block classification; lowering them is a
+            // structural bug, and the per-function fault domain turns the
+            // panic into a dense-tier degradation.
+            panic!("irregular instruction {i} reached superblock lowering")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Operand;
+    use crate::module::Module;
+    use crate::types::Ty;
+
+    /// `fn f(n) { s = 0; for (i = 0; i < n; i++) { s = s + i } return s }`
+    /// built by hand: a header with phis + CmpBr shape and a straight-line
+    /// latch.
+    fn loop_module() -> Module {
+        let mut b = FuncBuilder::new("f", vec![("n".into(), Ty::I64)], Some(Ty::I64));
+        let n = b.param(0);
+        let entry = b.entry();
+        let header = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        b.switch_to(entry);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I64, vec![(entry, Operand::const_i64(0))]);
+        let s = b.phi(Ty::I64, vec![(entry, Operand::const_i64(0))]);
+        let c = b.cmp(crate::ops::CmpOp::Lt, Ty::I64, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let s2 = b.binary(BinOp::Add, s, i);
+        let i2 = b.binary(BinOp::Add, i, Operand::const_i64(1));
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let func = b.finish();
+        // Complete the phis' latch arguments.
+        let mut func = func;
+        let (iid, sid) = match (i, s) {
+            (Operand::Inst(a), Operand::Inst(bb)) => (a, bb),
+            _ => unreachable!(),
+        };
+        let (i2id, s2id) = match (i2, s2) {
+            (Operand::Inst(a), Operand::Inst(bb)) => (a, bb),
+            _ => unreachable!(),
+        };
+        for (phi, val) in [(iid, i2id), (sid, s2id)] {
+            if let crate::inst::InstKind::Phi { args } = &mut func.insts[phi.index()].kind {
+                args.push((body, Operand::Inst(val)));
+            }
+        }
+        let mut m = Module::new();
+        m.add_func(func);
+        m
+    }
+
+    #[test]
+    fn sinst_stays_compact() {
+        // The hot dispatch loop's working set: one 40-byte record per op.
+        assert!(std::mem::size_of::<SInst>() <= 40, "SInst grew");
+        assert!(std::mem::size_of::<SMeta>() <= 24, "SMeta grew");
+    }
+
+    #[test]
+    fn loop_blocks_fuse_and_account() {
+        let m = loop_module();
+        let decoded = DecodedModule::new(&m);
+        let sup = SuperblockModule::build(&decoded);
+        assert!(sup.degraded.is_empty());
+        let sf = sup.func(FuncId::new(0));
+        assert!(sf.degraded.is_none());
+        // The header ends in cmp+branch: fused.
+        let has_cmpbr = sf
+            .ops
+            .iter()
+            .any(|o| matches!(o.opc, SOpc::CmpBr | SOpc::CmpBrImm));
+        assert!(has_cmpbr, "cmp+branch must fuse: {:?}", sf.ops);
+        // `i + 1` feeding the backedge fuses into the jump.
+        assert!(sf
+            .ops
+            .iter()
+            .any(|o| o.opc == SOpc::BinImmJump && o.bin == crate::BinOp::Add));
+        // The cold metadata stays parallel to the hot array.
+        assert_eq!(sf.meta.len(), sf.ops.len());
+        // Per-block totals match the decoded bodies.
+        let df = decoded.func(FuncId::new(0));
+        for (bi, sb) in sf.blocks.iter().enumerate() {
+            let db = &df.blocks[bi];
+            if sb.range.is_some() {
+                assert_eq!(sb.retires, (db.phis.len() + db.body.len()) as u64);
+                let lat: u64 = db.body.iter().map(|&i| df.insts[i.index()].latency).sum();
+                assert_eq!(sb.cycles, lat);
+            }
+        }
+        // op_at marks every op start plus a forward-mapped mark per elided
+        // constant; pair interiors stay MAX.
+        let n_elided: usize = sf.blocks.iter().map(|sb| sb.consts.len()).sum();
+        let n_starts = sf.op_at.iter().filter(|&&x| x != u32::MAX).count();
+        assert_eq!(n_starts, sf.ops.len() + n_elided);
+        let distinct: std::collections::BTreeSet<u32> = sf
+            .op_at
+            .iter()
+            .copied()
+            .filter(|&x| x != u32::MAX)
+            .collect();
+        assert_eq!(distinct.len(), sf.ops.len());
+    }
+
+    #[test]
+    fn cmp_feeding_fused_branch_elides_its_slot_when_single_use() {
+        let m = loop_module();
+        let decoded = DecodedModule::new(&m);
+        let sup = SuperblockModule::build(&decoded);
+        let sf = sup.func(FuncId::new(0));
+        let cmpbr = sf
+            .ops
+            .iter()
+            .find(|o| matches!(o.opc, SOpc::CmpBr | SOpc::CmpBrImm))
+            .expect("fused cmp+branch");
+        // The comparison feeds only the branch, so its slot write is elided.
+        assert_eq!(cmpbr.dst, NO_SLOT);
+    }
+
+    #[test]
+    fn blocks_with_calls_stay_dense() {
+        let mut m = Module::new();
+        let mut cal = FuncBuilder::new("leaf", vec![("x".into(), Ty::I64)], Some(Ty::I64));
+        let x = cal.param(0);
+        let r = cal.binary(BinOp::Mul, x, Operand::const_i64(3));
+        cal.ret(Some(r));
+        let leaf = m.add_func(cal.finish());
+        let mut b = FuncBuilder::new("main", vec![("n".into(), Ty::I64)], Some(Ty::I64));
+        let n = b.param(0);
+        let r = b.call(leaf, vec![n], Some(Ty::I64)).expect("call");
+        b.ret(Some(r));
+        m.add_func(b.finish());
+        let decoded = DecodedModule::new(&m);
+        let sup = SuperblockModule::build(&decoded);
+        let caller = sup.func(FuncId::new(1));
+        assert!(caller.blocks.iter().all(|sb| sb.range.is_none()));
+        // The leaf itself is straight-line and fuses.
+        let leaf_sf = sup.func(FuncId::new(0));
+        assert!(leaf_sf.blocks.iter().any(|sb| sb.range.is_some()));
+    }
+
+    #[test]
+    fn constant_operands_fold_to_a_single_def() {
+        let mut b = FuncBuilder::new("k", vec![], Some(Ty::I64));
+        let v = b.binary(BinOp::Mul, Operand::const_i64(6), Operand::const_i64(7));
+        b.ret(Some(v));
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        let decoded = DecodedModule::new(&m);
+        let sup = SuperblockModule::build(&decoded);
+        let folded = sup.funcs[0]
+            .ops
+            .iter()
+            .find(|o| o.opc == SOpc::FoldedDef)
+            .expect("folded def");
+        assert_eq!(folded.imm, 42);
+    }
+
+    #[test]
+    fn swapped_comparisons_stay_exact() {
+        let vals: [i64; 4] = [-3, 0, 7, i64::MIN];
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for &a in &vals {
+                for &b in &vals {
+                    assert_eq!(op.eval_i64(a, b), cmp_swapped(op).eval_i64(b, a));
+                }
+            }
+            let fvals = [-1.5, 0.0, 2.25, f64::NAN, f64::INFINITY];
+            for &a in &fvals {
+                for &b in &fvals {
+                    assert_eq!(op.eval_f64(a, b), cmp_swapped(op).eval_f64(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_panic_degrades_only_that_function() {
+        let m = loop_module();
+        let decoded = DecodedModule::new(&m);
+        set_lower_hook(Some(|name| {
+            if name == "f" {
+                panic!("injected lowering fault");
+            }
+        }));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let sup = SuperblockModule::build(&decoded);
+        std::panic::set_hook(prev);
+        set_lower_hook(None);
+        assert_eq!(sup.degraded.len(), 1);
+        assert_eq!(sup.degraded[0].0, FuncId::new(0));
+        assert!(sup.degraded[0].1.contains("injected"));
+        let sf = sup.func(FuncId::new(0));
+        assert!(sf.degraded.is_some());
+        assert!(sf.blocks.iter().all(|sb| sb.range.is_none()));
+    }
+}

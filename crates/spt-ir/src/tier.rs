@@ -1,0 +1,124 @@
+//! Execution-tier selection shared by the profiling interpreter and the SPT
+//! simulator.
+//!
+//! Both engines execute the same pre-decoded module form through one of
+//! three tiers:
+//!
+//! * [`ExecTier::Reference`] — the retained tree-walking oracles
+//!   (`ReferenceInterp` / `ReferenceSimulator`), kept for differential
+//!   testing;
+//! * [`ExecTier::Dense`] — the flat one-`DKind`-per-step executors (the
+//!   default);
+//! * [`ExecTier::Super`] — the superblock tier: straight-line block bodies
+//!   compiled once per module into fused superinstructions
+//!   ([`crate::superblock`]) and executed by threaded-code dispatch.
+//!
+//! The tier comes from [`exec_tier`]: a process-wide programmatic override
+//! ([`set_exec_tier_override`]) when one is installed, else the
+//! `SPT_EXEC_TIER` environment variable (`reference`, `dense` or `super`),
+//! else [`ExecTier::Dense`]. The environment is consulted **once** per
+//! process and cached, mirroring the `SPT_THREADS` handling in `spt-core`:
+//! `exec_tier` sits at the head of every engine run, and harnesses that
+//! switch tiers mid-process (perfbench, the equivalence tests) use the
+//! override.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Which executor a run uses. All tiers are bit-identical in results,
+/// profiler event streams and timing accounting; they differ only in speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// The retained tree-walking reference engines.
+    Reference,
+    /// The flat pre-decoded executors (default).
+    Dense,
+    /// Fused superblock threaded code with per-block dense fallback.
+    Super,
+}
+
+impl ExecTier {
+    /// Parses a tier name as accepted by `SPT_EXEC_TIER`.
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" => Some(ExecTier::Reference),
+            "dense" => Some(ExecTier::Dense),
+            "super" | "superblock" => Some(ExecTier::Super),
+            _ => None,
+        }
+    }
+}
+
+/// `0` = no override installed; otherwise `1 + discriminant`.
+static TIER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(t: ExecTier) -> usize {
+    match t {
+        ExecTier::Reference => 1,
+        ExecTier::Dense => 2,
+        ExecTier::Super => 3,
+    }
+}
+
+fn decode(v: usize) -> Option<ExecTier> {
+    match v {
+        1 => Some(ExecTier::Reference),
+        2 => Some(ExecTier::Dense),
+        3 => Some(ExecTier::Super),
+        _ => None,
+    }
+}
+
+/// Installs (or with `None` removes) a process-wide execution-tier override
+/// that takes precedence over `SPT_EXEC_TIER`.
+pub fn set_exec_tier_override(tier: Option<ExecTier>) {
+    TIER_OVERRIDE.store(tier.map_or(0, encode), Ordering::Relaxed);
+}
+
+/// The `SPT_EXEC_TIER` setting at first use, cached for the process
+/// lifetime. Unknown values are ignored (the default tier applies).
+fn env_exec_tier() -> Option<ExecTier> {
+    static ENV: OnceLock<Option<ExecTier>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SPT_EXEC_TIER")
+            .ok()
+            .and_then(|v| ExecTier::parse(&v))
+    })
+}
+
+/// The tier engines should run at: the [`set_exec_tier_override`] value if
+/// one is installed, else `SPT_EXEC_TIER` (read once per process), otherwise
+/// [`ExecTier::Dense`].
+pub fn exec_tier() -> ExecTier {
+    if let Some(t) = decode(TIER_OVERRIDE.load(Ordering::Relaxed)) {
+        return t;
+    }
+    env_exec_tier().unwrap_or(ExecTier::Dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_tiers() {
+        assert_eq!(ExecTier::parse("reference"), Some(ExecTier::Reference));
+        assert_eq!(ExecTier::parse(" Dense "), Some(ExecTier::Dense));
+        assert_eq!(ExecTier::parse("super"), Some(ExecTier::Super));
+        assert_eq!(ExecTier::parse("superblock"), Some(ExecTier::Super));
+        assert_eq!(ExecTier::parse("jit"), None);
+    }
+
+    #[test]
+    fn override_round_trips() {
+        // Serialized against other tests touching the override by the fact
+        // that this is the only in-crate test doing so.
+        set_exec_tier_override(Some(ExecTier::Super));
+        assert_eq!(exec_tier(), ExecTier::Super);
+        set_exec_tier_override(Some(ExecTier::Reference));
+        assert_eq!(exec_tier(), ExecTier::Reference);
+        set_exec_tier_override(None);
+        assert_eq!(exec_tier(), ExecTier::Dense);
+    }
+}

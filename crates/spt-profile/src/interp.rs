@@ -18,8 +18,10 @@
 
 use spt_ir::decoded::{DKind, DVal, DecodedFunc, DecodedModule};
 use spt_ir::loops::LoopId;
-use spt_ir::{BlockId, Cfg, DomTree, FuncId, InstId, LoopForest, Module};
+use spt_ir::superblock::SuperblockModule;
+use spt_ir::{BlockId, Cfg, DomTree, ExecTier, FuncId, InstId, LoopForest, Module};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A dynamic value: raw 64 bits, interpreted per the defining instruction's
 /// type.
@@ -131,6 +133,13 @@ pub enum LoopEvent {
 /// override only what they need.
 #[allow(unused_variables)]
 pub trait Profiler {
+    /// Whether this profiler observes events at all. When `false` (only
+    /// [`NoProfiler`] sets it), the superblock tier skips hook delivery and
+    /// loop-stack maintenance entirely and batches retirement accounting per
+    /// fused block — results stay bit-identical because no observer exists.
+    /// Profilers that collect anything must leave this `true`.
+    const OBSERVES: bool = true;
+
     /// Control transferred from `from` (`None` on function entry) to block
     /// `to` in `func`.
     fn on_block(&mut self, func: FuncId, from: Option<BlockId>, to: BlockId) {}
@@ -187,7 +196,9 @@ pub trait Profiler {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoProfiler;
 
-impl Profiler for NoProfiler {}
+impl Profiler for NoProfiler {
+    const OBSERVES: bool = false;
+}
 
 /// Per-function static analysis cache used by the interpreter.
 #[derive(Clone, Debug)]
@@ -201,9 +212,11 @@ pub struct FuncInfo {
 /// The interpreter. Holds per-function analyses and the module's pre-decoded
 /// execution form; reusable across runs of the same module.
 pub struct Interp<'m> {
-    module: &'m Module,
+    pub(crate) module: &'m Module,
     infos: Vec<FuncInfo>,
-    decoded: DecodedModule,
+    pub(crate) decoded: DecodedModule,
+    /// Superblock-tier code, built lazily on first superblock-tier run.
+    sup: OnceLock<SuperblockModule>,
     /// Base cell address of each region.
     pub region_bases: Vec<usize>,
     memory_size: usize,
@@ -213,24 +226,24 @@ pub struct Interp<'m> {
     pub max_depth: usize,
 }
 
-struct RunState<'p, P: Profiler> {
-    profiler: &'p mut P,
-    memory: Vec<u64>,
-    insts_retired: u64,
-    weighted_cycles: u64,
-    fuel: u64,
-    next_activation: u64,
+pub(crate) struct RunState<'p, P: Profiler> {
+    pub(crate) profiler: &'p mut P,
+    pub(crate) memory: Vec<u64>,
+    pub(crate) insts_retired: u64,
+    pub(crate) weighted_cycles: u64,
+    pub(crate) fuel: u64,
+    pub(crate) next_activation: u64,
     /// Recycled frame value arrays, so calls do not allocate in steady state.
-    frame_pool: Vec<Vec<Val>>,
+    pub(crate) frame_pool: Vec<Vec<Val>>,
     /// Scratch for the atomic phi-evaluation phase. Only live between the
     /// evaluate and commit sub-phases of one block entry (never across a
     /// call), so a single buffer serves all recursion depths.
-    phi_scratch: Vec<(InstId, Val)>,
+    pub(crate) phi_scratch: Vec<(InstId, Val)>,
 }
 
 /// Reads a pre-resolved operand against a frame's values.
 #[inline(always)]
-fn dval(dv: DVal, values: &[Val]) -> Val {
+pub(crate) fn dval(dv: DVal, values: &[Val]) -> Val {
     match dv {
         DVal::Slot(i) => values[i as usize],
         DVal::Bits(b) => Val(b),
@@ -260,11 +273,19 @@ impl<'m> Interp<'m> {
             module,
             infos,
             decoded,
+            sup: OnceLock::new(),
             region_bases,
             memory_size,
             fuel: 500_000_000,
             max_depth: 256,
         }
+    }
+
+    /// The module's superblock-tier code, built on first use and shared by
+    /// every superblock-tier run.
+    pub fn superblock(&self) -> &SuperblockModule {
+        self.sup
+            .get_or_init(|| SuperblockModule::build(&self.decoded))
     }
 
     /// The analysis info for a function.
@@ -319,6 +340,13 @@ impl<'m> Interp<'m> {
         memory: Vec<u64>,
         profiler: &mut P,
     ) -> Result<InterpResult, InterpError> {
+        let tier = spt_ir::exec_tier();
+        if tier == ExecTier::Reference {
+            let mut oracle = crate::reference::ReferenceInterp::new(self.module);
+            oracle.fuel = self.fuel;
+            oracle.max_depth = self.max_depth;
+            return oracle.run_with_memory(name, args, memory, profiler);
+        }
         let func = self
             .module
             .func_by_name(name)
@@ -333,7 +361,11 @@ impl<'m> Interp<'m> {
             frame_pool: Vec::new(),
             phi_scratch: Vec::new(),
         };
-        let ret = self.call(func, args, &mut state, 0)?;
+        let ret = if tier == ExecTier::Super {
+            self.call_fused(self.superblock(), func, args, &mut state, 0)?
+        } else {
+            self.call(func, args, &mut state, 0)?
+        };
         Ok(InterpResult {
             ret,
             insts_retired: state.insts_retired,
@@ -556,7 +588,7 @@ impl<'m> Interp<'m> {
         }
     }
 
-    fn retire<P: Profiler>(
+    pub(crate) fn retire<P: Profiler>(
         &self,
         func: FuncId,
         inst: InstId,
@@ -573,7 +605,7 @@ impl<'m> Interp<'m> {
         Ok(())
     }
 
-    fn update_loops<P: Profiler>(
+    pub(crate) fn update_loops<P: Profiler>(
         &self,
         func_id: FuncId,
         df: &DecodedFunc,
@@ -619,7 +651,7 @@ impl<'m> Interp<'m> {
     }
 
     #[inline]
-    fn check_addr(&self, addr: i64, memory: &[u64]) -> Result<usize, InterpError> {
+    pub(crate) fn check_addr(&self, addr: i64, memory: &[u64]) -> Result<usize, InterpError> {
         if addr < 0 || addr as usize >= memory.len() {
             Err(InterpError::OutOfBounds { addr })
         } else {

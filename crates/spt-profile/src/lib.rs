@@ -22,6 +22,7 @@
 pub mod collect;
 pub mod dep_profile;
 pub mod edge_profile;
+mod fused;
 pub mod interp;
 pub mod loop_profile;
 pub mod reference;

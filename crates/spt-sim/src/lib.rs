@@ -33,7 +33,9 @@ pub mod machine;
 pub mod predictor;
 pub mod reference;
 pub mod sim;
+mod specexec;
 pub mod stats;
+mod superexec;
 pub mod thread;
 
 pub use cache::{Cache, CacheConfig};

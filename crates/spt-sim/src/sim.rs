@@ -15,9 +15,11 @@
 use crate::cache::Cache;
 use crate::machine::MachineConfig;
 use crate::predictor::BranchPredictor;
+use crate::specexec::{ReplayState, SpecStop};
 use crate::stats::LoopSimStats;
+use crate::superexec::SuperStop;
 use crate::thread::{ExecError, ExecRecord, MemView, SpecBuf, StepEvent, Thread, Timing};
-use spt_ir::{BlockId, DecodedModule, FuncId, Module};
+use spt_ir::{BlockId, DecodedModule, ExecTier, FuncId, Module, SuperblockModule};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -129,6 +131,13 @@ impl SptSimulator {
 
     /// Runs with a caller-provided memory image.
     ///
+    /// The execution tier ([`spt_ir::exec_tier`], selectable via
+    /// `SPT_EXEC_TIER` or [`spt_ir::set_exec_tier_override`]) picks the
+    /// engine: `reference` delegates to
+    /// [`ReferenceSimulator`](crate::ReferenceSimulator), `super` runs the
+    /// main thread on fused superblock code (bit-identical results), `dense`
+    /// (the default) steps the pre-decoded form.
+    ///
     /// # Errors
     ///
     /// See [`SptSimulator::run`].
@@ -139,11 +148,16 @@ impl SptSimulator {
         args: &[i64],
         memory: Vec<u64>,
     ) -> Result<SimResult, SimError> {
+        let tier = spt_ir::exec_tier();
+        if tier == ExecTier::Reference {
+            return crate::reference::ReferenceSimulator::with_config(self.config.clone())
+                .run_with_memory(module, entry, args, memory);
+        }
         let func = module
             .func_by_name(entry)
             .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
         let decoded = DecodedModule::new(module);
-        Run {
+        let run = Run {
             decoded: &decoded,
             config: &self.config,
             memory,
@@ -156,8 +170,13 @@ impl SptSimulator {
             spec_buf: SpecBuf::new(self.config.spec_buffer_entries),
             trace_pool: Vec::new(),
             spec_thread: None,
+        };
+        if tier == ExecTier::Super {
+            let sup = SuperblockModule::build(&decoded);
+            run.run_fused(&sup, func, args)
+        } else {
+            run.run(func, args)
         }
-        .run(func, args)
     }
 }
 
@@ -167,32 +186,32 @@ impl Default for SptSimulator {
     }
 }
 
-struct Run<'m> {
-    decoded: &'m DecodedModule,
-    config: &'m MachineConfig,
-    memory: Vec<u64>,
-    cycle: u64,
-    insts: u64,
-    cache: Cache,
-    predictor: BranchPredictor,
+pub(crate) struct Run<'m> {
+    pub(crate) decoded: &'m DecodedModule,
+    pub(crate) config: &'m MachineConfig,
+    pub(crate) memory: Vec<u64>,
+    pub(crate) cycle: u64,
+    pub(crate) insts: u64,
+    pub(crate) cache: Cache,
+    pub(crate) predictor: BranchPredictor,
     /// Per-tag loop stats. Tags are few (one per SPT loop), so a
     /// linear-scanned vector beats a hash map in the per-instruction
     /// accounting paths; the final [`SimResult`] map is built once at the
     /// end.
-    loops: Vec<(u32, LoopSimStats)>,
+    pub(crate) loops: Vec<(u32, LoopSimStats)>,
     /// `(tag, entry cycle, stats slot)` of loops the main thread is
     /// currently inside. The cached slot index into `loops` makes the
     /// per-instruction attribution a direct indexed add (slots are stable:
     /// `loops` only appends).
-    active_tags: Vec<(u32, u64, u32)>,
+    pub(crate) active_tags: Vec<(u32, u64, u32)>,
     /// The speculative store buffer, reset and reused across episodes.
-    spec_buf: SpecBuf,
+    pub(crate) spec_buf: SpecBuf,
     /// Retired episode traces, recycled to avoid a fresh allocation (and
     /// regrowth) on every fork.
-    trace_pool: Vec<Vec<ExecRecord>>,
+    pub(crate) trace_pool: Vec<Vec<ExecRecord>>,
     /// The speculative core's thread, reused (allocations and all) across
     /// episodes.
-    spec_thread: Option<Thread>,
+    pub(crate) spec_thread: Option<Thread>,
 }
 
 impl Run<'_> {
@@ -242,7 +261,7 @@ impl Run<'_> {
                 StepEvent::Fork { tag, target, func } => {
                     if episode.is_none() {
                         self.activate(tag);
-                        episode = Some(self.spawn(&thread, func, target, tag));
+                        episode = Some(self.spawn(&thread, None, func, target, tag));
                     }
                 }
                 StepEvent::Kill { tag } => {
@@ -262,7 +281,94 @@ impl Run<'_> {
                     });
                     if matches {
                         let ep = episode.take().expect("matched episode");
-                        let (next, finished) = self.validate(&mut thread, ep)?;
+                        let (next, finished) = self.validate(&mut thread, None, ep)?;
+                        episode = next;
+                        if let Some(value) = finished {
+                            break value;
+                        }
+                    }
+                }
+                StepEvent::Finished { value } => break value,
+            }
+        };
+
+        // Close any still-active loop attributions.
+        let cycle = self.cycle;
+        while let Some((_, entered, slot)) = self.active_tags.pop() {
+            self.loops[slot as usize].1.loop_cycles += cycle - entered;
+        }
+
+        Ok(SimResult {
+            ret,
+            cycles: self.cycle,
+            insts: self.insts,
+            memory: self.memory,
+            loops: self.loops.into_iter().collect(),
+            cache_hit_rate: self.cache.hit_rate(),
+            branch_miss_rate: self.predictor.miss_rate(),
+        })
+    }
+
+    /// The superblock-tier driver: identical episode machinery to
+    /// [`Run::run`], but the main thread advances through
+    /// [`Run::run_super`](crate::superexec), which executes fused blocks by
+    /// threaded-code dispatch and returns only at control events the driver
+    /// must see (fork, kill, watched iteration-boundary transfers, finish)
+    /// or when the fuel budget is crossed. Speculative spawn and validation
+    /// replay likewise run fused blocks through
+    /// [`Run::spawn_super`](crate::specexec) and
+    /// [`Run::validate_super`](crate::specexec), with the same exactness
+    /// contract, so results and cycle accounting are bit-identical to
+    /// [`Run::run`].
+    pub(crate) fn run_fused(
+        mut self,
+        sup: &SuperblockModule,
+        func: FuncId,
+        args: &[i64],
+    ) -> Result<SimResult, SimError> {
+        let mut thread =
+            Thread::start(self.decoded, func, args.iter().map(|&a| a as u64).collect());
+        thread.max_depth = self.config.max_depth;
+        let mut episode: Option<Episode> = None;
+
+        let ret = loop {
+            if self.insts > self.config.fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            let watch = episode
+                .as_ref()
+                .map(|ep| (ep.spawn_func, ep.spawn_target, ep.depth));
+            let event = match self.run_super(&mut thread, sup, watch)? {
+                SuperStop::Fuel => continue,
+                SuperStop::Event(event) => event,
+            };
+
+            match event {
+                StepEvent::Continue => {}
+                StepEvent::Fork { tag, target, func } => {
+                    if episode.is_none() {
+                        self.activate(tag);
+                        episode = Some(self.spawn(&thread, Some(sup), func, target, tag));
+                    }
+                }
+                StepEvent::Kill { tag } => {
+                    if episode.as_ref().is_some_and(|ep| ep.tag == tag) {
+                        let ep = episode.take().expect("matched episode");
+                        let wasted = ep.trace.len() as u64;
+                        let s = self.loop_stats(tag);
+                        s.kills += 1;
+                        s.wasted_insts += wasted;
+                        self.recycle_trace(ep.trace);
+                    }
+                    self.deactivate(tag);
+                }
+                StepEvent::Transfer { to, func } => {
+                    let matches = episode.as_ref().is_some_and(|ep| {
+                        ep.spawn_func == func && ep.spawn_target == to && ep.depth == thread.depth()
+                    });
+                    if matches {
+                        let ep = episode.take().expect("matched episode");
+                        let (next, finished) = self.validate(&mut thread, Some(sup), ep)?;
                         episode = next;
                         if let Some(value) = finished {
                             break value;
@@ -302,7 +408,7 @@ impl Run<'_> {
         }
     }
 
-    fn deactivate(&mut self, tag: u32) {
+    pub(crate) fn deactivate(&mut self, tag: u32) {
         if let Some(pos) = self.active_tags.iter().position(|&(t, _, _)| t == tag) {
             let (_, entered, slot) = self.active_tags.remove(pos);
             self.loops[slot as usize].1.loop_cycles += self.cycle - entered;
@@ -321,7 +427,7 @@ impl Run<'_> {
 
     /// Adds validated (free or re-executed) work to active loops.
     #[inline]
-    fn attribute_committed(&mut self, latency: u64) {
+    pub(crate) fn attribute_committed(&mut self, latency: u64) {
         for &(_, _, slot) in &self.active_tags {
             self.loops[slot as usize].1.seq_cycles += latency;
         }
@@ -335,8 +441,18 @@ impl Run<'_> {
     }
 
     /// Spawns an episode: runs the speculative core eagerly against the
-    /// current memory snapshot, producing its trace on its own clock.
-    fn spawn(&mut self, main: &Thread, func: FuncId, target: BlockId, tag: u32) -> Episode {
+    /// current memory snapshot, producing its trace on its own clock. Under
+    /// the superblock tier (`sup` present) fused blocks run through
+    /// [`Run::spawn_super`](crate::specexec), falling back to the dense
+    /// stepper one instruction at a time anywhere the fused walk cannot go.
+    fn spawn(
+        &mut self,
+        main: &Thread,
+        sup: Option<&SuperblockModule>,
+        func: FuncId,
+        target: BlockId,
+        tag: u32,
+    ) -> Episode {
         self.cycle += self.config.fork_overhead;
         self.loop_stats(tag).forks += 1;
 
@@ -358,6 +474,23 @@ impl Run<'_> {
         loop {
             if trace.len() >= self.config.max_spec_ops {
                 break;
+            }
+            if let Some(sm) = sup {
+                if let SpecStop::Done = self.spawn_super(
+                    &mut spec,
+                    sm,
+                    func,
+                    target,
+                    depth0,
+                    tag,
+                    &mut spec_cycle,
+                    &mut trace,
+                ) {
+                    break;
+                }
+                if trace.len() >= self.config.max_spec_ops {
+                    break;
+                }
             }
             let step = {
                 let mut view = MemView::Overlay {
@@ -417,105 +550,95 @@ impl Run<'_> {
     /// through the trace, committing matches for free. Returns the next
     /// episode (if the speculative thread had passed the fork point) and the
     /// program's return value if the thread finished during validation.
+    /// Under the superblock tier (`sup` present) fused blocks replay through
+    /// [`Run::validate_super`](crate::specexec), falling back to the dense
+    /// stepper one instruction at a time anywhere the fused walk cannot go.
     #[allow(clippy::type_complexity)]
     fn validate(
         &mut self,
         thread: &mut Thread,
+        sup: Option<&SuperblockModule>,
         ep: Episode,
     ) -> Result<(Option<Episode>, Option<Option<u64>>), SimError> {
-        let arrival = self.cycle;
         self.loop_stats(ep.tag).commits += 1;
-        // Slot index of `ep.tag`, valid for the whole replay: the stats
-        // vector only ever appends.
-        let ti = self
-            .loops
-            .iter()
-            .position(|&(t, _)| t == ep.tag)
-            .expect("slot just touched");
+        let mut rp = ReplayState {
+            k: 0,
+            // Slot index of `ep.tag`, valid for the whole replay: the stats
+            // vector only ever appends.
+            ti: self
+                .loops
+                .iter()
+                .position(|&(t, _)| t == ep.tag)
+                .expect("slot just touched"),
+            arrival: self.cycle,
+            tag: ep.tag,
+            pending_fork: false,
+            killed: false,
+            finished: None,
+        };
 
-        let mut k = 0usize;
-        let mut pending_fork = false;
-        let mut killed = false;
-        let mut finished: Option<Option<u64>> = None;
-
-        while k < ep.trace.len() && ep.trace[k].cycle_end <= arrival {
-            let expected = &ep.trace[k];
+        while rp.finished.is_none()
+            && rp.k < ep.trace.len()
+            && ep.trace[rp.k].cycle_end <= rp.arrival
+        {
+            if let Some(sm) = sup {
+                if self.validate_super(thread, sm, &ep.trace, &mut rp)? {
+                    continue;
+                }
+            }
             let step = {
                 let mut view = MemView::Direct(&mut self.memory);
                 thread.step(self.decoded, &mut view, None)?
             };
             let (rec, event) = step;
-            self.insts += 1;
-
-            let same_site = rec.func == expected.func && rec.inst == expected.inst;
-            if same_site {
-                let equal = rec.result == expected.result && rec.store == expected.store;
-                let s = &mut self.loops[ti].1;
-                if equal {
-                    s.free_insts += 1;
-                } else {
-                    s.reexec_insts += 1;
-                    s.reexec_cycles += expected.latency.max(1);
-                    self.cycle += expected.latency.max(1);
-                }
-                self.attribute_committed(expected.latency.max(1));
-                k += 1;
-            } else {
-                // Control divergence: this instruction and everything after
-                // is executed non-speculatively.
-                let s = &mut self.loops[ti].1;
-                s.reexec_insts += 1;
-                s.reexec_cycles += rec.latency.max(1);
-                s.wasted_insts += (ep.trace.len() - k) as u64;
-                self.cycle += rec.latency.max(1);
-                self.attribute_committed(rec.latency.max(1));
-                k = ep.trace.len(); // discard the rest
-            }
+            self.replay_commit(
+                &ep.trace,
+                &mut rp,
+                rec.func,
+                rec.inst,
+                rec.result,
+                rec.store,
+                rec.latency,
+            );
 
             match event {
-                StepEvent::Fork { tag, .. } if tag == ep.tag => pending_fork = true,
+                StepEvent::Fork { tag, .. } if tag == ep.tag => rp.pending_fork = true,
                 StepEvent::Kill { tag } => {
                     if tag == ep.tag {
-                        killed = true;
+                        rp.killed = true;
                     }
                     self.deactivate(tag);
-                    if killed {
-                        self.loops[ti].1.wasted_insts += (ep.trace.len() - k) as u64;
-                        k = ep.trace.len();
+                    if rp.killed {
+                        self.loops[rp.ti].1.wasted_insts += (ep.trace.len() - rp.k) as u64;
+                        rp.k = ep.trace.len();
                     }
                 }
-                StepEvent::Finished { value } => {
-                    finished = Some(value);
-                    break;
-                }
+                StepEvent::Finished { value } => rp.finished = Some(value),
                 _ => {}
-            }
-            if k >= ep.trace.len() {
-                break;
             }
         }
 
         // Work the speculative core did beyond the catch-up point is wasted.
-        if k < ep.trace.len() {
-            self.loops[ti].1.wasted_insts += (ep.trace.len() - k) as u64;
+        if rp.k < ep.trace.len() {
+            self.loops[rp.ti].1.wasted_insts += (ep.trace.len() - rp.k) as u64;
         }
 
         self.cycle += self.config.commit_overhead;
         self.recycle_trace(ep.trace);
 
-        if let Some(value) = finished {
+        if let Some(value) = rp.finished {
             return Ok((None, Some(value)));
         }
 
         // Spawn the next episode only when the main thread is back in the
         // loop's own frame (validation may have stopped inside a callee, in
         // which case the context is not the loop's and the fork is dropped).
-        if pending_fork
-            && !killed
+        if rp.pending_fork
+            && !rp.killed
             && thread.depth() == ep.depth
             && thread.current_func() == ep.spawn_func
         {
-            let ep2 = self.spawn(thread, ep.spawn_func, ep.spawn_target, ep.tag);
+            let ep2 = self.spawn(thread, sup, ep.spawn_func, ep.spawn_target, ep.tag);
             return Ok((Some(ep2), None));
         }
         Ok((None, None))

@@ -1,0 +1,1368 @@
+//! The simulator's superblock execution tier for the *episode* machinery:
+//! speculative spawn and validation replay over the fused
+//! [`SuperblockModule`] form.
+//!
+//! [`Run::spawn`](crate::sim) and [`Run::validate`](crate::sim) are
+//! per-instruction loops over [`Thread::step`]: spawn runs the speculative
+//! core (timed, overlay memory) pushing one [`ExecRecord`] per instruction,
+//! validation replays the trace on the main core (untimed, direct memory)
+//! comparing one record per instruction. Under the superblock tier both
+//! loops spend most of their time in exactly the loop bodies the lowering
+//! already fused, so [`Run::spawn_super`] and [`Run::validate_super`] walk
+//! the fused ops instead: one dispatch per superinstruction, with records,
+//! comparisons, buffer/cap checks and cache/predictor accesses emitted *per
+//! constituent* in dense order.
+//!
+//! **Exactness contract** (same as [`superexec`](crate::superexec)): every
+//! constituent produces the record fields, memory/cache/predictor accesses,
+//! cycle charges and stat attributions of the dense stepper, in the same
+//! order — episode traces and replay statistics are part of the pinned
+//! bit-identical [`SimResult`](crate::SimResult) across tiers. The walks
+//! only enter a fused block at its start (spawn entries and validation
+//! boundaries are always block entries); anything irregular — dense-lowered
+//! blocks, calls, mid-block positions — returns to the caller's dense
+//! [`Thread::step`] loop, which re-attempts the fused walk at the next
+//! step. Elided zero-latency constant defs (recorded per block in
+//! [`spt_ir::superblock::SBlock::consts`], in body order) are replayed from
+//! the stream-position gaps so their records and comparisons appear exactly
+//! where the dense stepper would produce them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::sim::Run;
+use crate::thread::{transfer, ExecError, ExecRecord, MemView, Thread};
+use spt_ir::superblock::{SInst, F2_IMM1, F2_IMM2, F2_OP1_REV, F2_R_RIGHT, F_SWAP};
+use spt_ir::{BlockId, FuncId, InstId, SOpc, SuperblockModule};
+
+/// Why a fused speculative walk returned.
+pub(crate) enum SpecStop {
+    /// Speculation must stop here (iteration boundary reached, matching
+    /// kill, thread finished, fault, or the trace hit `max_spec_ops`).
+    Done,
+    /// The current position cannot run fused (dense block or mid-block
+    /// resume); the caller's dense stepper takes over.
+    Dense,
+}
+
+/// Mutable state of one validation replay, shared between the dense
+/// per-step loop and the fused walk.
+pub(crate) struct ReplayState {
+    /// Next unconsumed trace record.
+    pub(crate) k: usize,
+    /// Stats slot of the episode's loop tag.
+    pub(crate) ti: usize,
+    /// Main-core cycle at validation start: only records that finished by
+    /// then are eligible to commit.
+    pub(crate) arrival: u64,
+    /// The episode's loop tag.
+    pub(crate) tag: u32,
+    /// An `SPT_FORK` for the same tag was replayed (next episode spawns at
+    /// commit).
+    pub(crate) pending_fork: bool,
+    /// An `SPT_KILL` for the same tag was replayed.
+    pub(crate) killed: bool,
+    /// The program finished during replay.
+    pub(crate) finished: Option<Option<u64>>,
+}
+
+/// Evaluates a pure single-def superinstruction (no memory, no control, no
+/// fused pair) exactly as the dense stepper would.
+#[inline(always)]
+fn pure_def(s: &SInst, vals: &[u64], args: &[u64]) -> u64 {
+    match s.opc {
+        SOpc::Param => args.get(s.imm as usize).copied().unwrap_or(0),
+        SOpc::ConstV | SOpc::FoldedDef => s.imm,
+        SOpc::AddRR => (vals[s.a as usize] as i64).wrapping_add(vals[s.b as usize] as i64) as u64,
+        SOpc::AddImm => (vals[s.a as usize] as i64).wrapping_add(s.imm as i64) as u64,
+        SOpc::SubRR => (vals[s.a as usize] as i64).wrapping_sub(vals[s.b as usize] as i64) as u64,
+        SOpc::SubImm => (vals[s.a as usize] as i64).wrapping_sub(s.imm as i64) as u64,
+        SOpc::RsbImm => (s.imm as i64).wrapping_sub(vals[s.a as usize] as i64) as u64,
+        SOpc::MulRR => (vals[s.a as usize] as i64).wrapping_mul(vals[s.b as usize] as i64) as u64,
+        SOpc::MulImm => (vals[s.a as usize] as i64).wrapping_mul(s.imm as i64) as u64,
+        SOpc::BinRR => {
+            s.bin
+                .eval_i64(vals[s.a as usize] as i64, vals[s.b as usize] as i64) as u64
+        }
+        SOpc::BinImm => s.bin.eval_i64(vals[s.a as usize] as i64, s.imm as i64) as u64,
+        SOpc::BinImmL => s.bin.eval_i64(s.imm as i64, vals[s.a as usize] as i64) as u64,
+        SOpc::BinF64RR => s
+            .bin
+            .eval_f64(
+                f64::from_bits(vals[s.a as usize]),
+                f64::from_bits(vals[s.b as usize]),
+            )
+            .to_bits(),
+        SOpc::BinF64Imm => s
+            .bin
+            .eval_f64(f64::from_bits(vals[s.a as usize]), f64::from_bits(s.imm))
+            .to_bits(),
+        SOpc::BinF64ImmL => s
+            .bin
+            .eval_f64(f64::from_bits(s.imm), f64::from_bits(vals[s.a as usize]))
+            .to_bits(),
+        SOpc::UnI64 => s.un.eval_i64(vals[s.a as usize] as i64) as u64,
+        SOpc::UnF64 => s.un.eval_f64(f64::from_bits(vals[s.a as usize])).to_bits(),
+        SOpc::IntToFloat => ((vals[s.a as usize] as i64) as f64).to_bits(),
+        SOpc::FloatToInt => (f64::from_bits(vals[s.a as usize]) as i64) as u64,
+        SOpc::Copy => vals[s.a as usize],
+        SOpc::CmpRR => {
+            s.cmp
+                .eval_i64(vals[s.a as usize] as i64, vals[s.b as usize] as i64) as u64
+        }
+        SOpc::CmpImm => s.cmp.eval_i64(vals[s.a as usize] as i64, s.imm as i64) as u64,
+        SOpc::CmpF64RR => s.cmp.eval_f64(
+            f64::from_bits(vals[s.a as usize]),
+            f64::from_bits(vals[s.b as usize]),
+        ) as u64,
+        SOpc::CmpF64Imm => s
+            .cmp
+            .eval_f64(f64::from_bits(vals[s.a as usize]), f64::from_bits(s.imm))
+            as u64,
+        // The callers only route the pure single-def opcodes here.
+        _ => 0,
+    }
+}
+
+/// First-constituent result of the `Fuse2` family (flags are preserved on
+/// the specialized opcodes, so the generic decode covers all of them).
+#[inline(always)]
+fn fuse2_r(s: &SInst, vals: &[u64]) -> i64 {
+    let x = vals[s.a as usize] as i64;
+    let y = if s.flags & F2_IMM1 != 0 {
+        s.imm as u32 as i32 as i64
+    } else {
+        vals[s.b as usize] as i64
+    };
+    if s.flags & F2_OP1_REV != 0 {
+        s.bin.eval_i64(y, x)
+    } else {
+        s.bin.eval_i64(x, y)
+    }
+}
+
+/// Second-constituent result of the `Fuse2` family given `r`.
+#[inline(always)]
+fn fuse2_v(s: &SInst, vals: &[u64], r: i64) -> i64 {
+    let z = if s.flags & F2_IMM2 != 0 {
+        (s.imm >> 32) as u32 as i32 as i64
+    } else {
+        vals[s.aux as usize] as i64
+    };
+    if s.flags & F2_R_RIGHT != 0 {
+        s.bin2.eval_i64(z, r)
+    } else {
+        s.bin2.eval_i64(r, z)
+    }
+}
+
+impl Run<'_> {
+    /// One replay comparison against `trace[rp.k]`: exactly the accounting
+    /// of one dense validation step (free commit on a matching record,
+    /// re-execution charge on a value mismatch, trace discard on a control
+    /// divergence). The caller has already checked the arrival guard.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_commit(
+        &mut self,
+        trace: &[ExecRecord],
+        rp: &mut ReplayState,
+        func: FuncId,
+        inst: InstId,
+        result: Option<u64>,
+        store: Option<(i64, u64)>,
+        latency: u64,
+    ) {
+        let expected = &trace[rp.k];
+        self.insts += 1;
+        let same_site = func == expected.func && inst == expected.inst;
+        if same_site {
+            let equal = result == expected.result && store == expected.store;
+            let s = &mut self.loops[rp.ti].1;
+            if equal {
+                s.free_insts += 1;
+            } else {
+                s.reexec_insts += 1;
+                s.reexec_cycles += expected.latency.max(1);
+                self.cycle += expected.latency.max(1);
+            }
+            self.attribute_committed(expected.latency.max(1));
+            rp.k += 1;
+        } else {
+            // Control divergence: this instruction and everything after is
+            // executed non-speculatively.
+            let s = &mut self.loops[rp.ti].1;
+            s.reexec_insts += 1;
+            s.reexec_cycles += latency.max(1);
+            s.wasted_insts += (trace.len() - rp.k) as u64;
+            self.cycle += latency.max(1);
+            self.attribute_committed(latency.max(1));
+            rp.k = trace.len();
+        }
+    }
+
+    /// Runs the speculative core through fused blocks, pushing one record
+    /// per constituent, until speculation must stop ([`SpecStop::Done`]) or
+    /// the position needs the dense stepper ([`SpecStop::Dense`]).
+    ///
+    /// `bfunc`/`btarget`/`depth0` identify the iteration boundary (the spawn
+    /// header at the spawn depth); `tag` is the episode's loop tag, whose
+    /// `SPT_KILL` ends speculation without a record.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spawn_super(
+        &mut self,
+        spec: &mut Thread,
+        sup: &SuperblockModule,
+        bfunc: FuncId,
+        btarget: BlockId,
+        depth0: usize,
+        tag: u32,
+        spec_cycle: &mut u64,
+        trace: &mut Vec<ExecRecord>,
+    ) -> SpecStop {
+        let mut view = MemView::Overlay {
+            base: &self.memory,
+            buf: &mut self.spec_buf,
+        };
+        let cap = self.config.max_spec_ops;
+        'outer: loop {
+            let depth = spec.frames.len();
+            let Some(frame) = spec.frames.last_mut() else {
+                return SpecStop::Dense;
+            };
+            let func_id = frame.func;
+            let df = self.decoded.func(func_id);
+            let sf = sup.func(func_id);
+            let sb = &sf.blocks[frame.block.index()];
+            let Some((s0, e0)) = sb.range else {
+                return SpecStop::Dense;
+            };
+            if frame.pos != df.blocks[frame.block.index()].body_start {
+                return SpecStop::Dense;
+            }
+
+            // Deferred phi writes from the last transfer: one record each at
+            // latency 0.
+            while frame.pending_head < frame.pending.len() {
+                if trace.len() >= cap {
+                    return SpecStop::Done;
+                }
+                let (phi, bits) = frame.pending[frame.pending_head];
+                frame.pending_head += 1;
+                frame.values[phi.index()] = bits;
+                trace.push(ExecRecord {
+                    func: func_id,
+                    inst: phi,
+                    result: Some(bits),
+                    store: None,
+                    latency: 0,
+                    cycle_end: *spec_cycle,
+                });
+            }
+
+            // Elided constant defs in body order: the gap to each op's
+            // stream position is the run crossed before it.
+            let mut cidx = 0usize;
+            let mut idx = s0 as usize;
+            while idx < e0 as usize {
+                let s = &sf.ops[idx];
+                let m = &sf.meta[idx];
+                while frame.pos < m.pos {
+                    if trace.len() >= cap {
+                        return SpecStop::Done;
+                    }
+                    let (slot, bits) = sb.consts[cidx];
+                    cidx += 1;
+                    frame.values[slot as usize] = bits;
+                    frame.pos += 1;
+                    trace.push(ExecRecord {
+                        func: func_id,
+                        inst: InstId(slot),
+                        result: Some(bits),
+                        store: None,
+                        latency: 0,
+                        cycle_end: *spec_cycle,
+                    });
+                }
+                if trace.len() >= cap {
+                    return SpecStop::Done;
+                }
+                match s.opc {
+                    SOpc::Param
+                    | SOpc::ConstV
+                    | SOpc::FoldedDef
+                    | SOpc::AddRR
+                    | SOpc::AddImm
+                    | SOpc::SubRR
+                    | SOpc::SubImm
+                    | SOpc::RsbImm
+                    | SOpc::MulRR
+                    | SOpc::MulImm
+                    | SOpc::BinRR
+                    | SOpc::BinImm
+                    | SOpc::BinImmL
+                    | SOpc::BinF64RR
+                    | SOpc::BinF64Imm
+                    | SOpc::BinF64ImmL
+                    | SOpc::UnI64
+                    | SOpc::UnF64
+                    | SOpc::IntToFloat
+                    | SOpc::FloatToInt
+                    | SOpc::Copy
+                    | SOpc::CmpRR
+                    | SOpc::CmpImm
+                    | SOpc::CmpF64RR
+                    | SOpc::CmpF64Imm => {
+                        let def = pure_def(s, &frame.values, &frame.args);
+                        frame.values[m.inst.index()] = def;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(def),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::Fuse2 | SOpc::Fuse2II | SOpc::Fuse2IR | SOpc::Fuse2IRr => {
+                        let r = fuse2_r(s, &frame.values);
+                        frame.values[m.inst.index()] = r as u64;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(r as u64),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let v = fuse2_v(s, &frame.values, r) as u64;
+                        frame.values[m.inst2.index()] = v;
+                        let lat2 = u64::from(m.lat2);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: Some(v),
+                            store: None,
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::Load | SOpc::LoadImm => {
+                        let cell = if s.opc == SOpc::Load {
+                            frame.values[s.a as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let v = match view.read(cell) {
+                            Ok(v) => v,
+                            Err(_) => return SpecStop::Done,
+                        };
+                        frame.values[m.inst.index()] = v;
+                        let lat = self.cache.access(cell as u64).max(1);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(v),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::StoreRR | SOpc::StoreRI | SOpc::StoreIR | SOpc::StoreII => {
+                        let cell = match s.opc {
+                            SOpc::StoreRR | SOpc::StoreRI => frame.values[s.a as usize] as i64,
+                            SOpc::StoreIR => s.imm as i64,
+                            _ => s.aux as i64,
+                        };
+                        let bits = match s.opc {
+                            SOpc::StoreRR | SOpc::StoreIR => frame.values[s.b as usize],
+                            _ => s.imm,
+                        };
+                        if view.write(cell, bits).is_err() {
+                            return SpecStop::Done;
+                        }
+                        let lat = self.cache.access(cell as u64).clamp(1, 4);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: None,
+                            store: Some((cell, bits)),
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::LoadBin | SOpc::LoadBinImm => {
+                        let cell = frame.values[s.a as usize] as i64;
+                        let v = match view.read(cell) {
+                            Ok(v) => v,
+                            Err(_) => return SpecStop::Done,
+                        };
+                        frame.values[m.inst.index()] = v;
+                        let lat = self.cache.access(cell as u64).max(1);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(v),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let other = if s.opc == SOpc::LoadBin {
+                            frame.values[s.b as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let r = if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(other, v as i64)
+                        } else {
+                            s.bin.eval_i64(v as i64, other)
+                        } as u64;
+                        frame.values[m.inst2.index()] = r;
+                        let lat2 = u64::from(m.lat2);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: Some(r),
+                            store: None,
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::BinStore | SOpc::BinStoreImm => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let r = if s.opc == SOpc::BinStore {
+                            s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, a)
+                        } else {
+                            s.bin.eval_i64(a, s.imm as i64)
+                        } as u64;
+                        frame.values[m.inst.index()] = r;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(r),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let cell = frame.values[s.aux as usize] as i64;
+                        if view.write(cell, r).is_err() {
+                            return SpecStop::Done;
+                        }
+                        let lat2 = self.cache.access(cell as u64).clamp(1, 4);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: None,
+                            store: Some((cell, r)),
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::AgenLoad | SOpc::AgenLoadImm => {
+                        let x = frame.values[s.a as usize] as i64;
+                        let cell = if s.opc == SOpc::AgenLoad {
+                            s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, x)
+                        } else {
+                            s.bin.eval_i64(x, s.imm as i64)
+                        };
+                        frame.values[m.inst.index()] = cell as u64;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(cell as u64),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let v = match view.read(cell) {
+                            Ok(v) => v,
+                            Err(_) => return SpecStop::Done,
+                        };
+                        frame.values[m.inst2.index()] = v;
+                        let lat2 = self.cache.access(cell as u64).max(1);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: Some(v),
+                            store: None,
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::AgenStore | SOpc::AgenStoreImm => {
+                        let x = frame.values[s.a as usize] as i64;
+                        let cell = if s.opc == SOpc::AgenStore {
+                            s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, x)
+                        } else {
+                            s.bin.eval_i64(x, s.imm as i64)
+                        };
+                        frame.values[m.inst.index()] = cell as u64;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(cell as u64),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let bits = frame.values[s.aux as usize];
+                        if view.write(cell, bits).is_err() {
+                            return SpecStop::Done;
+                        }
+                        let lat2 = self.cache.access(cell as u64).clamp(1, 4);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: None,
+                            store: Some((cell, bits)),
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::Jump => {
+                        let target = s.t1;
+                        transfer(frame, df, target);
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: None,
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        if func_id == bfunc && target == btarget && depth == depth0 {
+                            return SpecStop::Done;
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::BinJump | SOpc::BinImmJump => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let v = if s.opc == SOpc::BinJump {
+                            s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, a)
+                        } else {
+                            s.bin.eval_i64(a, s.imm as i64)
+                        } as u64;
+                        frame.values[m.inst.index()] = v;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(v),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let target = s.t1;
+                        transfer(frame, df, target);
+                        let lat2 = u64::from(m.lat2);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: None,
+                            store: None,
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        if func_id == bfunc && target == btarget && depth == depth0 {
+                            return SpecStop::Done;
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::Branch | SOpc::BranchImm => {
+                        let taken = if s.opc == SOpc::Branch {
+                            frame.values[s.a as usize] != 0
+                        } else {
+                            s.imm != 0
+                        };
+                        let target = if taken { s.t1 } else { s.t2 };
+                        let mut lat = u64::from(m.lat);
+                        if self.predictor.mispredicted(func_id, m.inst, taken) {
+                            lat += self.config.branch_mispredict_penalty;
+                        }
+                        transfer(frame, df, target);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: None,
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        if func_id == bfunc && target == btarget && depth == depth0 {
+                            return SpecStop::Done;
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::CmpBr | SOpc::CmpBrImm => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let b = if s.opc == SOpc::CmpBr {
+                            frame.values[s.b as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let taken = s.cmp.eval_i64(a, b);
+                        frame.values[m.inst.index()] = taken as u64;
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: Some(taken as u64),
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        if trace.len() >= cap {
+                            return SpecStop::Done;
+                        }
+                        let target = if taken { s.t1 } else { s.t2 };
+                        let mut lat2 = u64::from(m.lat2);
+                        if self.predictor.mispredicted(func_id, m.inst2, taken) {
+                            lat2 += self.config.branch_mispredict_penalty;
+                        }
+                        transfer(frame, df, target);
+                        *spec_cycle += lat2;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst2,
+                            result: None,
+                            store: None,
+                            latency: lat2,
+                            cycle_end: *spec_cycle,
+                        });
+                        if func_id == bfunc && target == btarget && depth == depth0 {
+                            return SpecStop::Done;
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::RetVal | SOpc::RetImm | SOpc::RetVoid => {
+                        let bits = match s.opc {
+                            SOpc::RetVal => Some(frame.values[s.a as usize]),
+                            SOpc::RetImm => Some(s.imm),
+                            _ => None,
+                        };
+                        let ret_slot = frame.ret_slot;
+                        if let Some(done) = spec.frames.pop() {
+                            spec.pool.push(done);
+                        }
+                        match spec.frames.last_mut() {
+                            Some(parent) => {
+                                if let (Some(slot), Some(v)) = (ret_slot, bits) {
+                                    parent.values[slot.index()] = v;
+                                }
+                                let (to, pf, pd) = (parent.block, parent.func, spec.frames.len());
+                                let lat = u64::from(m.lat);
+                                *spec_cycle += lat;
+                                trace.push(ExecRecord {
+                                    func: func_id,
+                                    inst: m.inst,
+                                    result: None,
+                                    store: None,
+                                    latency: lat,
+                                    cycle_end: *spec_cycle,
+                                });
+                                if pf == bfunc && to == btarget && pd == depth0 {
+                                    return SpecStop::Done;
+                                }
+                                continue 'outer;
+                            }
+                            // Returning out of the spawning frame ends
+                            // speculation; the return is not recorded.
+                            None => return SpecStop::Done,
+                        }
+                    }
+                    SOpc::SptFork => {
+                        // Speculative forks are recorded (no-ops) and become
+                        // effective at commit via the validation replay.
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: None,
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        frame.pos += 1;
+                        idx += 1;
+                    }
+                    SOpc::SptKill => {
+                        let kt = s.imm as u32;
+                        frame.pos += 1;
+                        if kt == tag {
+                            // The speculative thread left the loop; the kill
+                            // itself is re-executed by the main thread.
+                            return SpecStop::Done;
+                        }
+                        let lat = u64::from(m.lat);
+                        *spec_cycle += lat;
+                        trace.push(ExecRecord {
+                            func: func_id,
+                            inst: m.inst,
+                            result: None,
+                            store: None,
+                            latency: lat,
+                            cycle_end: *spec_cycle,
+                        });
+                        idx += 1;
+                    }
+                }
+            }
+            // A block body always ends in a terminator op, which transfers
+            // or returns above; reaching here means malformed lowering, so
+            // hand the position to the dense stepper.
+            return SpecStop::Dense;
+        }
+    }
+
+    /// Replays trace records through fused blocks on the main core,
+    /// committing one comparison per constituent. Returns `Ok(true)` when it
+    /// consumed replay steps (the caller re-checks the replay guard) and
+    /// `Ok(false)` only when it made no progress at all and the current
+    /// position needs the dense stepper — the caller may take one dense step
+    /// on `Ok(false)` without re-checking its guard, so any call that
+    /// committed anything must return `Ok(true)` even if it then reached a
+    /// position it cannot run fused (e.g. a return into the middle of a
+    /// caller block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on main-thread faults, exactly as the dense
+    /// replay would.
+    pub(crate) fn validate_super(
+        &mut self,
+        thread: &mut Thread,
+        sup: &SuperblockModule,
+        trace: &[ExecRecord],
+        rp: &mut ReplayState,
+    ) -> Result<bool, ExecError> {
+        // Each step is guarded exactly like the dense replay loop's
+        // condition: an unconsumed record that finished by arrival.
+        macro_rules! ready {
+            () => {
+                rp.k < trace.len() && trace[rp.k].cycle_end <= rp.arrival
+            };
+        }
+        // Every committed constituent advances `rp.k`, so progress is a
+        // plain cursor comparison.
+        let k0 = rp.k;
+        'outer: loop {
+            let Some(frame) = thread.frames.last_mut() else {
+                return Ok(rp.k != k0);
+            };
+            let func_id = frame.func;
+            let df = self.decoded.func(func_id);
+            let sf = sup.func(func_id);
+            let sb = &sf.blocks[frame.block.index()];
+            let Some((s0, e0)) = sb.range else {
+                return Ok(rp.k != k0);
+            };
+            if frame.pos != df.blocks[frame.block.index()].body_start {
+                return Ok(rp.k != k0);
+            }
+
+            while frame.pending_head < frame.pending.len() {
+                if !ready!() {
+                    return Ok(true);
+                }
+                let (phi, bits) = frame.pending[frame.pending_head];
+                frame.pending_head += 1;
+                frame.values[phi.index()] = bits;
+                self.replay_commit(trace, rp, func_id, phi, Some(bits), None, 0);
+            }
+
+            let mut cidx = 0usize;
+            let mut idx = s0 as usize;
+            while idx < e0 as usize {
+                let s = &sf.ops[idx];
+                let m = &sf.meta[idx];
+                while frame.pos < m.pos {
+                    if !ready!() {
+                        return Ok(true);
+                    }
+                    let (slot, bits) = sb.consts[cidx];
+                    cidx += 1;
+                    frame.values[slot as usize] = bits;
+                    frame.pos += 1;
+                    self.replay_commit(trace, rp, func_id, InstId(slot), Some(bits), None, 0);
+                }
+                if !ready!() {
+                    return Ok(true);
+                }
+                match s.opc {
+                    SOpc::Param
+                    | SOpc::ConstV
+                    | SOpc::FoldedDef
+                    | SOpc::AddRR
+                    | SOpc::AddImm
+                    | SOpc::SubRR
+                    | SOpc::SubImm
+                    | SOpc::RsbImm
+                    | SOpc::MulRR
+                    | SOpc::MulImm
+                    | SOpc::BinRR
+                    | SOpc::BinImm
+                    | SOpc::BinImmL
+                    | SOpc::BinF64RR
+                    | SOpc::BinF64Imm
+                    | SOpc::BinF64ImmL
+                    | SOpc::UnI64
+                    | SOpc::UnF64
+                    | SOpc::IntToFloat
+                    | SOpc::FloatToInt
+                    | SOpc::Copy
+                    | SOpc::CmpRR
+                    | SOpc::CmpImm
+                    | SOpc::CmpF64RR
+                    | SOpc::CmpF64Imm => {
+                        let def = pure_def(s, &frame.values, &frame.args);
+                        frame.values[m.inst.index()] = def;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(def),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::Fuse2 | SOpc::Fuse2II | SOpc::Fuse2IR | SOpc::Fuse2IRr => {
+                        let r = fuse2_r(s, &frame.values);
+                        frame.values[m.inst.index()] = r as u64;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(r as u64),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let v = fuse2_v(s, &frame.values, r) as u64;
+                        frame.values[m.inst2.index()] = v;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            Some(v),
+                            None,
+                            u64::from(m.lat2),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::Load | SOpc::LoadImm => {
+                        let cell = if s.opc == SOpc::Load {
+                            frame.values[s.a as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let v = match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                            Some(v) => *v,
+                            None => return Err(ExecError::OutOfBounds(cell)),
+                        };
+                        frame.values[m.inst.index()] = v;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(v),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::StoreRR | SOpc::StoreRI | SOpc::StoreIR | SOpc::StoreII => {
+                        let cell = match s.opc {
+                            SOpc::StoreRR | SOpc::StoreRI => frame.values[s.a as usize] as i64,
+                            SOpc::StoreIR => s.imm as i64,
+                            _ => s.aux as i64,
+                        };
+                        let bits = match s.opc {
+                            SOpc::StoreRR | SOpc::StoreIR => frame.values[s.b as usize],
+                            _ => s.imm,
+                        };
+                        match usize::try_from(cell)
+                            .ok()
+                            .and_then(|i| self.memory.get_mut(i))
+                        {
+                            Some(slot) => *slot = bits,
+                            None => return Err(ExecError::OutOfBounds(cell)),
+                        }
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            Some((cell, bits)),
+                            u64::from(m.lat),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::LoadBin | SOpc::LoadBinImm => {
+                        let cell = frame.values[s.a as usize] as i64;
+                        let v = match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                            Some(v) => *v,
+                            None => return Err(ExecError::OutOfBounds(cell)),
+                        };
+                        frame.values[m.inst.index()] = v;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(v),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let other = if s.opc == SOpc::LoadBin {
+                            frame.values[s.b as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let r = if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(other, v as i64)
+                        } else {
+                            s.bin.eval_i64(v as i64, other)
+                        } as u64;
+                        frame.values[m.inst2.index()] = r;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            Some(r),
+                            None,
+                            u64::from(m.lat2),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::BinStore | SOpc::BinStoreImm => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let r = if s.opc == SOpc::BinStore {
+                            s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, a)
+                        } else {
+                            s.bin.eval_i64(a, s.imm as i64)
+                        } as u64;
+                        frame.values[m.inst.index()] = r;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(r),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let cell = frame.values[s.aux as usize] as i64;
+                        match usize::try_from(cell)
+                            .ok()
+                            .and_then(|i| self.memory.get_mut(i))
+                        {
+                            Some(slot) => *slot = r,
+                            None => {
+                                frame.pos += 1;
+                                return Err(ExecError::OutOfBounds(cell));
+                            }
+                        }
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            None,
+                            Some((cell, r)),
+                            u64::from(m.lat2),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::AgenLoad | SOpc::AgenLoadImm => {
+                        let x = frame.values[s.a as usize] as i64;
+                        let cell = if s.opc == SOpc::AgenLoad {
+                            s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, x)
+                        } else {
+                            s.bin.eval_i64(x, s.imm as i64)
+                        };
+                        frame.values[m.inst.index()] = cell as u64;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(cell as u64),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let v = match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                            Some(v) => *v,
+                            None => {
+                                frame.pos += 1;
+                                return Err(ExecError::OutOfBounds(cell));
+                            }
+                        };
+                        frame.values[m.inst2.index()] = v;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            Some(v),
+                            None,
+                            u64::from(m.lat2),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::AgenStore | SOpc::AgenStoreImm => {
+                        let x = frame.values[s.a as usize] as i64;
+                        let cell = if s.opc == SOpc::AgenStore {
+                            s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, x)
+                        } else {
+                            s.bin.eval_i64(x, s.imm as i64)
+                        };
+                        frame.values[m.inst.index()] = cell as u64;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(cell as u64),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let bits = frame.values[s.aux as usize];
+                        match usize::try_from(cell)
+                            .ok()
+                            .and_then(|i| self.memory.get_mut(i))
+                        {
+                            Some(slot) => *slot = bits,
+                            None => {
+                                frame.pos += 1;
+                                return Err(ExecError::OutOfBounds(cell));
+                            }
+                        }
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            None,
+                            Some((cell, bits)),
+                            u64::from(m.lat2),
+                        );
+                        idx += 1;
+                    }
+                    SOpc::Jump => {
+                        transfer(frame, df, s.t1);
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::BinJump | SOpc::BinImmJump => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let v = if s.opc == SOpc::BinJump {
+                            s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                        } else if s.flags & F_SWAP != 0 {
+                            s.bin.eval_i64(s.imm as i64, a)
+                        } else {
+                            s.bin.eval_i64(a, s.imm as i64)
+                        } as u64;
+                        frame.values[m.inst.index()] = v;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(v),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        transfer(frame, df, s.t1);
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            None,
+                            None,
+                            u64::from(m.lat2),
+                        );
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::Branch | SOpc::BranchImm => {
+                        let taken = if s.opc == SOpc::Branch {
+                            frame.values[s.a as usize] != 0
+                        } else {
+                            s.imm != 0
+                        };
+                        let target = if taken { s.t1 } else { s.t2 };
+                        transfer(frame, df, target);
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::CmpBr | SOpc::CmpBrImm => {
+                        let a = frame.values[s.a as usize] as i64;
+                        let b = if s.opc == SOpc::CmpBr {
+                            frame.values[s.b as usize] as i64
+                        } else {
+                            s.imm as i64
+                        };
+                        let taken = s.cmp.eval_i64(a, b);
+                        frame.values[m.inst.index()] = taken as u64;
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            Some(taken as u64),
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if !ready!() {
+                            return Ok(true);
+                        }
+                        let target = if taken { s.t1 } else { s.t2 };
+                        transfer(frame, df, target);
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst2,
+                            None,
+                            None,
+                            u64::from(m.lat2),
+                        );
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::RetVal | SOpc::RetImm | SOpc::RetVoid => {
+                        let bits = match s.opc {
+                            SOpc::RetVal => Some(frame.values[s.a as usize]),
+                            SOpc::RetImm => Some(s.imm),
+                            _ => None,
+                        };
+                        let ret_slot = frame.ret_slot;
+                        if let Some(done) = thread.frames.pop() {
+                            thread.pool.push(done);
+                        }
+                        let finished = match thread.frames.last_mut() {
+                            Some(parent) => {
+                                if let (Some(slot), Some(v)) = (ret_slot, bits) {
+                                    parent.values[slot.index()] = v;
+                                }
+                                false
+                            }
+                            None => true,
+                        };
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if finished {
+                            rp.finished = Some(bits);
+                            return Ok(true);
+                        }
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        continue 'outer;
+                    }
+                    SOpc::SptFork => {
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            None,
+                            u64::from(m.lat),
+                        );
+                        if s.imm as u32 == rp.tag {
+                            rp.pending_fork = true;
+                        }
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        idx += 1;
+                    }
+                    SOpc::SptKill => {
+                        frame.pos += 1;
+                        self.replay_commit(
+                            trace,
+                            rp,
+                            func_id,
+                            m.inst,
+                            None,
+                            None,
+                            u64::from(m.lat),
+                        );
+                        let kt = s.imm as u32;
+                        self.deactivate(kt);
+                        if kt == rp.tag {
+                            rp.killed = true;
+                            self.loops[rp.ti].1.wasted_insts += (trace.len() - rp.k) as u64;
+                            rp.k = trace.len();
+                        }
+                        if rp.k >= trace.len() {
+                            return Ok(true);
+                        }
+                        idx += 1;
+                    }
+                }
+                // A value mismatch commits and continues, but a control
+                // divergence discards the rest of the trace.
+                if rp.k >= trace.len() {
+                    return Ok(true);
+                }
+            }
+            // A block body always ends in a terminator; reaching here means
+            // malformed lowering — hand the position to the dense stepper.
+            return Ok(rp.k != k0);
+        }
+    }
+}

@@ -1,0 +1,845 @@
+//! The simulator's superblock execution tier: threaded-code dispatch of the
+//! fused [`SuperblockModule`] form for the *main* thread.
+//!
+//! [`Run::run_super`] advances the main thread exactly like repeated
+//! [`Thread::step`] calls driven by [`Run::run`](crate::sim), but executes
+//! whole fused blocks between returns: it only comes back to the driver at
+//! the control events the episode machinery must observe (`SPT_FORK`,
+//! `SPT_KILL`, a transfer matching the watched iteration boundary, program
+//! finish) or when the retired-instruction budget is crossed
+//! ([`SuperStop::Fuel`]).
+//!
+//! **Exactness contract**: every constituent instruction of a fused op
+//! charges the same cycle latency, retire count, loop attribution and
+//! cache/branch-predictor accesses, in the same order, as the dense stepper
+//! — the shared cache and predictor are stateful, so identical access
+//! sequences are what make the two tiers produce bit-identical
+//! [`SimResult`](crate::SimResult)s. Cycle/retire/attribution charges are
+//! *batched* per fused walk and flushed at every exit (event, fault,
+//! transfer): nothing the walk executes reads the global clock, so the batch
+//! is unobservable. A block whose full retire count could cross the fuel
+//! budget takes the dense arm instead, which reproduces the exact
+//! per-instruction abort point. Blocks the lowering left dense
+//! (`range: None`), and mid-block resumptions that land inside a fused pair
+//! (validation replay can stop anywhere), likewise fall back to
+//! [`Thread::step`] until the next block boundary re-synchronizes via
+//! [`SuperblockFunc::op_at`](spt_ir::SuperblockFunc).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::sim::Run;
+use crate::thread::{transfer, ExecError, MemView, StepEvent, Thread, Timing};
+use spt_ir::superblock::{F2_IMM1, F2_IMM2, F2_OP1_REV, F2_R_RIGHT, F_SWAP};
+use spt_ir::{BlockId, FuncId, SOpc, SuperblockModule, NO_SLOT};
+
+/// Why [`Run::run_super`] returned to the driver.
+pub(crate) enum SuperStop {
+    /// A control event the driver's episode machinery must handle.
+    Event(StepEvent),
+    /// The retired-instruction count crossed the fuel budget; the driver's
+    /// loop-top check turns this into `OutOfFuel`.
+    Fuel,
+}
+
+impl Run<'_> {
+    /// Per-retired-instruction accounting: the fused-tier equivalent of the
+    /// driver's `insts += 1; attribute_main(&rec)` plus the stepper's cycle
+    /// advance. Returns `true` when the fuel budget is now crossed.
+    #[inline(always)]
+    fn charge(&mut self, latency: u64) -> bool {
+        self.cycle += latency;
+        self.insts += 1;
+        for &(_, _, slot) in &self.active_tags {
+            let s = &mut self.loops[slot as usize].1;
+            s.main_insts += 1;
+            s.seq_cycles += latency;
+        }
+        self.insts > self.config.fuel
+    }
+
+    /// Flushes a fused walk's batched accounting: `dinsts` retired
+    /// instructions summing `dcycle` cycles, attributed exactly as `dinsts`
+    /// individual [`Run::charge`] calls (the active-tag set cannot change
+    /// mid-walk — fork/kill events end the walk).
+    #[inline(always)]
+    pub(crate) fn flush_charges(&mut self, dcycle: u64, dinsts: u64) {
+        self.cycle += dcycle;
+        self.insts += dinsts;
+        for &(_, _, slot) in &self.active_tags {
+            let s = &mut self.loops[slot as usize].1;
+            s.main_insts += dinsts;
+            s.seq_cycles += dcycle;
+        }
+    }
+
+    /// Advances the main thread until a driver-visible event or fuel
+    /// exhaustion.
+    ///
+    /// `watch` is the active episode's `(spawn_func, spawn_target, depth)`
+    /// iteration boundary: transfers matching it are returned as events for
+    /// validation, all others are handled inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on program faults, exactly as the dense
+    /// stepper would (a faulting constituent is neither charged nor
+    /// recorded; completed constituents before it are flushed first).
+    pub(crate) fn run_super(
+        &mut self,
+        thread: &mut Thread,
+        sup: &SuperblockModule,
+        watch: Option<(FuncId, BlockId, usize)>,
+    ) -> Result<SuperStop, ExecError> {
+        'outer: loop {
+            let depth = thread.frames.len();
+            let frame = thread
+                .frames
+                .last_mut()
+                .ok_or_else(|| ExecError::Malformed("step on finished thread".into()))?;
+            let func_id = frame.func;
+            let df = self.decoded.func(func_id);
+            let sf = sup.func(func_id);
+
+            // Deferred phi writes from the last transfer, delivered in a
+            // batch: each is one retired instruction at latency 0.
+            while frame.pending_head < frame.pending.len() {
+                let (phi, bits) = frame.pending[frame.pending_head];
+                frame.pending_head += 1;
+                frame.values[phi.index()] = bits;
+                if self.charge(0) {
+                    return Ok(SuperStop::Fuel);
+                }
+            }
+
+            // Fused dispatch only when the block lowered, the resume point
+            // is an op start, and the whole block's retires fit under the
+            // fuel budget — the last condition means the walk below needs no
+            // per-op fuel checks, and a near-exhaustion block runs dense
+            // with the exact per-instruction abort point.
+            let sb = &sf.blocks[frame.block.index()];
+            let fused = sb.range.is_some()
+                && (frame.pos as usize) < sf.op_at.len()
+                && sf.op_at[frame.pos as usize] != u32::MAX
+                && self.insts + sb.retires <= self.config.fuel;
+
+            if fused {
+                // Elided zero-latency constant defs are written as raw data
+                // (idempotent under SSA), so dense stretches of the same
+                // frame still read exact values from those slots.
+                for &(slot, bits) in sb.consts.iter() {
+                    frame.values[slot as usize] = bits;
+                }
+                let mut idx = sf.op_at[frame.pos as usize] as usize;
+                // Batched accounting, flushed at every exit from the walk.
+                let mut dcycle: u64 = 0;
+                let mut dinsts: u64 = 0;
+                loop {
+                    let s = &sf.ops[idx];
+                    let m = &sf.meta[idx];
+                    // The gap to this op's stream position is the run of
+                    // elided constants just crossed: one retire each, zero
+                    // latency.
+                    dinsts += u64::from(m.pos - frame.pos);
+                    frame.pos = m.pos;
+                    // Pure single ops share the write-back/accounting tail.
+                    let def: u64 = match s.opc {
+                        SOpc::Param => frame.args.get(s.imm as usize).copied().unwrap_or(0),
+                        SOpc::ConstV | SOpc::FoldedDef => s.imm,
+                        SOpc::AddRR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            (a as i64).wrapping_add(b as i64) as u64
+                        }
+                        SOpc::AddImm => {
+                            (frame.values[s.a as usize] as i64).wrapping_add(s.imm as i64) as u64
+                        }
+                        SOpc::SubRR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            (a as i64).wrapping_sub(b as i64) as u64
+                        }
+                        SOpc::SubImm => {
+                            (frame.values[s.a as usize] as i64).wrapping_sub(s.imm as i64) as u64
+                        }
+                        SOpc::RsbImm => {
+                            (s.imm as i64).wrapping_sub(frame.values[s.a as usize] as i64) as u64
+                        }
+                        SOpc::MulRR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            (a as i64).wrapping_mul(b as i64) as u64
+                        }
+                        SOpc::MulImm => {
+                            (frame.values[s.a as usize] as i64).wrapping_mul(s.imm as i64) as u64
+                        }
+                        SOpc::BinRR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            s.bin.eval_i64(a as i64, b as i64) as u64
+                        }
+                        SOpc::BinImm => s
+                            .bin
+                            .eval_i64(frame.values[s.a as usize] as i64, s.imm as i64)
+                            as u64,
+                        SOpc::BinImmL => s
+                            .bin
+                            .eval_i64(s.imm as i64, frame.values[s.a as usize] as i64)
+                            as u64,
+                        SOpc::Fuse2 => {
+                            let x = frame.values[s.a as usize] as i64;
+                            let y = if s.flags & F2_IMM1 != 0 {
+                                s.imm as u32 as i32 as i64
+                            } else {
+                                frame.values[s.b as usize] as i64
+                            };
+                            let r = if s.flags & F2_OP1_REV != 0 {
+                                s.bin.eval_i64(y, x)
+                            } else {
+                                s.bin.eval_i64(x, y)
+                            };
+                            let z = if s.flags & F2_IMM2 != 0 {
+                                (s.imm >> 32) as u32 as i32 as i64
+                            } else {
+                                frame.values[s.aux as usize] as i64
+                            };
+                            let v = if s.flags & F2_R_RIGHT != 0 {
+                                s.bin2.eval_i64(z, r)
+                            } else {
+                                s.bin2.eval_i64(r, z)
+                            };
+                            frame.values[s.dst as usize] = v as u64;
+                            dcycle += u64::from(m.lat) + u64::from(m.lat2);
+                            dinsts += 2;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::Fuse2II | SOpc::Fuse2IR | SOpc::Fuse2IRr => {
+                            let r = s.bin.eval_i64(
+                                frame.values[s.a as usize] as i64,
+                                s.imm as u32 as i32 as i64,
+                            );
+                            let v = match s.opc {
+                                SOpc::Fuse2II => {
+                                    s.bin2.eval_i64(r, (s.imm >> 32) as u32 as i32 as i64)
+                                }
+                                SOpc::Fuse2IR => {
+                                    s.bin2.eval_i64(r, frame.values[s.aux as usize] as i64)
+                                }
+                                _ => s.bin2.eval_i64(frame.values[s.aux as usize] as i64, r),
+                            };
+                            frame.values[s.dst as usize] = v as u64;
+                            dcycle += u64::from(m.lat) + u64::from(m.lat2);
+                            dinsts += 2;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::BinF64RR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            s.bin
+                                .eval_f64(f64::from_bits(a), f64::from_bits(b))
+                                .to_bits()
+                        }
+                        SOpc::BinF64Imm => s
+                            .bin
+                            .eval_f64(
+                                f64::from_bits(frame.values[s.a as usize]),
+                                f64::from_bits(s.imm),
+                            )
+                            .to_bits(),
+                        SOpc::BinF64ImmL => s
+                            .bin
+                            .eval_f64(
+                                f64::from_bits(s.imm),
+                                f64::from_bits(frame.values[s.a as usize]),
+                            )
+                            .to_bits(),
+                        SOpc::UnI64 => s.un.eval_i64(frame.values[s.a as usize] as i64) as u64,
+                        SOpc::UnF64 => {
+                            s.un.eval_f64(f64::from_bits(frame.values[s.a as usize]))
+                                .to_bits()
+                        }
+                        SOpc::IntToFloat => ((frame.values[s.a as usize] as i64) as f64).to_bits(),
+                        SOpc::FloatToInt => {
+                            (f64::from_bits(frame.values[s.a as usize]) as i64) as u64
+                        }
+                        SOpc::Copy => frame.values[s.a as usize],
+                        SOpc::CmpRR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            s.cmp.eval_i64(a as i64, b as i64) as u64
+                        }
+                        SOpc::CmpImm => s
+                            .cmp
+                            .eval_i64(frame.values[s.a as usize] as i64, s.imm as i64)
+                            as u64,
+                        SOpc::CmpF64RR => {
+                            let (a, b) = (frame.values[s.a as usize], frame.values[s.b as usize]);
+                            s.cmp.eval_f64(f64::from_bits(a), f64::from_bits(b)) as u64
+                        }
+                        SOpc::CmpF64Imm => s.cmp.eval_f64(
+                            f64::from_bits(frame.values[s.a as usize]),
+                            f64::from_bits(s.imm),
+                        ) as u64,
+
+                        SOpc::Load | SOpc::LoadImm => {
+                            let cell = if s.opc == SOpc::Load {
+                                frame.values[s.a as usize] as i64
+                            } else {
+                                s.imm as i64
+                            };
+                            let v =
+                                match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                                    Some(v) => *v,
+                                    None => {
+                                        self.flush_charges(dcycle, dinsts);
+                                        return Err(ExecError::OutOfBounds(cell));
+                                    }
+                                };
+                            frame.values[s.dst as usize] = v;
+                            dcycle += self.cache.access(cell as u64).max(1);
+                            dinsts += 1;
+                            frame.pos += 1;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::StoreRR | SOpc::StoreRI | SOpc::StoreIR | SOpc::StoreII => {
+                            let cell = match s.opc {
+                                SOpc::StoreRR | SOpc::StoreRI => frame.values[s.a as usize] as i64,
+                                SOpc::StoreIR => s.imm as i64,
+                                _ => s.aux as i64,
+                            };
+                            let bits = match s.opc {
+                                SOpc::StoreRR | SOpc::StoreIR => frame.values[s.b as usize],
+                                _ => s.imm,
+                            };
+                            match usize::try_from(cell)
+                                .ok()
+                                .and_then(|i| self.memory.get_mut(i))
+                            {
+                                Some(slot) => *slot = bits,
+                                None => {
+                                    self.flush_charges(dcycle, dinsts);
+                                    return Err(ExecError::OutOfBounds(cell));
+                                }
+                            }
+                            dcycle += self.cache.access(cell as u64).clamp(1, 4);
+                            dinsts += 1;
+                            frame.pos += 1;
+                            idx += 1;
+                            continue;
+                        }
+
+                        SOpc::Jump => {
+                            let target = s.t1;
+                            transfer(frame, df, target);
+                            self.flush_charges(dcycle + u64::from(m.lat), dinsts + 1);
+                            if watch == Some((func_id, target, depth)) {
+                                return Ok(SuperStop::Event(StepEvent::Transfer {
+                                    to: target,
+                                    func: func_id,
+                                }));
+                            }
+                            continue 'outer;
+                        }
+                        SOpc::BinJump | SOpc::BinImmJump => {
+                            let a = frame.values[s.a as usize] as i64;
+                            let v = if s.opc == SOpc::BinJump {
+                                s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                            } else if s.flags & F_SWAP != 0 {
+                                s.bin.eval_i64(s.imm as i64, a)
+                            } else {
+                                s.bin.eval_i64(a, s.imm as i64)
+                            };
+                            frame.values[s.dst as usize] = v as u64;
+                            let target = s.t1;
+                            transfer(frame, df, target);
+                            self.flush_charges(
+                                dcycle + u64::from(m.lat) + u64::from(m.lat2),
+                                dinsts + 2,
+                            );
+                            if watch == Some((func_id, target, depth)) {
+                                return Ok(SuperStop::Event(StepEvent::Transfer {
+                                    to: target,
+                                    func: func_id,
+                                }));
+                            }
+                            continue 'outer;
+                        }
+                        SOpc::Branch | SOpc::BranchImm => {
+                            let taken = if s.opc == SOpc::Branch {
+                                frame.values[s.a as usize] != 0
+                            } else {
+                                s.imm != 0
+                            };
+                            let target = if taken { s.t1 } else { s.t2 };
+                            let mut lat = u64::from(m.lat);
+                            if self.predictor.mispredicted(func_id, m.inst, taken) {
+                                lat += self.config.branch_mispredict_penalty;
+                            }
+                            transfer(frame, df, target);
+                            self.flush_charges(dcycle + lat, dinsts + 1);
+                            if watch == Some((func_id, target, depth)) {
+                                return Ok(SuperStop::Event(StepEvent::Transfer {
+                                    to: target,
+                                    func: func_id,
+                                }));
+                            }
+                            continue 'outer;
+                        }
+                        SOpc::CmpBr | SOpc::CmpBrImm => {
+                            let a = frame.values[s.a as usize] as i64;
+                            let b = if s.opc == SOpc::CmpBr {
+                                frame.values[s.b as usize] as i64
+                            } else {
+                                s.imm as i64
+                            };
+                            let taken = s.cmp.eval_i64(a, b);
+                            if s.dst != NO_SLOT {
+                                frame.values[s.dst as usize] = taken as u64;
+                            }
+                            let target = if taken { s.t1 } else { s.t2 };
+                            let mut lat2 = u64::from(m.lat2);
+                            if self.predictor.mispredicted(func_id, m.inst2, taken) {
+                                lat2 += self.config.branch_mispredict_penalty;
+                            }
+                            transfer(frame, df, target);
+                            self.flush_charges(dcycle + u64::from(m.lat) + lat2, dinsts + 2);
+                            if watch == Some((func_id, target, depth)) {
+                                return Ok(SuperStop::Event(StepEvent::Transfer {
+                                    to: target,
+                                    func: func_id,
+                                }));
+                            }
+                            continue 'outer;
+                        }
+                        SOpc::LoadBin | SOpc::LoadBinImm => {
+                            let cell = frame.values[s.a as usize] as i64;
+                            let v =
+                                match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                                    Some(v) => *v,
+                                    None => {
+                                        self.flush_charges(dcycle, dinsts);
+                                        return Err(ExecError::OutOfBounds(cell));
+                                    }
+                                };
+                            if s.dst != NO_SLOT {
+                                frame.values[s.dst as usize] = v;
+                            }
+                            dcycle += self.cache.access(cell as u64).max(1);
+                            // Binary constituent (pure: cannot fault).
+                            let other = if s.opc == SOpc::LoadBin {
+                                frame.values[s.b as usize] as i64
+                            } else {
+                                s.imm as i64
+                            };
+                            let r = if s.flags & F_SWAP != 0 {
+                                s.bin.eval_i64(other, v as i64)
+                            } else {
+                                s.bin.eval_i64(v as i64, other)
+                            };
+                            frame.values[s.aux as usize] = r as u64;
+                            dcycle += u64::from(m.lat2);
+                            dinsts += 2;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::BinStore | SOpc::BinStoreImm => {
+                            let a = frame.values[s.a as usize] as i64;
+                            let r = if s.opc == SOpc::BinStore {
+                                s.bin.eval_i64(a, frame.values[s.b as usize] as i64)
+                            } else if s.flags & F_SWAP != 0 {
+                                s.bin.eval_i64(s.imm as i64, a)
+                            } else {
+                                s.bin.eval_i64(a, s.imm as i64)
+                            } as u64;
+                            if s.dst != NO_SLOT {
+                                frame.values[s.dst as usize] = r;
+                            }
+                            dcycle += u64::from(m.lat);
+                            dinsts += 1;
+                            // The store constituent can fault: the binary
+                            // half above is charged, the faulting store is
+                            // not — the dense stepper's exact accounting.
+                            let cell = frame.values[s.aux as usize] as i64;
+                            match usize::try_from(cell)
+                                .ok()
+                                .and_then(|i| self.memory.get_mut(i))
+                            {
+                                Some(slot) => *slot = r,
+                                None => {
+                                    frame.pos += 1;
+                                    self.flush_charges(dcycle, dinsts);
+                                    return Err(ExecError::OutOfBounds(cell));
+                                }
+                            }
+                            dcycle += self.cache.access(cell as u64).clamp(1, 4);
+                            dinsts += 1;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::AgenLoad | SOpc::AgenLoadImm => {
+                            let x = frame.values[s.a as usize] as i64;
+                            let cell = if s.opc == SOpc::AgenLoad {
+                                s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                            } else if s.flags & F_SWAP != 0 {
+                                s.bin.eval_i64(s.imm as i64, x)
+                            } else {
+                                s.bin.eval_i64(x, s.imm as i64)
+                            };
+                            if s.aux != NO_SLOT {
+                                frame.values[s.aux as usize] = cell as u64;
+                            }
+                            // Address-generation half retires before a
+                            // faulting load, as in the dense stepper.
+                            dcycle += u64::from(m.lat);
+                            dinsts += 1;
+                            let v =
+                                match usize::try_from(cell).ok().and_then(|i| self.memory.get(i)) {
+                                    Some(v) => *v,
+                                    None => {
+                                        frame.pos += 1;
+                                        self.flush_charges(dcycle, dinsts);
+                                        return Err(ExecError::OutOfBounds(cell));
+                                    }
+                                };
+                            frame.values[s.dst as usize] = v;
+                            dcycle += self.cache.access(cell as u64).max(1);
+                            dinsts += 1;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+                        SOpc::AgenStore | SOpc::AgenStoreImm => {
+                            let x = frame.values[s.a as usize] as i64;
+                            let cell = if s.opc == SOpc::AgenStore {
+                                s.bin.eval_i64(x, frame.values[s.b as usize] as i64)
+                            } else if s.flags & F_SWAP != 0 {
+                                s.bin.eval_i64(s.imm as i64, x)
+                            } else {
+                                s.bin.eval_i64(x, s.imm as i64)
+                            };
+                            if s.dst != NO_SLOT {
+                                frame.values[s.dst as usize] = cell as u64;
+                            }
+                            dcycle += u64::from(m.lat);
+                            dinsts += 1;
+                            let bits = frame.values[s.aux as usize];
+                            match usize::try_from(cell)
+                                .ok()
+                                .and_then(|i| self.memory.get_mut(i))
+                            {
+                                Some(slot) => *slot = bits,
+                                None => {
+                                    frame.pos += 1;
+                                    self.flush_charges(dcycle, dinsts);
+                                    return Err(ExecError::OutOfBounds(cell));
+                                }
+                            }
+                            dcycle += self.cache.access(cell as u64).clamp(1, 4);
+                            dinsts += 1;
+                            frame.pos += 2;
+                            idx += 1;
+                            continue;
+                        }
+
+                        SOpc::RetVal | SOpc::RetImm | SOpc::RetVoid => {
+                            let bits = match s.opc {
+                                SOpc::RetVal => Some(frame.values[s.a as usize]),
+                                SOpc::RetImm => Some(s.imm),
+                                _ => None,
+                            };
+                            let ret_slot = frame.ret_slot;
+                            self.flush_charges(dcycle + u64::from(m.lat), dinsts + 1);
+                            if let Some(done) = thread.frames.pop() {
+                                thread.pool.push(done);
+                            }
+                            match thread.frames.last_mut() {
+                                Some(parent) => {
+                                    if let (Some(slot), Some(v)) = (ret_slot, bits) {
+                                        parent.values[slot.index()] = v;
+                                    }
+                                    let (to, pf) = (parent.block, parent.func);
+                                    if watch == Some((pf, to, thread.frames.len())) {
+                                        return Ok(SuperStop::Event(StepEvent::Transfer {
+                                            to,
+                                            func: pf,
+                                        }));
+                                    }
+                                    continue 'outer;
+                                }
+                                None => {
+                                    return Ok(SuperStop::Event(StepEvent::Finished {
+                                        value: bits,
+                                    }));
+                                }
+                            }
+                        }
+                        SOpc::SptFork => {
+                            frame.pos += 1;
+                            self.flush_charges(dcycle + u64::from(m.lat), dinsts + 1);
+                            return Ok(SuperStop::Event(StepEvent::Fork {
+                                tag: s.imm as u32,
+                                target: s.t1,
+                                func: func_id,
+                            }));
+                        }
+                        SOpc::SptKill => {
+                            frame.pos += 1;
+                            self.flush_charges(dcycle + u64::from(m.lat), dinsts + 1);
+                            return Ok(SuperStop::Event(StepEvent::Kill { tag: s.imm as u32 }));
+                        }
+                    };
+                    frame.values[s.dst as usize] = def;
+                    dcycle += u64::from(m.lat);
+                    dinsts += 1;
+                    frame.pos += 1;
+                    idx += 1;
+                }
+            } else {
+                // Dense stretch: irregular block, a mid-pair resumption
+                // after validation replay, or a block whose batched retires
+                // could cross the fuel budget. Step until the next transfer
+                // re-synchronizes with the fused code.
+                loop {
+                    let (rec, event) = {
+                        let mut view = MemView::Direct(&mut self.memory);
+                        let mut timing = Timing {
+                            cycle: &mut self.cycle,
+                            cache: &mut self.cache,
+                            predictor: &mut self.predictor,
+                            mispredict_penalty: self.config.branch_mispredict_penalty,
+                        };
+                        thread.step(self.decoded, &mut view, Some(&mut timing))?
+                    };
+                    self.insts += 1;
+                    for &(_, _, slot) in &self.active_tags {
+                        let s = &mut self.loops[slot as usize].1;
+                        s.main_insts += 1;
+                        s.seq_cycles += rec.latency;
+                    }
+                    match event {
+                        StepEvent::Continue => {
+                            if self.insts > self.config.fuel {
+                                return Ok(SuperStop::Fuel);
+                            }
+                        }
+                        StepEvent::Transfer { to, func } => {
+                            if watch == Some((func, to, thread.depth())) {
+                                return Ok(SuperStop::Event(StepEvent::Transfer { to, func }));
+                            }
+                            if self.insts > self.config.fuel {
+                                return Ok(SuperStop::Fuel);
+                            }
+                            continue 'outer;
+                        }
+                        event @ (StepEvent::Fork { .. }
+                        | StepEvent::Kill { .. }
+                        | StepEvent::Finished { .. }) => {
+                            return Ok(SuperStop::Event(event));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::MachineConfig;
+    use crate::sim::{SimError, SptSimulator};
+    use spt_ir::{set_exec_tier_override, ExecTier, Module};
+    use std::sync::Mutex;
+
+    /// Tier overrides are process-wide; tests that set them serialize here.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn compile(src: &str) -> Module {
+        spt_frontend::compile(src).unwrap()
+    }
+
+    fn with_tier<T>(tier: ExecTier, f: impl FnOnce() -> T) -> T {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_exec_tier_override(Some(tier));
+        let out = f();
+        set_exec_tier_override(None);
+        out
+    }
+
+    fn run_tier(module: &Module, entry: &str, args: &[i64], tier: ExecTier) -> crate::SimResult {
+        with_tier(tier, || {
+            SptSimulator::new().run(module, entry, args).unwrap()
+        })
+    }
+
+    fn assert_identical(a: &crate::SimResult, b: &crate::SimResult) {
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.cache_hit_rate, b.cache_hit_rate);
+        assert_eq!(a.branch_miss_rate, b.branch_miss_rate);
+        let mut la: Vec<_> = a.loops.iter().collect();
+        let mut lb: Vec<_> = b.loops.iter().collect();
+        la.sort_by_key(|(t, _)| **t);
+        lb.sort_by_key(|(t, _)| **t);
+        assert_eq!(format!("{la:?}"), format!("{lb:?}"));
+    }
+
+    #[test]
+    fn super_matches_dense_on_plain_loops() {
+        let src = "
+            global a[256]: int;
+            fn helper(x: int) -> int { return x * 3 + 1; }
+            fn main(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    a[i % 256] = i * i;
+                    s = s + a[(i + 13) % 256] % 7 + helper(i) % 5;
+                }
+                return s;
+            }
+        ";
+        let module = compile(src);
+        let dense = run_tier(&module, "main", &[400], ExecTier::Dense);
+        let sup = run_tier(&module, "main", &[400], ExecTier::Super);
+        assert_identical(&dense, &sup);
+        assert!(sup.cycles > 0);
+    }
+
+    #[test]
+    fn super_matches_dense_on_float_and_branchy_code() {
+        let src = "
+            global f[64]: float;
+            fn main(n: int) -> int {
+                let s = 0;
+                let x = 1.5;
+                for (let i = 0; i < n; i = i + 1) {
+                    x = x * 1.001 + 0.25;
+                    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+                    f[i % 64] = x;
+                }
+                return s + int(f[0]);
+            }
+        ";
+        let module = compile(src);
+        let dense = run_tier(&module, "main", &[500], ExecTier::Dense);
+        let sup = run_tier(&module, "main", &[500], ExecTier::Super);
+        assert_identical(&dense, &sup);
+    }
+
+    /// Hand-transforms loop 0 of `fname` with an empty partition (only the
+    /// forced header-test closure moves), the same shape the sim tests use:
+    /// every episode misspeculates part of its trace, exercising fork,
+    /// validation, re-execution and kill under both tiers.
+    fn force_transform(src: &str, fname: &str) -> Module {
+        use spt_cost::dep_graph::{DepGraph, DepGraphConfig, NodeClass, Profiles};
+        use spt_transform::{emit_spt_loop, SptLoopSpec};
+        let mut module = spt_frontend::compile(src).unwrap();
+        let fid = module.func_by_name(fname).unwrap();
+        let graph = DepGraph::build(
+            &module,
+            fid,
+            spt_ir::loops::LoopId::new(0),
+            Profiles::default(),
+            &DepGraphConfig::default(),
+        );
+        let func = module.func(fid);
+        let header = {
+            let cfg = spt_ir::Cfg::compute(func);
+            let dom = spt_ir::DomTree::compute(&cfg);
+            let forest = spt_ir::LoopForest::compute(func, &cfg, &dom);
+            forest.get(spt_ir::loops::LoopId::new(0)).header
+        };
+        let term = func.terminator(header).unwrap();
+        let mut move_insts = std::collections::HashSet::new();
+        let mut replicate_insts = std::collections::HashSet::new();
+        if let Some(&tnode) = graph.index.get(&term) {
+            for n in graph.closure(&[tnode]) {
+                let inst = graph.nodes[n];
+                if graph.class[n] == NodeClass::Branch {
+                    replicate_insts.insert(inst);
+                } else {
+                    move_insts.insert(inst);
+                }
+            }
+        }
+        let spec = SptLoopSpec {
+            loop_id: spt_ir::loops::LoopId::new(0),
+            move_insts,
+            replicate_insts,
+            loop_tag: 9,
+        };
+        emit_spt_loop(module.func_mut(fid), &spec).expect("emit");
+        spt_ir::passes::cleanup(module.func_mut(fid));
+        spt_ir::verify::verify_module(&module).expect("verifies");
+        module
+    }
+
+    #[test]
+    fn super_matches_dense_under_speculation() {
+        let src = "
+            global a[128]: int;
+            fn f(n: int) -> int {
+                let i = 0;
+                let s = 0;
+                while (i < n) {
+                    let x = (i * 13 + 5) % 128;
+                    if (s % 3 == 0) {
+                        s = s + a[x] % 7 + x;
+                    } else {
+                        s = s + 1;
+                    }
+                    a[(x + 1) % 128] = s % 251;
+                    i = i + 1;
+                }
+                return s;
+            }
+        ";
+        let module = force_transform(src, "f");
+        let dense = run_tier(&module, "f", &[400], ExecTier::Dense);
+        let sup = run_tier(&module, "f", &[400], ExecTier::Super);
+        assert_identical(&dense, &sup);
+        let stats = &sup.loops[&9];
+        assert!(stats.forks > 0 && stats.commits > 0, "{stats:?}");
+        assert!(stats.free_insts > 0, "{stats:?}");
+        assert!(
+            stats.wasted_insts > 0,
+            "divergence path must be exercised: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn super_preserves_fuel_exhaustion() {
+        let src = "fn main() -> int { let x = 1; while (x > 0) { x = x + 1; } return x; }";
+        let module = compile(src);
+        let config = MachineConfig {
+            fuel: 5000,
+            ..MachineConfig::default()
+        };
+        let err = with_tier(ExecTier::Super, || {
+            SptSimulator::with_config(config.clone())
+                .run(&module, "main", &[])
+                .unwrap_err()
+        });
+        assert_eq!(err, SimError::OutOfFuel);
+    }
+
+    #[test]
+    fn super_preserves_oob_fault() {
+        let src = "
+            global a[8]: int;
+            fn main(i: int) -> int { a[i] = 7; return a[i]; }
+        ";
+        let module = compile(src);
+        let dense = with_tier(ExecTier::Dense, || {
+            SptSimulator::new()
+                .run(&module, "main", &[1000])
+                .unwrap_err()
+        });
+        let sup = with_tier(ExecTier::Super, || {
+            SptSimulator::new()
+                .run(&module, "main", &[1000])
+                .unwrap_err()
+        });
+        assert_eq!(dense, sup);
+    }
+}

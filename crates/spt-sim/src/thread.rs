@@ -187,7 +187,7 @@ pub enum MemView<'a> {
 
 impl MemView<'_> {
     #[inline]
-    fn read(&self, cell: i64) -> Result<u64, ExecError> {
+    pub(crate) fn read(&self, cell: i64) -> Result<u64, ExecError> {
         let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
         match self {
             MemView::Direct(m) => m.get(idx).copied().ok_or(ExecError::OutOfBounds(cell)),
@@ -199,7 +199,7 @@ impl MemView<'_> {
     }
 
     #[inline]
-    fn write(&mut self, cell: i64, bits: u64) -> Result<(), ExecError> {
+    pub(crate) fn write(&mut self, cell: i64, bits: u64) -> Result<(), ExecError> {
         let idx = usize::try_from(cell).map_err(|_| ExecError::OutOfBounds(cell))?;
         match self {
             MemView::Direct(m) => {
@@ -348,30 +348,30 @@ pub enum StepEvent {
 }
 
 #[derive(Clone, Debug)]
-struct Frame {
-    func: FuncId,
-    values: Vec<u64>,
-    args: Vec<u64>,
-    block: BlockId,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) values: Vec<u64>,
+    pub(crate) args: Vec<u64>,
+    pub(crate) block: BlockId,
     /// Fetch cursor: absolute position of the next instruction in the
     /// function's flat [`DecodedFunc::stream`] (leading phis are delivered
     /// through `pending`).
-    pos: u32,
+    pub(crate) pos: u32,
     /// End (exclusive) of the current block's body in the stream.
-    end: u32,
-    ret_slot: Option<InstId>,
+    pub(crate) end: u32,
+    pub(crate) ret_slot: Option<InstId>,
     /// Phi writes scheduled by the last transfer, delivered one per step
     /// from `pending_head` onward.
-    pending: Vec<(InstId, u64)>,
-    pending_head: usize,
+    pub(crate) pending: Vec<(InstId, u64)>,
+    pub(crate) pending_head: usize,
 }
 
 /// A core's architectural state: a stack of call frames.
 pub struct Thread {
-    frames: Vec<Frame>,
+    pub(crate) frames: Vec<Frame>,
     /// Returned frames, recycled on the next call so the call/return hot
     /// path reuses value vectors instead of allocating per call.
-    pool: Vec<Frame>,
+    pub(crate) pool: Vec<Frame>,
     /// Maximum call depth.
     pub max_depth: usize,
 }
@@ -809,7 +809,7 @@ impl Thread {
 /// writes (evaluated atomically against the pre-transfer values via the
 /// pre-decoded phi-source row for the incoming edge) and points the frame at
 /// the target's body.
-fn transfer(frame: &mut Frame, df: &DecodedFunc, target: BlockId) {
+pub(crate) fn transfer(frame: &mut Frame, df: &DecodedFunc, target: BlockId) {
     let from = frame.block;
     let tb = &df.blocks[target.index()];
     frame.pending.clear();

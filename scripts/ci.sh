@@ -16,7 +16,7 @@ echo "== tests =="
 cargo test -q --workspace --exclude spt-transform
 cargo test -q -p spt-transform --lib --test transform_extra
 
-echo "== engine equivalence (dense vs reference, bit-identical) =="
+echo "== engine equivalence (reference / dense / superblock, bit-identical) =="
 cargo test -q --release --test engine_equivalence
 
 echo "== robustness fuzz (64 deterministic cases, both thread counts) =="
@@ -53,13 +53,36 @@ if ! grep -Eq '^trace cache: [1-9][0-9]* hits, 0 misses$' <<<"$warm_out"; then
   exit 1
 fi
 
+echo "== perfbench smoke: superblock tier on/off (digests must agree) =="
+# The fused tier may only change speed, never answers: a cold smoke run with
+# SPT_EXEC_TIER=super must print the same results-only digest as the cold
+# dense run above, and a run with the tier explicitly forced off must too.
+super_out=$(SPT_EXEC_TIER=super cargo run --release -q -p spt-bench --bin perfbench -- --smoke --cold)
+super_digest=$(grep '^report digest:' <<<"$super_out")
+dense_out=$(SPT_EXEC_TIER=dense cargo run --release -q -p spt-bench --bin perfbench -- --smoke --cold)
+dense_digest=$(grep '^report digest:' <<<"$dense_out")
+if [[ -z "$super_digest" || "$super_digest" != "$cold_digest" ]]; then
+  echo "FAIL: superblock-tier report digest diverged from the dense run" >&2
+  echo "  dense: ${cold_digest:-<missing>}" >&2
+  echo "  super: ${super_digest:-<missing>}" >&2
+  exit 1
+fi
+if [[ -z "$dense_digest" || "$dense_digest" != "$cold_digest" ]]; then
+  echo "FAIL: forced-dense report digest diverged" >&2
+  exit 1
+fi
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
-# spt-core and spt-trace additionally deny unwrap/expect in production code
-# (see their crate-level cfg_attrs); this re-lints them so a local `#[allow]`
-# regression cannot slip through without tripping the stricter gate.
+# spt-core and spt-trace deny unwrap/expect crate-wide, and the execution
+# tiers' hot modules (spt-ir superblock/tier, spt-profile fused, spt-sim
+# superexec) carry the same module-level denies; this re-lints them so a
+# local `#[allow]` regression cannot slip through the stricter gate.
 cargo clippy -p spt-core --lib -- -D warnings
 cargo clippy -p spt-trace --lib -- -D warnings
+cargo clippy -p spt-ir --lib -- -D warnings
+cargo clippy -p spt-profile --lib -- -D warnings
+cargo clippy -p spt-sim --lib -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --all --check

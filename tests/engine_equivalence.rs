@@ -1,17 +1,40 @@
-//! Differential oracle for the dense execution engines.
+//! Differential oracle for every execution tier.
 //!
 //! The pre-decoded interpreter (`spt::profile::Interp`) and simulator
 //! (`spt::sim::SptSimulator`) are performance rewrites of the original
 //! match-per-step engines, which are retained verbatim as
-//! `ReferenceInterp`/`ReferenceSimulator`. Every observable output must be
-//! **bit-identical** between the two: interpreter results, all four profile
-//! summaries, and every `SimResult` field (floats compared via
-//! `f64::to_bits`). Every `spt-bench-suite` program goes through both.
+//! `ReferenceInterp`/`ReferenceSimulator`. On top of the dense engines sits
+//! the fused **superblock** tier (`SPT_EXEC_TIER=super`). Every observable
+//! output must be **bit-identical** across all three tiers: interpreter
+//! results, all four profile summaries, and every `SimResult` field (floats
+//! compared via `f64::to_bits`). Every `spt-bench-suite` program goes
+//! through all tiers, and a proptest differential replays randomly
+//! generated programs through the same three-way pin.
 
-use spt::ir::{FuncId, InstId, Module, Ty};
+use spt::ir::{ExecTier, FuncId, InstId, Module, Ty};
 use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
-use spt::profile::{Interp, InterpResult, ProfileCollector, ReferenceInterp, Val};
+use spt::profile::{Interp, InterpResult, NoProfiler, ProfileCollector, ReferenceInterp, Val};
 use spt::sim::{ReferenceSimulator, SimResult, SptSimulator};
+use std::sync::Mutex;
+
+/// The tier override is process-global; every test that sets it (or that
+/// depends on the ambient tier) serializes through this lock.
+static TIER: Mutex<()> = Mutex::new(());
+
+/// All tiers under test, checked against the reference oracles.
+const TIERS: [ExecTier; 3] = [ExecTier::Reference, ExecTier::Dense, ExecTier::Super];
+
+fn with_tier<T>(tier: ExecTier, f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            spt::ir::set_exec_tier_override(None);
+        }
+    }
+    let _restore = Restore;
+    spt::ir::set_exec_tier_override(Some(tier));
+    f()
+}
 
 /// Value-profiling targets: every I64-producing instruction, so the value
 /// profile is exercised on real data rather than an empty target set.
@@ -166,56 +189,82 @@ fn assert_sim_eq(name: &str, dense: &SimResult, reference: &SimResult) {
 }
 
 #[test]
-fn interpreter_and_profiles_match_reference_on_every_program() {
+fn interpreter_and_profiles_match_reference_on_every_tier() {
+    let _serial = TIER.lock().unwrap_or_else(|e| e.into_inner());
     for b in spt::bench_suite::suite() {
         let module = spt::frontend::compile(b.source).expect("compiles");
         let targets = value_targets(&module);
         let args = [Val::from_i64(b.train_arg)];
 
-        let mut dense_prof = ProfileCollector::with_value_targets(targets.iter().copied());
-        let dense_r = Interp::new(&module)
-            .run(b.entry, &args, &mut dense_prof)
-            .expect("dense interp runs");
-
+        // The tree-walking engine, run directly, is the oracle.
         let mut ref_prof = ProfileCollector::with_value_targets(targets.iter().copied());
         let ref_r = ReferenceInterp::new(&module)
             .run(b.entry, &args, &mut ref_prof)
             .expect("reference interp runs");
 
-        assert_interp_eq(b.name, &dense_r, &ref_r);
-        assert_profiles_eq(b.name, &module, &targets, &dense_prof, &ref_prof);
+        for tier in TIERS {
+            let name = format!("{}[{tier:?}]", b.name);
+            let mut prof = ProfileCollector::with_value_targets(targets.iter().copied());
+            let r = with_tier(tier, || {
+                Interp::new(&module)
+                    .run(b.entry, &args, &mut prof)
+                    .expect("interp runs")
+            });
+            assert_interp_eq(&name, &r, &ref_r);
+            assert_profiles_eq(&name, &module, &targets, &prof, &ref_prof);
+
+            // The non-observing fast path batches accounting differently in
+            // the fused tier; its results must still be bit-identical.
+            let nr = with_tier(tier, || {
+                Interp::new(&module)
+                    .run(b.entry, &args, &mut NoProfiler)
+                    .expect("interp runs unprofiled")
+            });
+            assert_interp_eq(&format!("{name}/noprofile"), &nr, &ref_r);
+        }
     }
 }
 
 #[test]
-fn simulator_matches_reference_on_every_program() {
-    let dense = SptSimulator::new();
+fn simulator_matches_reference_on_every_tier() {
+    let _serial = TIER.lock().unwrap_or_else(|e| e.into_inner());
+    let sim = SptSimulator::new();
     let reference = ReferenceSimulator::new();
     let mut spt_loops_seen = 0usize;
     for b in spt::bench_suite::suite() {
         // Baseline (non-speculative) module.
         let module = spt::frontend::compile(b.source).expect("compiles");
-        let base_d = dense
-            .run(&module, b.entry, &[b.train_arg])
-            .expect("dense sim runs");
         let base_r = reference
             .run(&module, b.entry, &[b.train_arg])
             .expect("reference sim runs");
-        assert_sim_eq(b.name, &base_d, &base_r);
 
         // Transformed module: exercises fork/validate/commit, the spec
-        // buffer, and per-loop stats.
+        // buffer, and per-loop stats. Profiled on the dense tier so the
+        // pipeline inputs are pinned independently of the tier under test.
         let input = ProfilingInput::new(b.entry, [b.train_arg]);
-        let compiled = compile_and_transform(b.source, &input, &CompilerConfig::best())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let spt_d = dense
-            .run(&compiled.module, b.entry, &[b.train_arg])
-            .expect("dense sim runs spt");
+        let compiled = with_tier(ExecTier::Dense, || {
+            compile_and_transform(b.source, &input, &CompilerConfig::best())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+        });
         let spt_r = reference
             .run(&compiled.module, b.entry, &[b.train_arg])
             .expect("reference sim runs spt");
-        assert_sim_eq(b.name, &spt_d, &spt_r);
-        spt_loops_seen += spt_d.loops.len();
+
+        for tier in TIERS {
+            let name = format!("{}[{tier:?}]", b.name);
+            let base_d = with_tier(tier, || {
+                sim.run(&module, b.entry, &[b.train_arg])
+                    .expect("sim runs baseline")
+            });
+            assert_sim_eq(&name, &base_d, &base_r);
+
+            let spt_d = with_tier(tier, || {
+                sim.run(&compiled.module, b.entry, &[b.train_arg])
+                    .expect("sim runs spt")
+            });
+            assert_sim_eq(&format!("{name}/spt"), &spt_d, &spt_r);
+            spt_loops_seen += spt_d.loops.len();
+        }
     }
     assert!(
         spt_loops_seen > 0,
@@ -226,18 +275,169 @@ fn simulator_matches_reference_on_every_program() {
 #[test]
 fn simulator_matches_reference_with_preset_memory() {
     // run_with_memory drives the overlay/spec-buffer path from a non-zero
-    // image; equivalence must hold there too.
+    // image; equivalence must hold there too, on every tier.
+    let _serial = TIER.lock().unwrap_or_else(|e| e.into_inner());
     let b = spt::bench_suite::benchmark("gcc_s").expect("exists");
     let module = spt::frontend::compile(b.source).expect("compiles");
     let (_, n) = module.memory_layout();
     let image: Vec<u64> = (0..n.max(64) as u64)
         .map(|i| i.wrapping_mul(0x9E37))
         .collect();
-    let dense = SptSimulator::new()
-        .run_with_memory(&module, b.entry, &[b.train_arg / 2], image.clone())
-        .expect("dense");
     let reference = ReferenceSimulator::new()
-        .run_with_memory(&module, b.entry, &[b.train_arg / 2], image)
+        .run_with_memory(&module, b.entry, &[b.train_arg / 2], image.clone())
         .expect("reference");
-    assert_sim_eq("gcc_s+memory", &dense, &reference);
+    for tier in TIERS {
+        let tiered = with_tier(tier, || {
+            SptSimulator::new()
+                .run_with_memory(&module, b.entry, &[b.train_arg / 2], image.clone())
+                .expect("tiered sim")
+        });
+        assert_sim_eq(&format!("gcc_s+memory[{tier:?}]"), &tiered, &reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest differential: random programs through the same three-way pin.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// A random but well-formed two-function program (same shape family as
+/// `pipeline_robustness`: guarded stores, array traffic, division by
+/// possibly-zero subexpressions, optional nested loop).
+#[derive(Debug, Clone)]
+struct ProgSpec {
+    updates: Vec<(usize, u8, i64)>, // (accumulator, op selector, constant)
+    guard_mod: i64,
+    stride: i64,
+    inner_trip: i64,
+    with_inner: u8,
+}
+
+fn arb_prog() -> impl Strategy<Value = ProgSpec> {
+    (
+        proptest::collection::vec((0usize..4, 0u8..7, 1i64..11), 1..7),
+        (2i64..8, 1i64..6, 2i64..6),
+        0u8..2,
+    )
+        .prop_map(
+            |(updates, (guard_mod, stride, inner_trip), with_inner)| ProgSpec {
+                updates,
+                guard_mod,
+                stride,
+                inner_trip,
+                with_inner,
+            },
+        )
+}
+
+fn render(spec: &ProgSpec) -> String {
+    let mut decls = String::new();
+    for v in 0..4 {
+        decls.push_str(&format!("    let x{v} = {};\n", 2 * v + 1));
+    }
+    let mut body = String::new();
+    for (k, &(v, op, c)) in spec.updates.iter().enumerate() {
+        let expr = match op {
+            0 => format!("x{v} + {c}"),
+            1 => format!("x{v} * {c} % 1013"),
+            2 => format!("x{v} + a[(i * {} + {k}) % 256]", spec.stride),
+            3 => format!("x{v} ^ (i << {})", c % 5),
+            4 => format!("x{v} + x{} / (x{} % {c})", (v + 1) % 4, (v + 2) % 4),
+            5 => format!("x{v} % (i % {c} - 1)"),
+            _ => format!("x{v} + i % {c} + b[(i + {k}) % 256]"),
+        };
+        body.push_str(&format!("      x{v} = {expr};\n"));
+    }
+    let inner = if spec.with_inner == 1 {
+        format!(
+            "      for (let j = 0; j < {}; j = j + 1) {{\n\
+             \x20       x2 = x2 + a[(i + j) % 256] % 13;\n\
+             \x20     }}\n",
+            spec.inner_trip
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "global a[256]: int;\n\
+         global b[256]: int;\n\
+         fn seed() {{\n\
+         \x20 for (let k = 0; k < 256; k = k + 1) {{\n\
+         \x20   a[k] = (k * 31 + 7) % 97;\n\
+         \x20   b[k] = (k * 17 + 3) % 89;\n\
+         \x20 }}\n\
+         }}\n\
+         fn kernel(n: int) -> int {{\n\
+         {decls}\
+         \x20 for (let i = 0; i < n; i = i + 1) {{\n\
+         {body}\
+         {inner}\
+         \x20   if (i % {guard} == 0) {{ b[(i * {stride}) % 256] = x1 % 509; }}\n\
+         \x20 }}\n\
+         \x20 return x0 + x1 * 3 + x2 * 5 + x3 * 7 + b[{probe}];\n\
+         }}\n\
+         fn main(n: int) -> int {{\n\
+         \x20 seed();\n\
+         \x20 return kernel(n);\n\
+         }}\n",
+        guard = spec.guard_mod,
+        stride = spec.stride,
+        probe = (spec.stride * 7) % 256,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_are_tier_invariant(spec in arb_prog()) {
+        let _serial = TIER.lock().unwrap_or_else(|e| e.into_inner());
+        let src = render(&spec);
+        let module = spt::frontend::compile(&src).expect("generated program compiles");
+        let targets = value_targets(&module);
+        let args = [Val::from_i64(120)];
+
+        let mut ref_prof = ProfileCollector::with_value_targets(targets.iter().copied());
+        let ref_r = ReferenceInterp::new(&module)
+            .run("main", &args, &mut ref_prof)
+            .expect("reference interp runs");
+        let sim_r = ReferenceSimulator::new()
+            .run(&module, "main", &[120])
+            .expect("reference sim runs");
+
+        for tier in TIERS {
+            let mut prof = ProfileCollector::with_value_targets(targets.iter().copied());
+            let r = with_tier(tier, || {
+                Interp::new(&module)
+                    .run("main", &args, &mut prof)
+                    .expect("interp runs")
+            });
+            prop_assert_eq!(r.ret, ref_r.ret, "[{:?}] return diverged:\n{}", tier, src);
+            prop_assert_eq!(
+                r.insts_retired, ref_r.insts_retired,
+                "[{:?}] insts diverged:\n{}", tier, src
+            );
+            prop_assert_eq!(
+                r.weighted_cycles, ref_r.weighted_cycles,
+                "[{:?}] cycles diverged:\n{}", tier, src
+            );
+            prop_assert_eq!(&r.memory, &ref_r.memory, "[{:?}] memory diverged:\n{}", tier, src);
+            prop_assert_eq!(
+                format!("{:?}", prof.loops.iter()),
+                format!("{:?}", ref_prof.loops.iter()),
+                "[{:?}] loop profile diverged:\n{}", tier, src
+            );
+
+            let s = with_tier(tier, || {
+                SptSimulator::new()
+                    .run(&module, "main", &[120])
+                    .expect("sim runs")
+            });
+            prop_assert_eq!(s.ret, sim_r.ret, "[{:?}] sim ret diverged:\n{}", tier, src);
+            prop_assert_eq!(s.cycles, sim_r.cycles, "[{:?}] sim cycles diverged:\n{}", tier, src);
+            prop_assert_eq!(s.insts, sim_r.insts, "[{:?}] sim insts diverged:\n{}", tier, src);
+            prop_assert_eq!(&s.memory, &sim_r.memory, "[{:?}] sim memory diverged:\n{}", tier, src);
+        }
+    }
 }
