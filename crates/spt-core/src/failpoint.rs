@@ -27,6 +27,81 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
+/// How a site behaves when its injected fault fires — which action a sweep
+/// may arm and what outcome the fault-isolation contract promises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// The site fires **inside** a `catch_unwind` fault domain (or an
+    /// equivalent degradation hook): a `Panic` action is contained, the
+    /// affected unit degrades (loop left sequential, function dropped to
+    /// the dense tier) and the compile still succeeds.
+    Contained,
+    /// The site has an error channel: arm an `Error` action and the fault
+    /// surfaces as a clean `Result` (a `PipelineError`, or a degradation
+    /// treated like a corrupt cache entry). A `Panic` action at such a site
+    /// is *not* guaranteed to be contained — it may unwind out of the
+    /// pipeline — so sweeps must arm `Error` here.
+    ErrorChannel,
+}
+
+/// One registered fail-point site: everything a generic sweep needs to force
+/// the site and know what outcome the robustness contract promises.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteInfo {
+    /// The static site name passed to [`crate::fail_point!`] /
+    /// [`eval`].
+    pub name: &'static str,
+    /// Containment contract (which action a sweep should arm).
+    pub kind: SiteKind,
+    /// Human-readable shape of the dynamic key, for diagnostics.
+    pub key_shape: &'static str,
+}
+
+/// Every fail-point site compiled into the workspace. Sweeps iterate this
+/// instead of hard-coding names; `sites_cover_every_call_site` (below) scans
+/// the workspace sources and fails if a `fail_point!`/`eval` call site ever
+/// appears that this table does not list.
+pub fn sites() -> &'static [SiteInfo] {
+    const SITES: &[SiteInfo] = &[
+        SiteInfo {
+            name: "pipeline::profile",
+            kind: SiteKind::ErrorChannel,
+            key_shape: "entry function name",
+        },
+        SiteInfo {
+            name: "pipeline::analysis",
+            kind: SiteKind::Contained,
+            key_shape: "func@header",
+        },
+        SiteInfo {
+            name: "pipeline::svp",
+            kind: SiteKind::Contained,
+            key_shape: "func@header",
+        },
+        SiteInfo {
+            name: "pipeline::emission",
+            kind: SiteKind::Contained,
+            key_shape: "func@header",
+        },
+        SiteInfo {
+            name: "pipeline::verify",
+            kind: SiteKind::ErrorChannel,
+            key_shape: "(unkeyed)",
+        },
+        SiteInfo {
+            name: "trace::cache_load",
+            kind: SiteKind::ErrorChannel,
+            key_shape: "cache key (016x)",
+        },
+        SiteInfo {
+            name: "superblock::lower",
+            kind: SiteKind::Contained,
+            key_shape: "function name",
+        },
+    ];
+    SITES
+}
+
 /// What an armed fail point does when hit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Action {
@@ -171,6 +246,116 @@ mod tests {
     #[test]
     fn unarmed_sites_are_silent() {
         assert_eq!(eval("t::never-armed", ""), None);
+    }
+
+    /// Walks `dir` recursively collecting `.rs` files, skipping build
+    /// output.
+    fn rust_sources(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                rust_sources(&path, out);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+
+    /// Collects every site-name string literal following `needle` anywhere
+    /// in `text`, tolerating call sites whose name literal sits on the line
+    /// after the macro invocation. Occurrences on comment lines are skipped,
+    /// as are non-literal names (the macro definition's `$site`).
+    fn site_names(text: &str, needle: &str, out: &mut Vec<String>) {
+        let mut from = 0;
+        while let Some(at) = text[from..].find(needle) {
+            let at = from + at;
+            from = at + needle.len();
+            let line_start = text[..at].rfind('\n').map_or(0, |p| p + 1);
+            if text[line_start..at].trim_start().starts_with("//") {
+                continue;
+            }
+            let rest = &text[from..];
+            let Some(open) = rest.find('"') else { continue };
+            // A literal name must be the first argument: nothing but
+            // whitespace between the open paren and the quote.
+            if !rest[..open].trim().is_empty() {
+                continue;
+            }
+            let rest = &rest[open + 1..];
+            let Some(close) = rest.find('"') else {
+                continue;
+            };
+            let name = &rest[..close];
+            if !name.is_empty() {
+                out.push(name.to_string());
+            }
+        }
+    }
+
+    /// Every `fail_point!("…")` / `failpoint::eval("…")` call site in the
+    /// workspace must be listed in [`sites`] — a new injection point that
+    /// forgets to register itself would silently escape the sweep.
+    #[test]
+    fn sites_cover_every_call_site() {
+        let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root");
+        let mut files = Vec::new();
+        rust_sources(&workspace, &mut files);
+        assert!(
+            files.len() > 10,
+            "workspace scan found too few sources under {}",
+            workspace.display()
+        );
+
+        let registered: Vec<&str> = sites().iter().map(|s| s.name).collect();
+        let mut found = Vec::new();
+        for file in &files {
+            // This file defines the table itself; its own mentions are not
+            // call sites.
+            if file.ends_with("spt-core/src/failpoint.rs") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(file) else {
+                continue;
+            };
+            let mut names = Vec::new();
+            site_names(&text, "fail_point!(", &mut names);
+            site_names(&text, "failpoint::eval(", &mut names);
+            for name in names {
+                // Test files arm synthetic sites (`t::…`) that are
+                // deliberately unregistered.
+                if name.starts_with("t::") {
+                    continue;
+                }
+                assert!(
+                    registered.contains(&name.as_str()),
+                    "fail-point site {name:?} in {} is not listed in \
+                     failpoint::sites()",
+                    file.display()
+                );
+                found.push(name);
+            }
+        }
+        // The table must also not rot: every registered site should still
+        // exist somewhere in the sources.
+        for site in &registered {
+            assert!(
+                found.iter().any(|f| f == site),
+                "failpoint::sites() lists {site:?} but no call site exists \
+                 in the workspace"
+            );
+        }
     }
 
     #[test]

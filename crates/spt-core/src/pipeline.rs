@@ -221,6 +221,10 @@ pub struct StageTimings {
     /// Profiling runs that had to capture (cache miss, corrupt entry, or
     /// caching disabled) while tracing was enabled.
     pub trace_cache_misses: u64,
+    /// Corrupt trace-cache entries detected during this run. The cache
+    /// evicts the bad file on detection, so each count also means the key
+    /// was cleaned back to a Miss for subsequent loads.
+    pub trace_cache_evictions: u64,
 }
 
 /// Runs preprocessing, analysis, selection and transformation on an
@@ -758,10 +762,11 @@ fn collect_profile(
             }
             LoadOutcome::Miss => {}
             LoadOutcome::Corrupt(why) => {
+                timings.trace_cache_evictions += 1;
                 diags.push(Diagnostic::global(
                     Stage::Profile,
                     Severity::Warning,
-                    format!("trace cache entry corrupt ({why}); re-capturing"),
+                    format!("trace cache entry corrupt ({why}); evicted, re-capturing"),
                 ));
             }
         }

@@ -1,0 +1,455 @@
+//! Seeded `minic` program generator.
+//!
+//! [`generate`] derives a complete, *valid* `minic` module from a single
+//! `u64` seed — deterministically, so any corpus failure is reproducible
+//! from its seed alone. The generator aims for grammar and pipeline-shape
+//! coverage rather than volume: every program combines a data-seeding
+//! function, optional helper functions (cross-function calls inside hot
+//! loops), and one to three kernels drawn from the shapes the cost model
+//! has to price:
+//!
+//! * **reductions** — accumulator chains over counted loops, with guarded
+//!   stores (`if (…) { b[…] = …; }`) as violation candidates;
+//! * **loop nests** to depth 3 with small inner trip counts;
+//! * **`while` loops** with data-dependent `continue`/`break` paths (the
+//!   *anticipated* configuration's unroll target);
+//! * **irregular chases** — `j = a[j % N] % N` pointer-style indirection
+//!   that defeats static disambiguation;
+//! * **float kernels** using `fabs`/`sqrt` and `int()`/`float()`
+//!   conversions;
+//! * **division/remainder by possibly-zero subexpressions** (the IR defines
+//!   `x/0 == x%0 == 0`, so these are semantically safe but exercise the
+//!   latency-heavy cost-model paths).
+//!
+//! Every array index is written `[<nonnegative expr> % N]`, so generated
+//! programs never fault: any pipeline error on a generated program is a
+//! compiler bug by construction, which is what lets the corpus runner
+//! treat *clean* failures as oracle violations too.
+//!
+//! [`mutate`] is the adversarial counterpart: token-level corruption of a
+//! valid program (drop/duplicate/swap/replace tokens, plus raw character
+//! splices) for hardening the frontend, which must answer every mutant
+//! with `Ok` or a clean `CompileError` — never a panic.
+
+use crate::rng::SplitMix64;
+use std::fmt::Write as _;
+
+/// One generated corpus module plus everything needed to run it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneratedProgram {
+    /// The seed it was derived from.
+    pub seed: u64,
+    /// Complete `minic` source text.
+    pub source: String,
+    /// Entry function (always `main`).
+    pub entry: &'static str,
+    /// The profiling (training) argument.
+    pub train_arg: i64,
+}
+
+impl GeneratedProgram {
+    /// The argument set differential oracles replay: empty, small, and the
+    /// training input itself.
+    pub fn check_args(&self) -> [i64; 3] {
+        [0, 17, self.train_arg]
+    }
+}
+
+/// Number of accumulator locals every kernel declares.
+const ACCS: usize = 4;
+
+/// Derives a valid `minic` program from `seed`. Identical seeds yield
+/// byte-identical source on every call, process, and platform.
+pub fn generate(seed: u64) -> GeneratedProgram {
+    let mut r = SplitMix64::new(seed);
+    let n_elems = *r.pick(&[64i64, 128, 256]);
+    let with_float = r.chance(1, 2);
+    let n_helpers = r.below(3) as usize;
+    let n_kernels = 1 + r.below(2) as usize;
+    let train_arg = r.range(80, 160);
+
+    let mut src = String::new();
+    let _ = writeln!(src, "// spt-corpus generated program, seed {seed}");
+    let _ = writeln!(src, "global a[{n_elems}]: int;");
+    let _ = writeln!(src, "global b[{n_elems}]: int;");
+    if with_float {
+        let _ = writeln!(src, "global w[{n_elems}]: float;");
+    }
+    let _ = writeln!(src, "global g0: int = {};", r.range(1, 9));
+    src.push('\n');
+
+    // Data seeding: affine-mod patterns keep every cell non-negative, the
+    // invariant the chase shape's index arithmetic relies on.
+    let (ma, ba, pa) = (r.range(7, 37), r.range(1, 11), r.range(53, 101));
+    let (mb, bb, pb) = (r.range(5, 29), r.range(1, 13), r.range(47, 97));
+    let _ = writeln!(src, "fn seed_data() {{");
+    let _ = writeln!(src, "  for (let k = 0; k < {n_elems}; k = k + 1) {{");
+    let _ = writeln!(src, "    a[k] = (k * {ma} + {ba}) % {pa};");
+    let _ = writeln!(src, "    b[k] = (k * {mb} + {bb}) % {pb};");
+    if with_float {
+        let _ = writeln!(src, "    w[k] = float((k * 13 + 5) % 31) * 0.125;");
+    }
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}\n");
+
+    for h in 0..n_helpers {
+        render_helper(&mut src, &mut r, h);
+    }
+
+    let mut kernel_calls = Vec::new();
+    for k in 0..n_kernels {
+        let call = render_kernel(&mut src, &mut r, k, n_elems, n_helpers);
+        kernel_calls.push(call);
+    }
+    if with_float {
+        render_float_kernel(&mut src, &mut r, n_elems);
+        kernel_calls.push("int(kf(n % 37 + 3) * 64.0)".to_string());
+    }
+
+    let _ = writeln!(src, "fn main(n: int) -> int {{");
+    let _ = writeln!(src, "  seed_data();");
+    let _ = writeln!(src, "  let r = 0;");
+    for call in &kernel_calls {
+        let _ = writeln!(src, "  r = r + {call};");
+    }
+    let _ = writeln!(src, "  return r ^ g0;");
+    let _ = writeln!(src, "}}");
+
+    GeneratedProgram {
+        seed,
+        source: src,
+        entry: "main",
+        train_arg,
+    }
+}
+
+/// A small integer helper, sometimes with a branch or a maybe-zero divisor,
+/// so kernels exercise cross-function calls inside hot loops.
+fn render_helper(src: &mut String, r: &mut SplitMix64, idx: usize) {
+    let m = r.range(3, 23);
+    let p = r.range(101, 997);
+    match r.below(3) {
+        0 => {
+            let _ = writeln!(
+                src,
+                "fn h{idx}(x: int) -> int {{\n  return x * {m} % {p} + g0;\n}}\n"
+            );
+        }
+        1 => {
+            let d = r.range(2, 9);
+            let _ = writeln!(
+                src,
+                "fn h{idx}(x: int) -> int {{\n  if (x % {d} == 0) {{\n    return x / {d} + g0;\n  }}\n  return x * {m} % {p};\n}}\n"
+            );
+        }
+        _ => {
+            // Division by a possibly-zero subexpression: defined as 0.
+            let d = r.range(3, 11);
+            let _ = writeln!(
+                src,
+                "fn h{idx}(x: int) -> int {{\n  return x + x / (x % {d});\n}}\n"
+            );
+        }
+    }
+}
+
+/// One accumulator-update expression. `counters` are the in-scope loop
+/// counters (all non-negative); the result may be any value but index
+/// subexpressions stay `nonneg % N`.
+fn render_update(
+    r: &mut SplitMix64,
+    acc: usize,
+    counters: &[&str],
+    n_elems: i64,
+    n_helpers: usize,
+) -> String {
+    let i = *r.pick(counters);
+    let c = r.range(1, 11);
+    let o = (acc + 1) % ACCS;
+    match r.below(8) {
+        0 => format!("s{acc} + {c}"),
+        1 => format!("s{acc} * {c} % 1013"),
+        2 => format!("s{acc} + a[({i} * {} + {acc}) % {n_elems}]", r.range(1, 7)),
+        3 => format!("s{acc} ^ ({i} << {})", r.range(0, 4)),
+        // Maybe-zero divisor: x/0 == x%0 == 0 by IR definition.
+        4 => format!("s{acc} + s{o} / (s{} % {c})", (acc + 2) % ACCS),
+        5 => format!("s{acc} % ({i} % {c} - 1)"),
+        6 if n_helpers > 0 => {
+            let h = r.below(n_helpers as u64);
+            format!("s{acc} + h{h}(s{o} % 4093)")
+        }
+        6 => format!("min(s{acc}, s{o}) + max({i}, {c})"),
+        _ => format!("s{acc} + {i} % {c} + b[({i} + {acc}) % {n_elems}]"),
+    }
+}
+
+/// A guarded store — the archetypal violation candidate.
+fn render_guarded_store(r: &mut SplitMix64, counter: &str, n_elems: i64) -> String {
+    let g = r.range(2, 8);
+    let stride = r.range(1, 6);
+    let acc = r.below(ACCS as u64);
+    format!(
+        "    if ({counter} % {g} == 0) {{ b[({counter} * {stride}) % {n_elems}] = s{acc} % 509; }}\n"
+    )
+}
+
+/// Renders kernel `k` and returns the `main` call expression for it.
+fn render_kernel(
+    src: &mut String,
+    r: &mut SplitMix64,
+    k: usize,
+    n_elems: i64,
+    n_helpers: usize,
+) -> String {
+    let shape = r.below(4);
+    let _ = writeln!(src, "fn k{k}(n: int) -> int {{");
+    for v in 0..ACCS {
+        let _ = writeln!(src, "  let s{v} = {};", 2 * v as i64 + 1);
+    }
+    match shape {
+        // Counted reduction with guarded store.
+        0 => {
+            let _ = writeln!(src, "  for (let i = 0; i < n; i = i + 1) {{");
+            for _ in 0..r.range(1, 4) {
+                let acc = r.below(ACCS as u64) as usize;
+                let e = render_update(r, acc, &["i"], n_elems, n_helpers);
+                let _ = writeln!(src, "    s{acc} = {e};");
+            }
+            src.push_str(&render_guarded_store(r, "i", n_elems));
+            let _ = writeln!(src, "  }}");
+        }
+        // Loop nest to depth 2 or 3 with small inner trips.
+        1 => {
+            let depth3 = r.chance(1, 2);
+            let tj = r.range(2, 4);
+            let tk = r.range(2, 3);
+            let _ = writeln!(src, "  for (let i = 0; i < n; i = i + 1) {{");
+            let _ = writeln!(src, "    for (let j = 0; j < {tj}; j = j + 1) {{");
+            if depth3 {
+                let _ = writeln!(src, "      for (let t = 0; t < {tk}; t = t + 1) {{");
+                let acc = r.below(ACCS as u64) as usize;
+                let e = render_update(r, acc, &["i", "j", "t"], n_elems, n_helpers);
+                let _ = writeln!(src, "        s{acc} = {e};");
+                let _ = writeln!(src, "      }}");
+            }
+            let acc = r.below(ACCS as u64) as usize;
+            let e = render_update(r, acc, &["i", "j"], n_elems, n_helpers);
+            let _ = writeln!(src, "      s{acc} = {e};");
+            let _ = writeln!(src, "    }}");
+            src.push_str(&render_guarded_store(r, "i", n_elems));
+            let _ = writeln!(src, "  }}");
+        }
+        // While loop with data-dependent continue/break. The counter
+        // strictly increases on every path, so termination is guaranteed.
+        2 => {
+            let g = r.range(3, 9);
+            let _ = writeln!(src, "  let i = 0;");
+            let _ = writeln!(src, "  while (i < n) {{");
+            let acc = r.below(ACCS as u64) as usize;
+            let e = render_update(r, acc, &["i"], n_elems, n_helpers);
+            let _ = writeln!(src, "    s{acc} = {e};");
+            if r.chance(1, 2) {
+                let _ = writeln!(src, "    if (s{acc} % {g} == 1) {{ i = i + 2; continue; }}");
+            } else {
+                let _ = writeln!(src, "    if (s{acc} % 8191 == 7) {{ break; }}");
+            }
+            src.push_str(&render_guarded_store(r, "i", n_elems));
+            let _ = writeln!(src, "    i = i + 1;");
+            let _ = writeln!(src, "  }}");
+        }
+        // Irregular chase: array-driven indirection. Seeded cells are
+        // non-negative, so `j` stays within `0..N` forever.
+        _ => {
+            let _ = writeln!(src, "  let j = {};", r.range(0, n_elems - 1));
+            let _ = writeln!(src, "  for (let t = 0; t < n; t = t + 1) {{");
+            let _ = writeln!(src, "    j = a[j % {n_elems}] % {n_elems};");
+            let acc = r.below(ACCS as u64) as usize;
+            let _ = writeln!(src, "    s{acc} = s{acc} + b[j % {n_elems}];");
+            if r.chance(1, 2) {
+                // The stored value must stay non-negative: `a` drives the
+                // chase index, and `s` ranges over all of i64.
+                let _ = writeln!(src, "    a[(j + t) % {n_elems}] = (s{acc} % 89 + 89) % 90;");
+            }
+            let _ = writeln!(src, "  }}");
+        }
+    }
+    let _ = writeln!(src, "  return s0 + s1 * 3 + s2 * 5 + s3 * 7;");
+    let _ = writeln!(src, "}}\n");
+    let arg = match r.below(3) {
+        0 => "n".to_string(),
+        1 => format!("n % {} + 5", r.range(31, 91)),
+        _ => format!("n / 2 + {}", r.range(1, 9)),
+    };
+    format!("k{k}({arg})")
+}
+
+/// A float reduction over `w` with `fabs`/`sqrt`; multipliers below one
+/// keep the accumulator's growth linear in the trip count.
+fn render_float_kernel(src: &mut String, r: &mut SplitMix64, n_elems: i64) {
+    let _ = writeln!(src, "fn kf(n: int) -> float {{");
+    let _ = writeln!(src, "  let acc = 0.5;");
+    let _ = writeln!(src, "  for (let i = 0; i < n; i = i + 1) {{");
+    let _ = writeln!(
+        src,
+        "    acc = acc + fabs(w[i % {n_elems}]) * 0.25 + sqrt(fabs(acc)) * 0.125;"
+    );
+    if r.chance(1, 2) {
+        let _ = writeln!(src, "    w[(i * 3) % {n_elems}] = acc * 0.5;");
+    }
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "  return acc;");
+    let _ = writeln!(src, "}}\n");
+}
+
+/// Replacement tokens the mutator splices in; chosen to collide with every
+/// parser decision point (delimiters, keywords, extreme literals).
+const MUTANT_TOKENS: &[&str] = &[
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ":",
+    "->",
+    "=",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&&",
+    "||",
+    "!",
+    "~",
+    "^",
+    "<<",
+    ">>",
+    "fn",
+    "global",
+    "let",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "int",
+    "float",
+    "q",
+    "zz9",
+    "9223372036854775807",
+    "0",
+    "1e308",
+    "0.0",
+];
+
+/// Raw characters spliced in by character-level mutations, aimed at the
+/// lexer (unknown characters, truncated comments, digit runs).
+const MUTANT_CHARS: &[&str] = &[
+    "@",
+    "#",
+    "$",
+    "\"",
+    "`",
+    "\\",
+    "/*",
+    "*/",
+    "//",
+    "\u{2603}",
+    "99999999999999999999",
+];
+
+/// Token-level corruption of (valid) `source`: `rounds` mutations, each a
+/// delete/duplicate/swap/replace of one whitespace-delimited token or a raw
+/// character splice. The result is usually invalid — that is the point: the
+/// frontend must reject it cleanly.
+pub fn mutate(source: &str, seed: u64, rounds: usize) -> String {
+    let mut r = SplitMix64::new(seed ^ 0x6D75_7461_7465_2121);
+    // Mutants collapse to a single line, so comment lines must go first —
+    // a surviving `//` would comment out everything after it and turn the
+    // mutant into a trivially empty program.
+    let mut toks: Vec<String> = source
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .flat_map(str::split_whitespace)
+        .map(str::to_string)
+        .collect();
+    for _ in 0..rounds {
+        if toks.is_empty() {
+            toks.push("fn".to_string());
+        }
+        let i = r.below(toks.len() as u64) as usize;
+        match r.below(5) {
+            0 => {
+                toks.remove(i);
+            }
+            1 => {
+                let t = toks[i].clone();
+                toks.insert(i, t);
+            }
+            2 => {
+                let j = r.below(toks.len() as u64) as usize;
+                toks.swap(i, j);
+            }
+            3 => {
+                toks[i] = r.pick(MUTANT_TOKENS).to_string();
+            }
+            _ => {
+                // Character splice inside the token.
+                let c = *r.pick(MUTANT_CHARS);
+                let t = &toks[i];
+                let cut = r.below(t.len() as u64 + 1) as usize;
+                let cut = (0..=cut)
+                    .rev()
+                    .find(|&p| t.is_char_boundary(p))
+                    .unwrap_or(0);
+                toks[i] = format!("{}{}{}", &t[..cut], c, &t[cut..]);
+            }
+        }
+    }
+    toks.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_bytes() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_programs() {
+        let a = generate(1).source;
+        let b = generate(2).source;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..50 {
+            let p = generate(seed);
+            if let Err(e) = spt_frontend::compile(&p.source) {
+                panic!("seed {seed} generated invalid minic: {e}\n{}", p.source);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let p = generate(9).source;
+        assert_eq!(mutate(&p, 3, 8), mutate(&p, 3, 8));
+        assert_ne!(mutate(&p, 3, 8), mutate(&p, 4, 8));
+    }
+}

@@ -1,0 +1,313 @@
+//! Automatic delta-debugging reducer and minimized-repro persistence.
+//!
+//! [`ddmin_lines`] is Zeller–Hildebrandt ddmin over source lines: try ever
+//! finer partitions, keep any subset/complement that still reproduces the
+//! failure, restart coarser whenever something sticks, and finish with a
+//! single-line elimination fixpoint. The preservation predicate is bucket
+//! equality (see [`crate::triage`]), so candidates that fail *differently*
+//! — a reduction-introduced parse error instead of the original semantics
+//! divergence — are rejected automatically.
+//!
+//! Minimized repros persist under `tests/corpus-regressions/` as plain
+//! `minic` files with a machine-readable comment header, and are replayed
+//! by an ordinary test forever after: a corpus find is only valuable if
+//! its fix can never silently regress, and a seed alone would go stale the
+//! moment the generator's grammar changes.
+
+use crate::oracle::{check_program, CheckOptions, OracleKind, ProgramUnderTest};
+use crate::triage::{bucket_of, Bucket};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on predicate evaluations per reduction; each evaluation is
+/// a full oracle battery, so the reducer trades minimality for a bounded
+/// wall clock once a failure case is pathological.
+const MAX_PROBES: usize = 600;
+
+/// Minimizes `lines of source` under `reproduces` (which must hold for the
+/// input). Returns the minimized source; every intermediate candidate that
+/// was kept also reproduced.
+pub fn ddmin_lines(source: &str, mut reproduces: impl FnMut(&str) -> bool) -> String {
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut probes = 0usize;
+    let probe = |cand: &[String], probes: &mut usize, rep: &mut dyn FnMut(&str) -> bool| {
+        if *probes >= MAX_PROBES {
+            return false;
+        }
+        *probes += 1;
+        rep(&cand.join("\n"))
+    };
+
+    let mut granularity = 2usize;
+    while lines.len() >= 2 {
+        let chunk = lines.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < lines.len() {
+            let end = (start + chunk).min(lines.len());
+            // Complement: drop lines[start..end].
+            let cand: Vec<String> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .cloned()
+                .collect();
+            if !cand.is_empty() && probe(&cand, &mut probes, &mut reproduces) {
+                lines = cand;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep on the shrunk input.
+                start = 0;
+                continue;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= lines.len() || probes >= MAX_PROBES {
+                break;
+            }
+            granularity = (granularity * 2).min(lines.len());
+        }
+    }
+
+    // Single-line elimination to a fixpoint (ddmin at the finest
+    // granularity can still leave removable stragglers behind).
+    let mut changed = true;
+    while changed && probes < MAX_PROBES {
+        changed = false;
+        let mut i = 0;
+        while i < lines.len() && lines.len() > 1 {
+            let mut cand = lines.clone();
+            cand.remove(i);
+            if probe(&cand, &mut probes, &mut reproduces) {
+                lines = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+/// Reduces a failing program to a minimal source that still reproduces
+/// `target`. Entry, training argument, and check arguments are held fixed;
+/// only the source shrinks.
+pub fn reduce_program(p: &ProgramUnderTest, target: &Bucket, opts: &CheckOptions) -> String {
+    let reproduces = |cand: &str| {
+        let candidate = ProgramUnderTest {
+            source: cand.to_string(),
+            tag: format!("{}-reduce", p.tag),
+            ..p.clone()
+        };
+        check_program(&candidate, opts)
+            .iter()
+            .any(|f| bucket_of(f) == *target)
+    };
+    ddmin_lines(&p.source, reproduces)
+}
+
+/// A minimized regression: everything needed to replay it later.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Repro {
+    /// Seed that originally found it (informational).
+    pub seed: u64,
+    /// Violated oracle's label.
+    pub oracle: String,
+    /// Bucket signature at find time (informational).
+    pub signature: String,
+    /// Entry function.
+    pub entry: String,
+    /// Training argument.
+    pub train_arg: i64,
+    /// Minimized `minic` source.
+    pub source: String,
+}
+
+impl Repro {
+    /// Replay harness input for this repro.
+    pub fn under_test(&self, tag: impl Into<String>) -> ProgramUnderTest {
+        ProgramUnderTest {
+            source: self.source.clone(),
+            entry: self.entry.clone(),
+            train_arg: self.train_arg,
+            args: vec![0, 17, self.train_arg],
+            tag: tag.into(),
+        }
+    }
+}
+
+/// File name for a repro: oracle label plus a short signature hash, so one
+/// bucket maps to one file and re-finding a known bug overwrites rather
+/// than accumulates.
+pub fn repro_file_name(oracle: &str, signature: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in signature.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{oracle}-{:08x}.minic", hash as u32)
+}
+
+/// Serializes a repro to `dir`, returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_repro(dir: &Path, repro: &Repro) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(repro_file_name(&repro.oracle, &repro.signature));
+    let mut text = String::new();
+    text.push_str("// spt-corpus minimized regression\n");
+    text.push_str(&format!("// seed: {}\n", repro.seed));
+    text.push_str(&format!("// oracle: {}\n", repro.oracle));
+    text.push_str(&format!("// signature: {}\n", repro.signature));
+    text.push_str(&format!("// entry: {}\n", repro.entry));
+    text.push_str(&format!("// train: {}\n", repro.train_arg));
+    text.push_str(&repro.source);
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Parses a repro file written by [`write_repro`]. Unknown or missing
+/// header keys fall back to safe defaults (`main`, train 140), so hand-
+/// written repro files need no header at all.
+pub fn parse_repro(text: &str) -> Repro {
+    let mut repro = Repro {
+        seed: 0,
+        oracle: String::new(),
+        signature: String::new(),
+        entry: "main".to_string(),
+        train_arg: 140,
+        source: String::new(),
+    };
+    let mut body = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("//") {
+            let rest = rest.trim();
+            if let Some((key, value)) = rest.split_once(':') {
+                let value = value.trim();
+                match key.trim() {
+                    "seed" => repro.seed = value.parse().unwrap_or(0),
+                    "oracle" => repro.oracle = value.to_string(),
+                    "signature" => repro.signature = value.to_string(),
+                    "entry" => repro.entry = value.to_string(),
+                    "train" => repro.train_arg = value.parse().unwrap_or(140),
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        body.push(line);
+    }
+    repro.source = body.join("\n");
+    repro
+}
+
+/// Loads every `.minic` repro under `dir`, sorted by file name for
+/// deterministic replay order. A missing directory is an empty corpus.
+pub fn load_repros(dir: &Path) -> Vec<(PathBuf, Repro)> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "minic"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(&p).ok()?;
+            Some((p, parse_repro(&text)))
+        })
+        .collect()
+}
+
+/// Convenience for the runner/bin: reduce one failure and persist it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from [`write_repro`].
+pub fn reduce_and_persist(
+    seed: u64,
+    p: &ProgramUnderTest,
+    failure_kind: OracleKind,
+    target: &Bucket,
+    opts: &CheckOptions,
+    out_dir: &Path,
+) -> std::io::Result<(PathBuf, Repro)> {
+    let minimized = reduce_program(p, target, opts);
+    let repro = Repro {
+        seed,
+        oracle: failure_kind.label().to_string(),
+        signature: target.signature.clone(),
+        entry: p.entry.clone(),
+        train_arg: p.train_arg,
+        source: minimized,
+    };
+    let path = write_repro(out_dir, &repro)?;
+    Ok((path, repro))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_shrinks_to_the_failing_line() {
+        let source: String = (0..40)
+            .map(|i| {
+                if i == 23 {
+                    "BUG\n".to_string()
+                } else {
+                    format!("line {i}\n")
+                }
+            })
+            .collect();
+        let reduced = ddmin_lines(&source, |cand| cand.contains("BUG"));
+        assert_eq!(reduced.trim(), "BUG");
+    }
+
+    #[test]
+    fn ddmin_keeps_multi_line_dependencies() {
+        // Failure needs BOTH markers: the reducer must keep both lines.
+        let source = "a\nFIRST\nb\nc\nSECOND\nd\n";
+        let reduced = ddmin_lines(source, |cand| {
+            cand.contains("FIRST") && cand.contains("SECOND")
+        });
+        let lines: Vec<&str> = reduced.lines().collect();
+        assert_eq!(lines, vec!["FIRST", "SECOND"]);
+    }
+
+    #[test]
+    fn repro_round_trips() {
+        let repro = Repro {
+            seed: 77,
+            oracle: "semantics".to_string(),
+            signature: "return diverged at arg #".to_string(),
+            entry: "main".to_string(),
+            train_arg: 99,
+            source: "fn main(n: int) -> int {\n  return n;\n}".to_string(),
+        };
+        let dir =
+            std::env::temp_dir().join(format!("spt-corpus-repro-test-{}", std::process::id()));
+        let path = write_repro(&dir, &repro).expect("write");
+        let loaded = load_repros(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, path);
+        assert_eq!(loaded[0].1, repro);
+    }
+
+    #[test]
+    fn headerless_repro_gets_defaults() {
+        let r = parse_repro("fn main() -> int { return 1; }");
+        assert_eq!(r.entry, "main");
+        assert_eq!(r.train_arg, 140);
+        assert_eq!(r.source, "fn main() -> int { return 1; }");
+    }
+}

@@ -1,0 +1,168 @@
+//! Corpus runner: shards thousands of generated modules over
+//! [`spt_core::parallel::parallel_map`] and collects oracle verdicts.
+//!
+//! Workers are mutually independent — each generates its module from its
+//! seed and runs the full battery. The two sub-oracles that toggle
+//! process-global knobs serialize internally through
+//! [`crate::oracle::global_state_lock`], so corpus shards stay correct at
+//! any worker count; results merge by seed order, so runner output is
+//! deterministic regardless of scheduling.
+
+use crate::gen::generate;
+use crate::oracle::{check_program, CheckOptions, Failure, ProgramUnderTest};
+use spt_core::parallel::parallel_map;
+use std::path::PathBuf;
+
+/// What to run.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// First seed; modules use `start_seed..start_seed + count`.
+    pub start_seed: u64,
+    /// Number of modules.
+    pub count: usize,
+    /// Oracle selection and pipeline configuration. When
+    /// `opts.cache_root` is `None` and `use_temp_cache` is set, the runner
+    /// provisions (and afterwards removes) a scratch root so the cache
+    /// oracle still runs.
+    pub opts: CheckOptions,
+    /// Provision a temporary cache root when none is configured.
+    pub use_temp_cache: bool,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            start_seed: 1,
+            count: 1000,
+            opts: CheckOptions::default(),
+            use_temp_cache: true,
+        }
+    }
+}
+
+/// Verdict for one seed.
+#[derive(Clone, Debug)]
+pub struct SeedOutcome {
+    /// The module's seed.
+    pub seed: u64,
+    /// Oracle violations (empty = green).
+    pub failures: Vec<Failure>,
+}
+
+/// Aggregate result of a corpus run.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusOutcome {
+    /// Modules checked.
+    pub checked: usize,
+    /// Seeds with at least one failure, in seed order.
+    pub failing: Vec<SeedOutcome>,
+}
+
+impl CorpusOutcome {
+    /// True when every oracle held on every module.
+    pub fn is_green(&self) -> bool {
+        self.failing.is_empty()
+    }
+}
+
+/// Runs `f` with the panic hook silenced, restoring it afterwards. The
+/// sweep (and injected corpus runs) *contain* thousands of deliberate
+/// panics; without this each would spew a backtrace. The hook is
+/// process-global, so callers already inside a corpus run must not nest.
+pub fn with_quiet_panic_hook<T>(f: impl FnOnce() -> T) -> T {
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    struct Restore(Option<PanicHook>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(hook) = self.0.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+    let _restore = Restore(Some(saved));
+    f()
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str) -> TempRoot {
+        let dir = std::env::temp_dir().join(format!("spt-corpus-{}-{tag}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        TempRoot(dir)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the corpus. Deterministic: the same config yields the same
+/// verdicts (and the same order) at any worker count.
+pub fn run_corpus(cfg: &CorpusConfig) -> CorpusOutcome {
+    let mut opts = cfg.opts.clone();
+    let _temp = if opts.cache_root.is_none() && cfg.use_temp_cache {
+        let t = TempRoot::new(&format!("s{}", cfg.start_seed));
+        opts.cache_root = Some(t.0.clone());
+        Some(t)
+    } else {
+        None
+    };
+
+    let seeds: Vec<u64> = (0..cfg.count as u64).map(|i| cfg.start_seed + i).collect();
+    let verdicts = parallel_map(&seeds, |&seed| {
+        let p = generate(seed);
+        check_program(&ProgramUnderTest::from(&p), &opts)
+    });
+
+    let mut outcome = CorpusOutcome {
+        checked: seeds.len(),
+        ..CorpusOutcome::default()
+    };
+    for (&seed, failures) in seeds.iter().zip(verdicts) {
+        if !failures.is_empty() {
+            outcome.failing.push(SeedOutcome { seed, failures });
+        }
+    }
+    outcome
+}
+
+/// FNV-1a fold of every module's source and base `CompilationReport` over
+/// a seed range: a process-independent fingerprint for the cross-process
+/// determinism test (two invocations must print identical digests).
+pub fn corpus_digest(start_seed: u64, count: usize, opts: &CheckOptions) -> u64 {
+    let seeds: Vec<u64> = (0..count as u64).map(|i| start_seed + i).collect();
+    let entries = parallel_map(&seeds, |&seed| {
+        let p = generate(seed);
+        let under = ProgramUnderTest::from(&p);
+        let input = spt_core::pipeline::ProfilingInput::new(under.entry.clone(), [under.train_arg]);
+        let rendered = match spt_frontend::compile(&under.source) {
+            Ok(mut module) => {
+                match spt_core::pipeline::transform_module(&mut module, &input, &opts.config) {
+                    Ok(report) => format!("{report:?}"),
+                    Err(e) => format!("pipeline error: {e}"),
+                }
+            }
+            Err(e) => format!("compile error: {e}"),
+        };
+        (p.source, rendered)
+    });
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (seed, (source, rendered)) in seeds.iter().zip(entries) {
+        eat(&seed.to_le_bytes());
+        eat(source.as_bytes());
+        eat(rendered.as_bytes());
+    }
+    hash
+}

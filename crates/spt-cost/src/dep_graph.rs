@@ -173,11 +173,7 @@ impl DepGraph {
         let forest = LoopForest::compute(func, &cfg, &dom);
         let l = forest.get(loop_id);
         let header = l.header;
-        let body_blocks: Vec<BlockId> = {
-            let mut blocks = l.blocks.clone();
-            blocks.sort_by_key(|b| cfg.rpo_index[b.index()]);
-            blocks
-        };
+        let body_blocks: Vec<BlockId> = program_order_blocks(&cfg, &forest, loop_id);
         let in_loop: HashSet<BlockId> = body_blocks.iter().copied().collect();
 
         // --- Node collection, program order. Header phis are excluded as
@@ -644,6 +640,67 @@ impl DepGraph {
     }
 }
 
+/// Blocks of `loop_id` in *program order*: a topological order of the
+/// forward CFG in which each inner loop is contiguous and precedes every
+/// block that executes after it within one iteration of `loop_id`.
+///
+/// Plain RPO does not have that property: a DFS may explore an inner loop's
+/// exit continuation only after fully finishing the loop body, which puts
+/// the continuation *before* the body in reverse postorder. The graph's
+/// forward (`src < dst`) dependence tests would then disagree with dynamic
+/// intra-iteration execution order — most dangerously, a store in the
+/// continuation would lose its anti-dependence (load→store) ordering edges
+/// against loads inside the inner loop, letting the partitioner hoist the
+/// store into the pre-fork region above same-iteration reads.
+///
+/// Construction: the loop's direct blocks and its immediate inner loops are
+/// ordered by RPO index (an inner loop is keyed by its header, which any
+/// RPO places before everything the loop dominates and before its exit
+/// continuations); each inner loop then expands recursively in place.
+fn program_order_blocks(cfg: &Cfg, forest: &LoopForest, loop_id: LoopId) -> Vec<BlockId> {
+    /// The immediate child loop of `loop_id` containing `bb`, or `None`
+    /// when `bb` belongs to `loop_id` directly.
+    fn child_of(forest: &LoopForest, loop_id: LoopId, bb: BlockId) -> Option<LoopId> {
+        let mut il = forest.innermost(bb)?;
+        while il != loop_id {
+            match forest.get(il).parent {
+                Some(p) if p == loop_id => return Some(il),
+                Some(p) => il = p,
+                None => return None, // not nested under loop_id; treat as direct
+            }
+        }
+        None
+    }
+
+    enum Item {
+        Block(BlockId),
+        Child(LoopId),
+    }
+    let l = forest.get(loop_id);
+    let mut items: Vec<(usize, Item)> = Vec::new();
+    let mut child_seen: HashSet<LoopId> = HashSet::new();
+    for &bb in &l.blocks {
+        match child_of(forest, loop_id, bb) {
+            None => items.push((cfg.rpo_index[bb.index()], Item::Block(bb))),
+            Some(child) => {
+                if child_seen.insert(child) {
+                    let h = forest.get(child).header;
+                    items.push((cfg.rpo_index[h.index()], Item::Child(child)));
+                }
+            }
+        }
+    }
+    items.sort_by_key(|&(k, _)| k);
+    let mut out = Vec::with_capacity(l.blocks.len());
+    for (_, item) in items {
+        match item {
+            Item::Block(bb) => out.push(bb),
+            Item::Child(c) => out.extend(program_order_blocks(cfg, forest, c)),
+        }
+    }
+    out
+}
+
 /// Per-block execution probability relative to the header, from profile or
 /// static estimation.
 fn block_exec_probs(
@@ -694,7 +751,8 @@ fn block_exec_probs(
             }
         };
         for s in succs {
-            // Blocks are visited in RPO, so forward propagation sees final
+            // Blocks are visited in program order (a forward-edge
+            // topological order), so forward propagation sees final
             // predecessor values (back edges skipped).
             if cfg.rpo_index[s.index()] > cfg.rpo_index[bb.index()] {
                 let e = out.entry(s).or_insert(0.0);
@@ -922,6 +980,70 @@ mod tests {
             .find(|e| e.kind == DepEdgeKind::Memory)
             .expect("cross memory edge");
         assert!(cross.prob > 0.95, "prob = {}", cross.prob);
+    }
+
+    #[test]
+    fn store_after_inner_loop_keeps_anti_dependence() {
+        // Found by corpus fuzzing (seed 900): the guarded store executes
+        // AFTER the inner loop's loads within one outer iteration, but raw
+        // RPO ordered its block before the inner-loop body, dropping the
+        // load→store anti-dependence. Without that ordering edge the
+        // partitioner may hoist the store into the pre-fork region above
+        // same-iteration reads of the same array — a miscompile.
+        let src = "
+            global b[256]: int;
+            fn f(n: int) -> int {
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) {
+                    for (let j = 0; j < 4; j = j + 1) {
+                        s = s + b[j];
+                    }
+                    if (i % 6 == 0) { b[(i * 2) % 256] = 3; }
+                }
+                return s;
+            }
+        ";
+        let module = spt_frontend::compile(src).unwrap();
+        let fid = module.func_by_name("f").unwrap();
+        let func = module.func(fid);
+        let cfg = spt_ir::Cfg::compute(func);
+        let dom = spt_ir::DomTree::compute(&cfg);
+        let forest = spt_ir::LoopForest::compute(func, &cfg, &dom);
+        let outer = forest.ids().find(|&l| forest.get(l).depth == 1).unwrap();
+        let g = DepGraph::build(
+            &module,
+            fid,
+            outer,
+            Profiles::default(),
+            &DepGraphConfig::default(),
+        );
+        let store = g
+            .nodes
+            .iter()
+            .position(|&i| matches!(func.inst(i).kind, InstKind::Store { .. }))
+            .expect("store in body");
+        let load = g
+            .nodes
+            .iter()
+            .position(|&i| matches!(func.inst(i).kind, InstKind::Load { .. }))
+            .expect("load in body");
+        // Program order: the inner-loop load precedes the store.
+        assert!(
+            load < store,
+            "node order must reflect intra-iteration execution order \
+             (load at {load}, store at {store})"
+        );
+        // The anti-dependence ordering edge exists...
+        assert!(
+            g.order_edges.contains(&(load, store)),
+            "anti-dependence load->store missing: {:?}",
+            g.order_edges
+        );
+        // ...so the store's closure reaches the pinned inner-loop load and
+        // the store can never move into the pre-fork region.
+        let cl = g.closure(&[store]);
+        assert!(cl.contains(&load));
+        assert!(!g.closure_is_legal(&cl));
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //! # Ok::<(), spt_frontend::CompileError>(())
 //! ```
 
+// The frontend faces arbitrary (possibly hostile) source text: every
+// failure must surface as a `CompileError`, never a panic. Production code
+// therefore may not unwrap/expect; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod lexer;
 pub mod lower;

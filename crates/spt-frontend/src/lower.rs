@@ -174,10 +174,18 @@ impl<'a> Lowerer<'a> {
                 let val = self.coerce(val, ty, want, s.line, s.col)?;
                 let slot = self.b.declare_var(want);
                 self.b.var_store(slot, val);
-                self.scopes
-                    .last_mut()
-                    .expect("scope stack nonempty")
-                    .insert(name.clone(), (slot, want));
+                match self.scopes.last_mut() {
+                    Some(scope) => scope.insert(name.clone(), (slot, want)),
+                    // Unreachable: `stmt` is only called inside `block`,
+                    // which pushes a scope around its statements.
+                    None => {
+                        return Err(self.err(
+                            format!("`let {name}` outside any scope"),
+                            s.line,
+                            s.col,
+                        ))
+                    }
+                };
                 self.terminated = false;
             }
             StmtKind::Assign(name, e) => {
@@ -568,9 +576,9 @@ impl<'a> Lowerer<'a> {
             }
             _ => {
                 let (val, ty) = self.user_call(name, args, line, col)?;
-                match ty {
-                    Some(t) => Ok((val.expect("typed call yields value"), t)),
-                    None => Err(self.err(
+                match (val, ty) {
+                    (Some(v), Some(t)) => Ok((v, t)),
+                    _ => Err(self.err(
                         format!("void function `{name}` used in expression"),
                         line,
                         col,

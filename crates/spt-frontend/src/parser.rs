@@ -4,9 +4,27 @@ use crate::ast::*;
 use crate::lexer::{Tok, Token};
 use crate::CompileError;
 
+/// Maximum statement/expression nesting the parser accepts. Recursive
+/// descent consumes native stack per nesting level, so pathological inputs
+/// (`((((…))))`, thousand-deep `if` pyramids) must be rejected with a clean
+/// [`CompileError`] well before the stack would overflow — an overflow
+/// aborts the process and cannot be caught by the pipeline's fault
+/// isolation. 64 comfortably covers real programs while staying far from
+/// the ~2 MiB test-thread stack even in unoptimised builds (where one
+/// statement level costs several stack frames), and also bounds the
+/// recursion of every downstream AST consumer (lowering, `Drop`).
+const MAX_NESTING: usize = 64;
+
+/// Largest global array a program may declare, in elements. Lowering
+/// eagerly materialises the data image, so an unchecked `global a[...]`
+/// literal would turn one malformed token into a multi-gigabyte
+/// allocation.
+const MAX_ARRAY_ELEMS: u64 = 1 << 22;
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
+    depth: usize,
 }
 
 /// Parses a token stream into a [`Program`].
@@ -15,7 +33,11 @@ struct Parser<'a> {
 ///
 /// Returns a [`CompileError`] at the first syntax error.
 pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut program = Program::default();
     loop {
         match p.peek() {
@@ -47,6 +69,18 @@ impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> CompileError {
         let (line, col) = self.here();
         CompileError::new(message, line, col)
+    }
+
+    /// Bumps the nesting depth, erroring out before recursion could
+    /// exhaust the native stack.
+    fn descend(&mut self) -> Result<(), CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.error(format!(
+                "program nesting exceeds the maximum depth of {MAX_NESTING}"
+            )));
+        }
+        Ok(())
     }
 
     fn bump(&mut self) -> Tok {
@@ -91,7 +125,12 @@ impl<'a> Parser<'a> {
         let size = if self.peek() == &Tok::LBracket {
             self.bump();
             let n = match self.bump() {
-                Tok::Int(v) if v > 0 => v as usize,
+                Tok::Int(v) if v > 0 && (v as u64) <= MAX_ARRAY_ELEMS => v as usize,
+                Tok::Int(v) if v > 0 => {
+                    return Err(self.error(format!(
+                        "array size {v} exceeds the maximum of {MAX_ARRAY_ELEMS} elements"
+                    )))
+                }
                 _ => return Err(self.error("array size must be a positive integer literal")),
             };
             self.expect(&Tok::RBracket)?;
@@ -178,6 +217,15 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        // Statements recurse through blocks (`if`/`while`/`for` bodies) and
+        // else-if chains; bound the depth here so every cycle is covered.
+        self.descend()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CompileError> {
         let (line, col) = self.here();
         let kind = match self.peek().clone() {
             Tok::Let => {
@@ -371,6 +419,16 @@ impl<'a> Parser<'a> {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        // Every expression path funnels through here (parenthesised and
+        // unary recursion both re-enter via `expr`), so this single guard
+        // bounds all expression nesting.
+        self.descend()?;
+        let r = self.unary_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, CompileError> {
         let (line, col) = self.here();
         let op = match self.peek() {
             Tok::Minus => Some(AstUnOp::Neg),
@@ -542,5 +600,43 @@ mod tests {
     fn call_statement() {
         let p = parse_src("fn g() {} fn f() { g(); }");
         assert!(matches!(p.funcs[1].body[0].kind, StmtKind::ExprStmt(_)));
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_a_clean_error() {
+        let src = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(5000),
+            ")".repeat(5000)
+        );
+        let e = parse(&lex(&src).unwrap()).unwrap_err();
+        assert!(e.message.contains("nesting"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn deep_statement_nesting_is_a_clean_error() {
+        let src = format!(
+            "fn f() {{ {} {} }}",
+            "if (1) {".repeat(5000),
+            "}".repeat(5000)
+        );
+        let e = parse(&lex(&src).unwrap()).unwrap_err();
+        assert!(e.message.contains("nesting"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let src = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        parse(&lex(&src).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn oversized_global_array_is_a_clean_error() {
+        let e = parse(&lex("global a[99999999999]: int;").unwrap()).unwrap_err();
+        assert!(e.message.contains("exceeds"), "got: {}", e.message);
     }
 }

@@ -10,11 +10,15 @@
 //! Robustness contract: a missing file is a [`LoadOutcome::Miss`]; any
 //! unreadable, truncated, corrupt or stale-version file is a
 //! [`LoadOutcome::Corrupt`] that callers treat as "warn and fall back to
-//! direct execution" — never a panic, never a poisoned result. Stores are
-//! atomic (unique temp file + rename) so parallel writers and killed
-//! processes can only ever leave whole files or invisible temp droppings,
-//! and store errors are silently ignored (the cache is an accelerator, not
-//! a source of truth).
+//! direct execution" — never a panic, never a poisoned result. A corrupt
+//! file is additionally **evicted on detection**: keys are content
+//! addresses, so the only way a key can hold bad bytes is a torn or damaged
+//! write, and deleting it turns every subsequent probe into a clean
+//! [`LoadOutcome::Miss`] that re-captures and re-stores — one bad file can
+//! never permanently poison its key. Stores are atomic (unique temp file +
+//! rename) so parallel writers and killed processes can only ever leave
+//! whole files or invisible temp droppings, and store errors are silently
+//! ignored (the cache is an accelerator, not a source of truth).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -139,8 +143,20 @@ impl ArtifactCache {
         match std::fs::read(path) {
             Ok(bytes) => LoadOutcome::Hit(bytes),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => LoadOutcome::Miss,
-            Err(e) => LoadOutcome::Corrupt(format!("unreadable cache file: {e}")),
+            Err(e) => {
+                self.evict(path);
+                LoadOutcome::Corrupt(format!("unreadable cache file: {e}"))
+            }
         }
+    }
+
+    /// Deletes a cache file whose contents failed validation. Files are
+    /// immutable once written, so a bad file can only be a torn/damaged
+    /// write; removing it makes the next probe a clean [`LoadOutcome::Miss`]
+    /// instead of returning the same corruption forever. Deletion errors are
+    /// ignored by the same contract as store errors.
+    fn evict(&self, path: &Path) {
+        let _ = std::fs::remove_file(path);
     }
 
     /// Probe for a trace under `key`.
@@ -149,7 +165,10 @@ impl ArtifactCache {
         match self.load_bytes(&path) {
             LoadOutcome::Hit(bytes) => match Trace::from_bytes(&bytes) {
                 Ok(t) => LoadOutcome::Hit(t),
-                Err(e) => LoadOutcome::Corrupt(format!("{}: {e}", path.display())),
+                Err(e) => {
+                    self.evict(&path);
+                    LoadOutcome::Corrupt(format!("{}: {e}", path.display()))
+                }
             },
             LoadOutcome::Miss => LoadOutcome::Miss,
             LoadOutcome::Corrupt(e) => LoadOutcome::Corrupt(e),
@@ -167,7 +186,10 @@ impl ArtifactCache {
         match self.load_bytes(&path) {
             LoadOutcome::Hit(bytes) => match decode_sim(&bytes) {
                 Ok(r) => LoadOutcome::Hit(r),
-                Err(e) => LoadOutcome::Corrupt(format!("{}: {e}", path.display())),
+                Err(e) => {
+                    self.evict(&path);
+                    LoadOutcome::Corrupt(format!("{}: {e}", path.display()))
+                }
             },
             LoadOutcome::Miss => LoadOutcome::Miss,
             LoadOutcome::Corrupt(e) => LoadOutcome::Corrupt(e),
@@ -389,7 +411,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_reported_not_fatal() {
+    fn corrupt_file_is_reported_not_fatal_and_evicted() {
         let cache = ArtifactCache::new(temp_dir("corrupt"));
         let r = sample_sim();
         cache.store_sim(9, &r);
@@ -399,9 +421,29 @@ mod tests {
         bytes[mid] ^= 0x5a;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(cache.load_sim(9), LoadOutcome::Corrupt(_)));
+        // Detection evicted the bad file: the second probe is a clean Miss
+        // (one torn write can never permanently poison its key) and a
+        // re-store makes the key healthy again.
+        assert!(!path.exists(), "corrupt sim memo should have been deleted");
+        assert!(matches!(cache.load_sim(9), LoadOutcome::Miss));
+        cache.store_sim(9, &r);
+        assert!(matches!(cache.load_sim(9), LoadOutcome::Hit(_)));
         // Truncation too.
         std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
         assert!(matches!(cache.load_sim(9), LoadOutcome::Corrupt(_)));
+        assert!(matches!(cache.load_sim(9), LoadOutcome::Miss));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_trace_is_evicted_to_miss() {
+        let cache = ArtifactCache::new(temp_dir("corrupt-trace"));
+        let path = cache.path_for("trace", 11);
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        assert!(matches!(cache.load_trace(11), LoadOutcome::Corrupt(_)));
+        assert!(!path.exists(), "corrupt trace should have been deleted");
+        assert!(matches!(cache.load_trace(11), LoadOutcome::Miss));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -25,7 +25,24 @@ echo "== robustness fuzz (64 deterministic cases, both thread counts) =="
 cargo test -q --test pipeline_robustness
 
 echo "== fault injection (failpoints feature) =="
-cargo test -q -p spt-core --features failpoints --test failpoint_injection
+# `--lib` also runs the registry coverage test (`sites_cover_every_call_site`),
+# which greps the source tree to prove every fail-point call site is
+# enumerable by the corpus sweep.
+cargo test -q -p spt-core --features failpoints --lib --test failpoint_injection
+cargo test -q -p spt-corpus --features failpoints
+
+echo "== corpus: 200-module differential slice (five oracles) =="
+# A pinned-seed slice of the corpus fuzzer: every module must satisfy the
+# no-panic, semantics, tier-identity, cache-identity, and thread-invariance
+# oracles. The full thousand-module run is `--count 1000`.
+cargo run --release -q -p spt-bench --bin corpus -- --seed 1 --count 200
+
+echo "== corpus: failpoint sweep (every site x 20 modules) =="
+cargo run --release -q -p spt-bench --features failpoints --bin corpus -- \
+  --seed 1 --count 20 --sweep-failpoints
+
+echo "== corpus: regression replay (checked-in minimized repros) =="
+cargo test -q --test corpus_regressions
 
 echo "== trace equivalence (replay bit-identical to direct execution) =="
 cargo test -q --release --test trace_equivalence
@@ -83,6 +100,9 @@ cargo clippy -p spt-trace --lib -- -D warnings
 cargo clippy -p spt-ir --lib -- -D warnings
 cargo clippy -p spt-profile --lib -- -D warnings
 cargo clippy -p spt-sim --lib -- -D warnings
+# The frontend faces corpus-mutated (arbitrarily corrupted) input and denies
+# unwrap/expect at module level in the lexer/parser/lowerer.
+cargo clippy -p spt-frontend --lib -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --all --check
