@@ -25,6 +25,9 @@
 //! Smoke check (no file write): `... --bin perfbench -- --smoke`
 //! Cache control: `... --bin perfbench -- [--cold | --warm]`
 
+use spt_bench::history::{
+    git_revision, json_field, load_history, next_entry_index, peak_rss_kb, write_history,
+};
 use spt_bench::{run_benchmark_timed, TimedBenchmarkRun};
 use spt_core::parallel::set_thread_count_override;
 use spt_core::CompilerConfig;
@@ -130,36 +133,14 @@ fn run_suite_timed(config: &CompilerConfig) -> (Vec<TimedBenchmarkRun>, f64) {
 fn report_digest(runs: &[TimedBenchmarkRun]) -> u64 {
     let mut h = spt_trace::codec::Fnv::new();
     for r in runs {
-        h.update(format!("{:?}", r.run.report).as_bytes());
-        for sim in [&r.run.baseline, &r.run.spt] {
-            h.update_u64(sim.ret.unwrap_or(u64::MAX));
-            h.update_u64(sim.cycles);
-            h.update_u64(sim.insts);
-            h.update_u64(sim.cache_hit_rate.to_bits());
-            h.update_u64(sim.branch_miss_rate.to_bits());
-        }
+        spt_bench::fold_report_digest(
+            &mut h,
+            &format!("{:?}", r.run.report),
+            &r.run.baseline,
+            &r.run.spt,
+        );
     }
     h.finish()
-}
-
-/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), or 0
-/// where unavailable. Cumulative over the process, so it is reported once.
-fn peak_rss_kb() -> u64 {
-    if cfg!(target_os = "linux") {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    return rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                }
-            }
-        }
-    }
-    0
 }
 
 fn print_mode(label: &str, t: &Totals, threads: usize) {
@@ -188,108 +169,19 @@ fn print_mode(label: &str, t: &Totals, threads: usize) {
     );
 }
 
-/// Splits the objects of a JSON array body by brace balancing (entries are
-/// flat-ish objects written by this tool; strings never contain braces).
-fn split_objects(body: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = None;
-    for (i, c) in body.char_indices() {
-        match c {
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    if let Some(s) = start.take() {
-                        out.push(body[s..=i].to_string());
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    out
-}
-
-/// The git revision being measured, or `"unknown"` outside a checkout.
-fn git_revision() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Stamps `entry`/`rev` onto a history record that predates stamping, so
-/// every record in the rewritten file carries both (entry 0 included).
-fn normalize_entry(e: &str, i: usize) -> String {
-    let mut inserts = String::new();
-    if !e.contains("\"entry\":") {
-        let _ = write!(inserts, "\"entry\": {i}, ");
-    }
-    if !e.contains("\"rev\":") {
-        inserts.push_str("\"rev\": \"unknown\", ");
-    }
-    if inserts.is_empty() {
-        return e.to_string();
-    }
-    let body = e.trim_start().strip_prefix('{').unwrap_or(e).trim_start();
-    format!("{{{inserts}{body}")
-}
-
-/// Loads prior history entries from `BENCH_pipeline.json`. A legacy
-/// single-snapshot file (no `"history"` key) becomes the first entry.
-fn load_history(path: &str) -> Vec<String> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    match text.find("\"history\"") {
-        Some(pos) => {
-            let Some(open) = text[pos..].find('[') else {
-                return Vec::new();
-            };
-            let Some(close) = text.rfind(']') else {
-                return Vec::new();
-            };
-            split_objects(&text[pos + open + 1..close])
-        }
-        None => {
-            let t = text.trim();
-            if t.starts_with('{') {
-                vec![t.to_string()]
-            } else {
-                Vec::new()
-            }
-        }
-    }
-}
-
-/// Extracts the numeric value following `"key":` inside `scope`.
-fn json_field(scope: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let pos = scope.find(&pat)? + pat.len();
-    let rest = scope[pos..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// The `"sequential": {...}` sub-object of a history entry, if present.
 fn sequential_scope(entry: &str) -> Option<&str> {
     let pos = entry.find("\"sequential\"")?;
     let open = pos + entry[pos..].find('{')?;
     let close = open + entry[open..].find('}')?;
     Some(&entry[open..=close])
+}
+
+/// The most recent history entry that carries a `"sequential"` scope —
+/// `loadgen`'s daemon entries interleave into the same history but have no
+/// per-stage breakdown to delta against, so they are skipped here.
+fn last_stage_entry(history: &[String]) -> Option<&String> {
+    history.iter().rev().find(|e| e.contains("\"sequential\""))
 }
 
 /// Prints per-stage deltas of this run's sequential totals against the
@@ -374,7 +266,7 @@ fn main() {
         );
         println!("report digest: {:016x}", report_digest(&seq_runs));
         assert!(seq.wall_s > 0.0 && seq.profile_s > 0.0 && seq.sim_s > 0.0);
-        if let Some(prev) = load_history("BENCH_pipeline.json").last() {
+        if let Some(prev) = last_stage_entry(&load_history("BENCH_pipeline.json")) {
             print_deltas(prev, &seq);
         }
         println!("\nsmoke pass OK (no BENCH_pipeline.json update)");
@@ -431,12 +323,8 @@ fn main() {
             r.stages.search_visited
         );
     }
-    let mut history: Vec<String> = load_history("BENCH_pipeline.json")
-        .iter()
-        .enumerate()
-        .map(|(i, e)| normalize_entry(e, i))
-        .collect();
-    if let Some(prev) = history.last() {
+    let mut history = load_history("BENCH_pipeline.json");
+    if let Some(prev) = last_stage_entry(&history) {
         print_deltas(prev, &seq);
     }
     let cache_mode = if cold {
@@ -452,24 +340,14 @@ fn main() {
          \"sequential\": {}, \"parallel\": {}, \
          \"suite_wall_speedup\": {speedup:.3}, \"peak_rss_kb\": {rss}, \
          \"per_benchmark_sequential\": [{per_bench}]}}",
-        history.len(),
+        next_entry_index(&history),
         git_revision(),
         format!("{:?}", spt_ir::exec_tier()).to_lowercase(),
         seq.json(1),
         par.json(threads)
     );
     history.push(entry);
-    let mut json = String::from("{\n  \"history\": [\n");
-    for (i, e) in history.iter().enumerate() {
-        json.push_str("    ");
-        json.push_str(e);
-        if i + 1 < history.len() {
-            json.push(',');
-        }
-        json.push('\n');
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_pipeline.json", &json)
+    write_history("BENCH_pipeline.json", &history)
         .unwrap_or_else(|e| spt_bench::die(format!("cannot write BENCH_pipeline.json: {e}")));
     println!(
         "wrote BENCH_pipeline.json ({} history entr{})",

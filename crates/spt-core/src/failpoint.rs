@@ -98,6 +98,16 @@ pub fn sites() -> &'static [SiteInfo] {
             kind: SiteKind::Contained,
             key_shape: "function name",
         },
+        SiteInfo {
+            name: "serve::request",
+            kind: SiteKind::Contained,
+            key_shape: "request kind (ping|compile|sim|stats|shutdown)",
+        },
+        SiteInfo {
+            name: "serve::compile",
+            kind: SiteKind::Contained,
+            key_shape: "entry function name",
+        },
     ];
     SITES
 }

@@ -172,6 +172,57 @@ impl CompilationReport {
     pub fn max_severity(&self) -> Option<crate::diag::Severity> {
         self.diagnostics.iter().map(|d| d.severity).max()
     }
+
+    /// The human-readable per-loop analysis table, exactly as `sptc analyze`
+    /// prints it (the CLI and the daemon both render through here, so a
+    /// daemon-served analysis is byte-identical to a local one): the
+    /// candidate table, the selection summary, and any non-`Info`
+    /// diagnostics. The routine per-loop Info rejections are already visible
+    /// in the table, so they are not repeated.
+    pub fn analyze_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<6} {:>5} {:>6} {:>9} {:>8} {:>6} {:>6} {:>5} {:>4}  outcome",
+            "function", "loop", "depth", "body", "cost", "prefork", "trip", "cov%", "svp", "unrl"
+        );
+        for l in &self.loops {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<6} {:>5} {:>6} {:>9.2} {:>8} {:>6.1} {:>6.1} {:>5} {:>4}  {}",
+                l.func_name,
+                l.header.to_string(),
+                l.depth,
+                l.body_size,
+                l.cost,
+                l.prefork_size,
+                l.avg_trip_count,
+                l.coverage * 100.0,
+                if l.svp_applied { "yes" } else { "-" },
+                l.unroll_factor,
+                l.outcome.label()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nselected {} loop(s), covering {:.0}% of the profiled run",
+            self.selected.len(),
+            self.selected_coverage() * 100.0
+        );
+        let notable: Vec<_> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity != crate::diag::Severity::Info)
+            .collect();
+        if !notable.is_empty() {
+            let _ = writeln!(out, "\ndiagnostics:");
+            for d in notable {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! The daemon's correctness bar: responses served through `sptd` — cold,
+//! warm-from-memory, or warm-from-disk — are **byte-identical** to what a
+//! single-process CLI compile produces, and N concurrent clients asking for
+//! the same unit cost exactly one pipeline run.
+
+use spt_core::pipeline::compile_and_transform;
+use spt_core::{CompilerConfig, ProfilingInput};
+use spt_serve::{serve, Client, CompileReq, CompileService, ServiceConfig, SimReq};
+use spt_sim::{MachineConfig, SptSimulator};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+/// A small cross-section of the suite — kept to three programs so the
+/// debug-mode test stays quick; the full suite goes through the same code
+/// path in `loadgen --digest` under CI.
+const PROGRAMS: [&str; 3] = ["gap_s", "mcf_s", "twolf_s"];
+const SIM_ARG: i64 = 60;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spt-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn compile_req(b: &spt_bench_suite::Benchmark) -> CompileReq {
+    CompileReq {
+        source: b.source.to_string(),
+        entry: b.entry.to_string(),
+        train: b.train_arg,
+        config_id: 1,
+        want_module_text: true,
+    }
+}
+
+fn sim_req(b: &spt_bench_suite::Benchmark) -> SimReq {
+    SimReq {
+        source: b.source.to_string(),
+        entry: b.entry.to_string(),
+        train: b.train_arg,
+        arg: SIM_ARG,
+        config_id: 1,
+        machine: MachineConfig::default(),
+    }
+}
+
+/// Daemon-served analyze/compile/sim payloads equal the local single-process
+/// pipeline's, byte for byte — cold and warm.
+#[test]
+fn daemon_responses_are_byte_identical_to_local_compiles() {
+    let dir = temp_dir("equiv");
+    let service = Arc::new(CompileService::new(ServiceConfig {
+        cache_dir: Some(dir.join("cache")),
+        ..ServiceConfig::default()
+    }));
+    let handle = serve(service, dir.join("sptd.sock"), 2).expect("daemon starts");
+    let mut client = Client::connect(handle.socket_path()).expect("connects");
+
+    for name in PROGRAMS {
+        let bench = spt_bench_suite::benchmark(name).expect("exists");
+        // The local reference: plain in-process compile, trace backend off —
+        // the daemon's trace-backed tiers must be indistinguishable from it.
+        let input = ProfilingInput::new(bench.entry, [bench.train_arg]);
+        let local = compile_and_transform(bench.source, &input, &CompilerConfig::best())
+            .unwrap_or_else(|e| panic!("{name}: local compile failed: {e}"));
+        let sim = SptSimulator::new();
+        let local_base = sim
+            .run(&local.baseline, bench.entry, &[SIM_ARG])
+            .expect("baseline sim");
+        let local_spt = sim
+            .run(&local.module, bench.entry, &[SIM_ARG])
+            .expect("spt sim");
+
+        let cold = client.compile(compile_req(&bench)).expect("daemon compile");
+        assert!(
+            !cold.served_from_memory,
+            "{name}: first request cannot be warm"
+        );
+        assert_eq!(
+            cold.report_debug,
+            format!("{:?}", local.report),
+            "{name}: report"
+        );
+        assert_eq!(
+            cold.analyze_text,
+            local.report.analyze_text(),
+            "{name}: analyze"
+        );
+        assert_eq!(
+            cold.module_text,
+            spt_ir::printer::print_module(&local.module),
+            "{name}: module text"
+        );
+
+        let warm = client.compile(compile_req(&bench)).expect("warm compile");
+        assert!(
+            warm.served_from_memory,
+            "{name}: second request must be warm"
+        );
+        assert_eq!(warm.report_debug, cold.report_debug, "{name}: warm report");
+        assert_eq!(warm.analyze_text, cold.analyze_text, "{name}: warm analyze");
+        assert_eq!(
+            warm.module_text, cold.module_text,
+            "{name}: warm module text"
+        );
+
+        let sim_cold = client.sim(sim_req(&bench)).expect("daemon sim");
+        assert_eq!(
+            sim_cold.baseline,
+            spt_trace::sim_to_bytes(&local_base),
+            "{name}: baseline sim bytes"
+        );
+        assert_eq!(
+            sim_cold.spt,
+            spt_trace::sim_to_bytes(&local_spt),
+            "{name}: spt sim bytes"
+        );
+        let sim_warm = client.sim(sim_req(&bench)).expect("warm sim");
+        assert!(
+            sim_warm.served_from_memory,
+            "{name}: repeated sim must be warm"
+        );
+        assert_eq!(
+            sim_warm.baseline, sim_cold.baseline,
+            "{name}: warm baseline bytes"
+        );
+        assert_eq!(sim_warm.spt, sim_cold.spt, "{name}: warm spt bytes");
+    }
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// N clients racing for the same cold unit: every response bit-identical,
+/// and the daemon ran the pipeline exactly once (single-flight).
+#[test]
+fn concurrent_clients_get_identical_responses_from_one_compile() {
+    const CLIENTS: usize = 6;
+    let dir = temp_dir("flight");
+    let service = Arc::new(CompileService::new(ServiceConfig {
+        cache_dir: Some(dir.join("cache")),
+        ..ServiceConfig::default()
+    }));
+    let handle = serve(service, dir.join("sptd.sock"), 4).expect("daemon starts");
+    let socket = handle.socket_path().to_path_buf();
+    let bench = spt_bench_suite::benchmark("gap_s").expect("exists");
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let socket = socket.clone();
+            let barrier = Arc::clone(&barrier);
+            let req = compile_req(&bench);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connects");
+                barrier.wait();
+                client.compile(req).expect("compile succeeds")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    let first = &responses[0];
+    for resp in &responses[1..] {
+        assert_eq!(resp.report_debug, first.report_debug, "reports diverged");
+        assert_eq!(resp.analyze_text, first.analyze_text, "analyze diverged");
+        assert_eq!(resp.module_text, first.module_text, "module text diverged");
+    }
+
+    let mut control = Client::connect(&socket).expect("connects");
+    let stats: HashMap<String, u64> = control.stats().expect("stats").into_iter().collect();
+    assert_eq!(
+        stats.get("pipeline_runs"),
+        Some(&1),
+        "{CLIENTS} concurrent requests must cost exactly one pipeline run: {stats:?}"
+    );
+    assert_eq!(stats.get("flights_led"), Some(&1), "one leader: {stats:?}");
+    control.shutdown().expect("shutdown ack");
+    handle.join();
+    assert!(
+        !socket.exists(),
+        "socket file must be removed on clean shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@
 //! hit / memory) at cell granularity. Addresses are 8-byte cell indices.
 
 /// Cache hierarchy parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CacheConfig {
     /// L1 line size in cells.
     pub l1_line_cells: usize,

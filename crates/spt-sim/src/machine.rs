@@ -3,7 +3,7 @@
 use crate::cache::CacheConfig;
 
 /// Parameters of the simulated two-core SPT machine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Cycles to spawn a speculative thread (paper: 6).
     pub fork_overhead: u64,

@@ -22,6 +22,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use spt_sim::{LoopSimStats, MachineConfig, SimResult};
 
@@ -33,6 +34,27 @@ const SIM_MAGIC: &[u8; 8] = b"SPTSIMRS";
 
 /// Uniquifier for temp-file names within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Observable eviction/store counters of one [`ArtifactCache`] (shared by
+/// all clones of it, so a service handing cache handles to worker threads
+/// still sees one coherent set of numbers).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Files deleted because their contents failed validation.
+    pub corrupt_evictions: AtomicU64,
+    /// Files deleted by byte-budget enforcement (oldest-first).
+    pub budget_evictions: AtomicU64,
+    /// Successful artifact stores.
+    pub stores: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Total evictions, both corrupt-entry and budget-driven.
+    pub fn evictions(&self) -> u64 {
+        self.corrupt_evictions.load(Ordering::Relaxed)
+            + self.budget_evictions.load(Ordering::Relaxed)
+    }
+}
 
 /// Result of a cache probe.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,12 +73,57 @@ pub enum LoadOutcome<T> {
 #[derive(Clone, Debug)]
 pub struct ArtifactCache {
     dir: PathBuf,
+    /// Total on-disk byte budget; `None` leaves the directory unbounded
+    /// (the historical behavior).
+    byte_budget: Option<u64>,
+    counters: Arc<CacheCounters>,
 }
 
 impl ArtifactCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ArtifactCache { dir: dir.into() }
+        ArtifactCache {
+            dir: dir.into(),
+            byte_budget: None,
+            counters: Arc::new(CacheCounters::default()),
+        }
+    }
+
+    /// A cache rooted at `dir` whose total file size is kept at or below
+    /// `budget` bytes: every store re-checks the directory and deletes the
+    /// oldest artifacts (by modification time, then name) until the total
+    /// fits. A budget smaller than a single artifact may evict the artifact
+    /// that was just written — the cache is an accelerator, so an
+    /// over-budget store simply never sticks.
+    pub fn with_byte_budget(dir: impl Into<PathBuf>, budget: u64) -> Self {
+        let mut cache = Self::new(dir);
+        cache.byte_budget = Some(budget);
+        cache
+    }
+
+    /// Installs (or with `None` removes) the on-disk byte budget.
+    pub fn set_byte_budget(&mut self, budget: Option<u64>) {
+        self.byte_budget = budget;
+    }
+
+    /// The shared eviction/store counters (one set per cache lineage: every
+    /// clone of this cache reports into the same counters).
+    pub fn counters(&self) -> &Arc<CacheCounters> {
+        &self.counters
+    }
+
+    /// Total bytes currently held by artifact files under the cache root
+    /// (temp droppings excluded). 0 when the directory does not exist.
+    pub fn disk_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
     }
 
     /// The cache root.
@@ -125,6 +192,8 @@ impl ArtifactCache {
     }
 
     /// Write `bytes` at `path` atomically; errors are ignored by contract.
+    /// With a byte budget configured, the store is followed by budget
+    /// enforcement, so the directory never stays over budget past one call.
     fn store_bytes(&self, path: &Path, bytes: &[u8]) {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
@@ -136,6 +205,46 @@ impl ArtifactCache {
         ));
         if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
             let _ = std::fs::remove_file(&tmp);
+        } else {
+            self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enforce_budget();
+    }
+
+    /// Deletes the oldest artifacts (modification time, then name, so ties
+    /// within one mtime granule break deterministically) until the directory
+    /// total fits the configured byte budget. No-op without a budget.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= budget {
+            return;
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path, len) in files {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                self.counters
+                    .budget_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+                total = total.saturating_sub(len);
+            }
         }
     }
 
@@ -156,7 +265,11 @@ impl ArtifactCache {
     /// instead of returning the same corruption forever. Deletion errors are
     /// ignored by the same contract as store errors.
     fn evict(&self, path: &Path) {
-        let _ = std::fs::remove_file(path);
+        if std::fs::remove_file(path).is_ok() {
+            self.counters
+                .corrupt_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Probe for a trace under `key`.
@@ -200,6 +313,22 @@ impl ArtifactCache {
     pub fn store_sim(&self, key: u64, result: &SimResult) {
         self.store_bytes(&self.path_for("sim", key), &encode_sim(result));
     }
+}
+
+/// Canonical bit-exact byte encoding of a [`SimResult`] — the same format
+/// the sim-memo artifact files use. The compile service's wire protocol
+/// reuses it so daemon-served results are byte-comparable to local ones.
+pub fn sim_to_bytes(result: &SimResult) -> Vec<u8> {
+    encode_sim(result)
+}
+
+/// Inverse of [`sim_to_bytes`].
+///
+/// # Errors
+///
+/// Returns a description of the first framing/checksum/version problem.
+pub fn sim_from_bytes(bytes: &[u8]) -> Result<SimResult, String> {
+    decode_sim(bytes)
 }
 
 /// Serialize a [`SimResult`] bit-exactly (f64 rates via `to_bits`, loop
@@ -445,6 +574,71 @@ mod tests {
         assert!(!path.exists(), "corrupt trace should have been deleted");
         assert!(matches!(cache.load_trace(11), LoadOutcome::Miss));
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let dir = temp_dir("budget");
+        let r = sample_sim();
+        let one = encode_sim(&r).len() as u64;
+        // Room for roughly two artifacts.
+        let cache = ArtifactCache::with_byte_budget(&dir, one * 2 + one / 2);
+        cache.store_sim(1, &r);
+        // Distinct mtimes so the eviction order is unambiguous even on
+        // coarse-granularity filesystems.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store_sim(2, &r);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store_sim(3, &r);
+        assert!(
+            cache.disk_bytes() <= one * 2 + one / 2,
+            "directory over budget: {} bytes",
+            cache.disk_bytes()
+        );
+        assert!(cache.counters().budget_evictions.load(Ordering::Relaxed) >= 1);
+        // The oldest key was the victim; the newest survives.
+        assert!(matches!(cache.load_sim(1), LoadOutcome::Miss));
+        assert!(matches!(cache.load_sim(3), LoadOutcome::Hit(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn unbudgeted_cache_never_evicts_on_store() {
+        let cache = ArtifactCache::new(temp_dir("nobudget"));
+        let r = sample_sim();
+        for k in 0..8 {
+            cache.store_sim(k, &r);
+        }
+        assert_eq!(cache.counters().budget_evictions.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.counters().stores.load(Ordering::Relaxed), 8);
+        for k in 0..8 {
+            assert!(matches!(cache.load_sim(k), LoadOutcome::Hit(_)));
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_evictions_are_counted() {
+        let cache = ArtifactCache::new(temp_dir("corrupt-count"));
+        let r = sample_sim();
+        cache.store_sim(4, &r);
+        let path = cache.path_for("sim", 4);
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(cache.load_sim(4), LoadOutcome::Corrupt(_)));
+        assert_eq!(
+            cache.counters().corrupt_evictions.load(Ordering::Relaxed),
+            1
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn sim_bytes_round_trip_public() {
+        let r = sample_sim();
+        let bytes = sim_to_bytes(&r);
+        let decoded = sim_from_bytes(&bytes).unwrap();
+        assert!(sim_eq(&r, &decoded));
+        assert!(sim_from_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

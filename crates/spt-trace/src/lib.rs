@@ -30,7 +30,7 @@ pub mod replay_profile;
 pub mod replay_sim;
 pub mod trace;
 
-pub use cache::{ArtifactCache, LoadOutcome};
+pub use cache::{sim_from_bytes, sim_to_bytes, ArtifactCache, CacheCounters, LoadOutcome};
 pub use capture::{svp_watch_set, CaptureProfiler, WatchSet};
 pub use replay_profile::{replay_profile, ReplayError, ReplayLimits};
 pub use replay_sim::{has_spt_markers, replay_sim};

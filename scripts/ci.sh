@@ -30,6 +30,9 @@ echo "== fault injection (failpoints feature) =="
 # enumerable by the corpus sweep.
 cargo test -q -p spt-core --features failpoints --lib --test failpoint_injection
 cargo test -q -p spt-corpus --features failpoints
+# Daemon fault isolation: a panicking request degrades to one error
+# response; a delayed compile proves single-flight joining.
+cargo test -q -p spt-serve --features failpoints --test serve_failpoints
 
 echo "== corpus: 200-module differential slice (five oracles) =="
 # A pinned-seed slice of the corpus fuzzer: every module must satisfy the
@@ -89,6 +92,42 @@ if [[ -z "$dense_digest" || "$dense_digest" != "$cold_digest" ]]; then
   exit 1
 fi
 
+echo "== sptd daemon: mixed loadgen batch, digest parity, clean shutdown =="
+# Launch a real sptd on a temp socket, drive it with a concurrent mixed
+# cold/warm batch, and check (a) the daemon-served suite digest equals the
+# single-process perfbench digest above — byte-identical results through
+# the daemon's cache tiers — and (b) shutdown leaks neither the process nor
+# the socket file.
+sptd_dir=$(mktemp -d)
+cargo run --release -q -p spt-serve --bin sptd -- \
+  --socket "$sptd_dir/sptd.sock" --cache-dir "$sptd_dir/cache" &
+sptd_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$sptd_dir/sptd.sock" ]] && break
+  sleep 0.1
+done
+[[ -S "$sptd_dir/sptd.sock" ]] || { echo "FAIL: sptd never bound its socket" >&2; exit 1; }
+loadgen_out=$(cargo run --release -q -p spt-bench --bin loadgen -- \
+  --socket "$sptd_dir/sptd.sock" --digest --requests 300 --clients 4 \
+  --no-append --shutdown)
+echo "$loadgen_out"
+daemon_digest=$(grep '^report digest:' <<<"$loadgen_out")
+if [[ -z "$daemon_digest" || "$daemon_digest" != "$cold_digest" ]]; then
+  echo "FAIL: daemon-served report digest diverged from the local run" >&2
+  echo "  local:  ${cold_digest:-<missing>}" >&2
+  echo "  daemon: ${daemon_digest:-<missing>}" >&2
+  exit 1
+fi
+if ! wait "$sptd_pid"; then
+  echo "FAIL: sptd exited nonzero" >&2
+  exit 1
+fi
+if [[ -e "$sptd_dir/sptd.sock" ]]; then
+  echo "FAIL: sptd left its socket file behind after shutdown" >&2
+  exit 1
+fi
+rm -rf "$sptd_dir"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 # spt-core and spt-trace deny unwrap/expect crate-wide, and the execution
@@ -103,6 +142,8 @@ cargo clippy -p spt-sim --lib -- -D warnings
 # The frontend faces corpus-mutated (arbitrarily corrupted) input and denies
 # unwrap/expect at module level in the lexer/parser/lowerer.
 cargo clippy -p spt-frontend --lib -- -D warnings
+# The daemon serves long-lived processes and denies unwrap/expect crate-wide.
+cargo clippy -p spt-serve --lib -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --all --check

@@ -14,6 +14,8 @@
 //!   --train N                         profiling argument (default --arg)
 //!   --no-cache                        disable trace capture and the
 //!                                     `.spt-cache/` artifact cache
+//!   --daemon SOCKET                   route analyze/compile/sim through a
+//!                                     running sptd instance
 //! ```
 //!
 //! By default the pipeline commands (`analyze`, `compile`, `sim`) run with
@@ -21,25 +23,37 @@
 //! `.spt-cache/`, so re-invoking `sptc` on the same file replays the cached
 //! trace instead of re-interpreting. Results are bit-identical either way;
 //! `--no-cache` forces direct interpretation with no artifacts written.
+//!
+//! With `--daemon SOCKET` the pipeline commands become thin clients of a
+//! running `sptd`: the compile happens (at most once) in the daemon, and
+//! repeated invocations are served from its in-memory cache. Output is
+//! byte-identical to the local path — both render through the same library
+//! code, and the daemon's cache tiers are exact
+//! (`crates/spt-serve/tests/daemon_equivalence.rs` pins this).
 
-use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput, Severity};
+use spt::pipeline::{compile_and_transform, CompilerConfig, ProfilingInput};
 use spt::profile::{Interp, NoProfiler, Val};
-use spt::sim::SptSimulator;
+use spt::serve::proto::{CompileReq, SimReq};
+use spt::serve::Client;
+use spt::sim::{MachineConfig, SimResult, SptSimulator};
 use std::process::ExitCode;
 
 struct Options {
     command: String,
     file: String,
     config: CompilerConfig,
+    config_id: u8,
     entry: String,
     arg: i64,
     train: i64,
+    daemon: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sptc <ir|analyze|compile|run|sim> <file.mc> \
-         [--config basic|best|anticipated] [--entry NAME] [--arg N] [--train N] [--no-cache]"
+         [--config basic|best|anticipated] [--entry NAME] [--arg N] [--train N] [--no-cache] \
+         [--daemon SOCKET]"
     );
     ExitCode::from(2)
 }
@@ -52,19 +66,21 @@ fn parse_args() -> Result<Options, ExitCode> {
     let command = argv[0].clone();
     let file = argv[1].clone();
     let mut config = CompilerConfig::best();
+    let mut config_id = 1u8;
     let mut entry = "main".to_string();
     let mut arg = 100i64;
     let mut train: Option<i64> = None;
     let mut no_cache = false;
+    let mut daemon = None;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
             "--config" => {
                 i += 1;
-                config = match argv.get(i).map(String::as_str) {
-                    Some("basic") => CompilerConfig::basic(),
-                    Some("best") => CompilerConfig::best(),
-                    Some("anticipated") => CompilerConfig::anticipated(),
+                (config, config_id) = match argv.get(i).map(String::as_str) {
+                    Some("basic") => (CompilerConfig::basic(), 0),
+                    Some("best") => (CompilerConfig::best(), 1),
+                    Some("anticipated") => (CompilerConfig::anticipated(), 2),
                     other => {
                         eprintln!("unknown config {other:?}");
                         return Err(usage());
@@ -84,6 +100,10 @@ fn parse_args() -> Result<Options, ExitCode> {
                 train = Some(argv.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
             }
             "--no-cache" => no_cache = true,
+            "--daemon" => {
+                i += 1;
+                daemon = Some(argv.get(i).cloned().ok_or_else(usage)?);
+            }
             other => {
                 eprintln!("unknown option {other:?}");
                 return Err(usage());
@@ -99,9 +119,11 @@ fn parse_args() -> Result<Options, ExitCode> {
         command,
         file,
         config,
+        config_id,
         entry,
         arg,
         train: train.unwrap_or(arg),
+        daemon,
     })
 }
 
@@ -117,6 +139,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.daemon.is_some() {
+        return match opts.command.as_str() {
+            "analyze" | "compile" | "sim" => daemon_cmd(&source, &opts),
+            "ir" | "run" => {
+                eprintln!("sptc: --daemon applies to analyze/compile/sim only");
+                ExitCode::FAILURE
+            }
+            _ => usage(),
+        };
+    }
 
     match opts.command.as_str() {
         "ir" => cmd_ir(&source),
@@ -150,50 +183,13 @@ fn pipeline(source: &str, opts: &Options) -> Result<spt::pipeline::SptCompilatio
 }
 
 fn cmd_analyze(source: &str, opts: &Options) -> ExitCode {
-    let compiled = match pipeline(source, opts) {
-        Ok(c) => c,
-        Err(code) => return code,
-    };
-    println!(
-        "{:<16} {:<6} {:>5} {:>6} {:>9} {:>8} {:>6} {:>6} {:>5} {:>4}  outcome",
-        "function", "loop", "depth", "body", "cost", "prefork", "trip", "cov%", "svp", "unrl"
-    );
-    for l in &compiled.report.loops {
-        println!(
-            "{:<16} {:<6} {:>5} {:>6} {:>9.2} {:>8} {:>6.1} {:>6.1} {:>5} {:>4}  {}",
-            l.func_name,
-            l.header.to_string(),
-            l.depth,
-            l.body_size,
-            l.cost,
-            l.prefork_size,
-            l.avg_trip_count,
-            l.coverage * 100.0,
-            if l.svp_applied { "yes" } else { "-" },
-            l.unroll_factor,
-            l.outcome.label()
-        );
-    }
-    println!(
-        "\nselected {} loop(s), covering {:.0}% of the profiled run",
-        compiled.report.selected.len(),
-        compiled.report.selected_coverage() * 100.0
-    );
-    // Surface warnings/errors (budget exhaustion, contained faults); the
-    // routine per-loop Info rejections are already visible in the table.
-    let notable: Vec<_> = compiled
-        .report
-        .diagnostics
-        .iter()
-        .filter(|d| d.severity != Severity::Info)
-        .collect();
-    if !notable.is_empty() {
-        println!("\ndiagnostics:");
-        for d in notable {
-            println!("  {d}");
+    match pipeline(source, opts) {
+        Ok(compiled) => {
+            print!("{}", compiled.report.analyze_text());
+            ExitCode::SUCCESS
         }
+        Err(code) => code,
     }
-    ExitCode::SUCCESS
 }
 
 fn cmd_compile(source: &str, opts: &Options) -> ExitCode {
@@ -257,6 +253,13 @@ fn cmd_sim(source: &str, opts: &Options) -> ExitCode {
         eprintln!("sptc: INTERNAL ERROR: SPT result diverged from baseline");
         return ExitCode::FAILURE;
     }
+    print_sim(&base, &spt);
+    ExitCode::SUCCESS
+}
+
+/// The shared `sim` rendering: the local and daemon paths both feed their
+/// `SimResult` pair through here, so their stdout is byte-identical.
+fn print_sim(base: &SimResult, spt: &SimResult) {
     println!(
         "result: {}",
         base.ret.map(|v| (v as i64).to_string()).unwrap_or_default()
@@ -285,5 +288,72 @@ fn cmd_sim(source: &str, opts: &Options) -> ExitCode {
             s.speedup()
         );
     }
-    ExitCode::SUCCESS
+}
+
+/// The daemon-backed variants of analyze/compile/sim. Compilation happens
+/// in the `sptd` at `--daemon SOCKET`; this process only renders.
+fn daemon_cmd(source: &str, opts: &Options) -> ExitCode {
+    let socket = opts.daemon.as_deref().unwrap_or_default();
+    let mut client = match Client::connect(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sptc: cannot connect to daemon at {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compile_req = CompileReq {
+        source: source.to_string(),
+        entry: opts.entry.clone(),
+        train: opts.train,
+        config_id: opts.config_id,
+        want_module_text: opts.command == "compile",
+    };
+    match opts.command.as_str() {
+        "analyze" => match client.compile(compile_req) {
+            Ok(resp) => {
+                print!("{}", resp.analyze_text);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "compile" => match client.compile(compile_req) {
+            Ok(resp) => {
+                print!("{}", resp.module_text);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "sim" => {
+            let req = SimReq {
+                source: source.to_string(),
+                entry: opts.entry.clone(),
+                train: opts.train,
+                arg: opts.arg,
+                config_id: opts.config_id,
+                machine: MachineConfig::default(),
+            };
+            let resp = match client.sim(req) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            let (base, spt) = match (
+                spt::trace::sim_from_bytes(&resp.baseline),
+                spt::trace::sim_from_bytes(&resp.spt),
+            ) {
+                (Ok(b), Ok(s)) => (b, s),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("sptc: daemon sent an undecodable simulation result: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print_sim(&base, &spt);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn fail(e: spt::serve::ClientError) -> ExitCode {
+    eprintln!("sptc: {e}");
+    ExitCode::FAILURE
 }

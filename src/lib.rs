@@ -22,6 +22,7 @@
 //! | [`transform`] | `spt-transform` | SPT emission, unrolling, SVP, promotion (§6–7) |
 //! | [`pipeline`] | `spt-core` | the two-pass cost-driven driver (§3, §6) |
 //! | [`sim`] | `spt-sim` | the two-core SPT machine simulator (§8) |
+//! | [`serve`] | `spt-serve` | the `sptd` compile daemon: two-tier artifact cache, framed protocol, client |
 //! | [`bench_suite`] | `spt-bench-suite` | ten synthetic Spec2000Int-like workloads |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use spt_frontend as frontend;
 pub use spt_ir as ir;
 pub use spt_partition as partition;
 pub use spt_profile as profile;
+pub use spt_serve as serve;
 pub use spt_sim as sim;
 pub use spt_trace as trace;
 pub use spt_transform as transform;
