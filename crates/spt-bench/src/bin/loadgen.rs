@@ -9,8 +9,12 @@
 //!
 //! What it reports:
 //!
-//! - **throughput and latency**: wall time, requests/s, client-side and
-//!   server-side p50/p99 round-trip latency;
+//! - **throughput and latency**: wall time, requests/s, client-side
+//!   p50/p99/p999 round-trip latency (overall and broken down per request
+//!   kind: compile / sim / stats) and server-side p50/p99;
+//! - **incremental batch**: K cold compile variants differing in one
+//!   function, submitted as one `CompileBatch` versus K isolated compiles —
+//!   the function-granular cache dedups the shared functions;
 //! - **cache behaviour**: per-tier in-memory hit/miss/eviction counters and
 //!   the disk tier's memo hits, straight from the daemon's `stats` request;
 //! - **tier comparison**: median warm-hit service time from the in-memory
@@ -99,12 +103,20 @@ fn parse_args() -> Options {
 enum Work {
     Compile { bench: usize, config_id: u8 },
     Sim { bench: usize, arg: i64 },
+    Stats,
 }
 
+/// Request-kind index into the per-kind latency breakdown.
+const KIND_COMPILE: usize = 0;
+const KIND_SIM: usize = 1;
+const KIND_STATS: usize = 2;
+const KIND_NAMES: [&str; 3] = ["compile", "sim", "stats"];
+
 /// The unique-request mix the batch cycles through: per suite benchmark,
-/// two compile configurations and three sim arguments — 50 distinct cache
-/// keys over the 10-program suite, so a 1200-request batch revisits each
-/// key ~24 times (1 cold computation, the rest warm hits).
+/// two compile configurations, three sim arguments, and one stats probe —
+/// 50 distinct cache keys over the 10-program suite (stats is uncached),
+/// so a 1200-request batch revisits each key ~20 times (1 cold
+/// computation, the rest warm hits).
 fn build_mix(suite: &[spt_bench_suite::Benchmark]) -> Vec<Work> {
     let mut mix = Vec::new();
     for (i, b) in suite.iter().enumerate() {
@@ -122,6 +134,7 @@ fn build_mix(suite: &[spt_bench_suite::Benchmark]) -> Vec<Work> {
                 arg: (b.train_arg / div).max(1),
             });
         }
+        mix.push(Work::Stats);
     }
     mix
 }
@@ -243,6 +256,93 @@ fn stat(stats: &HashMap<String, u64>, key: &str) -> u64 {
     stats.get(key).copied().unwrap_or(0)
 }
 
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Ident-boundary rename of `from` across `source` — builds a compile
+/// variant that differs from the base in exactly one function's IR.
+fn rename_ident(source: &str, from: &str, to: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while let Some(pos) = source[i..].find(from) {
+        let abs = i + pos;
+        let end = abs + from.len();
+        let left_ok = abs == 0 || !is_ident_char(bytes[abs - 1] as char);
+        let right_ok = end == bytes.len() || !is_ident_char(bytes[end] as char);
+        out.push_str(&source[i..abs]);
+        out.push_str(if left_ok && right_ok { to } else { from });
+        i = end;
+    }
+    out.push_str(&source[i..]);
+    out
+}
+
+/// First defined function whose name is not `entry`.
+fn first_helper_name(source: &str, entry: &str) -> String {
+    let mut off = 0;
+    while let Some(pos) = source[off..].find("fn ") {
+        let abs = off + pos;
+        let name: String = source[abs + 3..]
+            .chars()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        if !name.is_empty() && name != entry {
+            return name;
+        }
+        off = abs + 3;
+    }
+    spt_bench::die("no helper function in source")
+}
+
+/// The incremental scenario: K compile variants that share every function
+/// except one renamed helper, submitted cold as one `CompileBatch` versus
+/// cold as K individual compiles (each against a fresh service, no socket).
+/// The batch dedups the shared functions through the function-granular
+/// cache, so it should cost roughly one module compile plus K splices.
+fn incremental_batch_comparison(suite: &[spt_bench_suite::Benchmark]) -> (u64, u64, usize) {
+    const VARIANTS: usize = 6;
+    let bench = &suite[2]; // the smallest train input in the suite
+    let helper = first_helper_name(bench.source, bench.entry);
+    let reqs: Vec<CompileReq> = (0..VARIANTS)
+        .map(|i| {
+            let source = if i == 0 {
+                bench.source.to_string()
+            } else {
+                rename_ident(bench.source, &helper, &format!("{helper}_v{i}"))
+            };
+            CompileReq {
+                source,
+                entry: bench.entry.to_string(),
+                train: bench.train_arg,
+                config_id: 1,
+                want_module_text: false,
+            }
+        })
+        .collect();
+    let ok = |resp: RespBody| match resp {
+        RespBody::Ok(_) => {}
+        RespBody::Err(e) => spt_bench::die(format!("incremental-scenario compile failed: {e}")),
+    };
+
+    // Cold individual compiles: a fresh service per variant, so nothing is
+    // shared between them (the no-daemon, one-CLI-invocation-each world).
+    let t = Instant::now();
+    for req in &reqs {
+        let service = CompileService::new(ServiceConfig::default());
+        ok(service.execute(&ReqBody::Compile(req.clone())));
+    }
+    let individual_us = t.elapsed().as_micros() as u64;
+
+    // The same variants as one cold batch.
+    let service = CompileService::new(ServiceConfig::default());
+    let t = Instant::now();
+    ok(service.execute(&ReqBody::CompileBatch(reqs)));
+    let batch_us = t.elapsed().as_micros() as u64;
+    (batch_us, individual_us, VARIANTS)
+}
+
 fn main() {
     let opts = parse_args();
     let suite = spt_bench_suite::suite();
@@ -303,22 +403,27 @@ fn main() {
             std::thread::spawn(move || {
                 let mut client = Client::connect(&socket)
                     .unwrap_or_else(|e| spt_bench::die(format!("client connect failed: {e}")));
-                let mut latencies_us = Vec::new();
+                let mut latencies_us: Vec<(usize, u64)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         return latencies_us;
                     }
                     let t = Instant::now();
-                    let result = match &mix[i % mix.len()] {
-                        Work::Compile { bench, config_id } => client
-                            .compile(compile_req(&suite[*bench], *config_id))
-                            .map(drop),
-                        Work::Sim { bench, arg } => {
-                            client.sim(sim_req(&suite[*bench], *arg)).map(drop)
-                        }
+                    let (kind, result) = match &mix[i % mix.len()] {
+                        Work::Compile { bench, config_id } => (
+                            KIND_COMPILE,
+                            client
+                                .compile(compile_req(&suite[*bench], *config_id))
+                                .map(drop),
+                        ),
+                        Work::Sim { bench, arg } => (
+                            KIND_SIM,
+                            client.sim(sim_req(&suite[*bench], *arg)).map(drop),
+                        ),
+                        Work::Stats => (KIND_STATS, client.stats().map(drop)),
                     };
-                    latencies_us.push(t.elapsed().as_micros() as u64);
+                    latencies_us.push((kind, t.elapsed().as_micros() as u64));
                     if let Err(e) = result {
                         client_errors.fetch_add(1, Ordering::Relaxed);
                         eprintln!("request {i} failed: {e}");
@@ -328,20 +433,33 @@ fn main() {
         })
         .collect();
     let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut by_kind: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for w in workers {
         match w.join() {
-            Ok(mut ls) => latencies.append(&mut ls),
+            Ok(ls) => {
+                for (kind, us) in ls {
+                    latencies.push(us);
+                    by_kind[kind].push(us);
+                }
+            }
             Err(_) => spt_bench::die("a client thread panicked"),
         }
     }
     let wall_s = t0.elapsed().as_secs_f64();
     latencies.sort_unstable();
+    for ls in &mut by_kind {
+        ls.sort_unstable();
+    }
     let qps = if wall_s > 0.0 {
         total as f64 / wall_s
     } else {
         0.0
     };
-    let (client_p50, client_p99) = (quantile_us(&latencies, 0.50), quantile_us(&latencies, 0.99));
+    let (client_p50, client_p99, client_p999) = (
+        quantile_us(&latencies, 0.50),
+        quantile_us(&latencies, 0.99),
+        quantile_us(&latencies, 0.999),
+    );
     let errors = client_errors.load(Ordering::Relaxed);
 
     let stats: HashMap<String, u64> = control
@@ -349,7 +467,13 @@ fn main() {
         .unwrap_or_else(|e| spt_bench::die(format!("stats request failed: {e}")))
         .into_iter()
         .collect();
-    let tiers = ["mem_module", "mem_unit", "mem_sim"];
+    let tiers = [
+        "mem_module",
+        "mem_unit",
+        "mem_sim",
+        "mem_func_analysis",
+        "mem_func_emit",
+    ];
     let sum = |suffix: &str| -> u64 {
         tiers
             .iter()
@@ -372,7 +496,15 @@ fn main() {
         "batch: {total} requests, {} clients, {wall_s:.3}s wall = {qps:.0} req/s ({errors} errors)",
         opts.clients
     );
-    println!("latency: client p50={client_p50}us p99={client_p99}us  server p50={server_p50}us p99={server_p99}us");
+    println!("latency: client p50={client_p50}us p99={client_p99}us p999={client_p999}us  server p50={server_p50}us p99={server_p99}us");
+    for (name, ls) in KIND_NAMES.iter().zip(&by_kind) {
+        println!(
+            "  {name}: {} requests, p50={}us p99={}us",
+            ls.len(),
+            quantile_us(ls, 0.50),
+            quantile_us(ls, 0.99)
+        );
+    }
     println!(
         "memory tiers: {mem_hits} hits / {mem_misses} misses ({:.1}% hit), {mem_evictions} evictions",
         mem_hit_rate * 100.0
@@ -386,6 +518,17 @@ fn main() {
 
     let (mem_warm_us, disk_warm_us) = tier_comparison(&suite);
     println!("warm hit (median service time): memory {mem_warm_us}us vs disk {disk_warm_us}us");
+
+    let (batch_us, individual_us, batch_variants) = incremental_batch_comparison(&suite);
+    let batch_speedup = if batch_us > 0 {
+        individual_us as f64 / batch_us as f64
+    } else {
+        0.0
+    };
+    println!(
+        "incremental batch: {batch_variants} cold variants as one CompileBatch {batch_us}us \
+         vs {individual_us}us individually ({batch_speedup:.2}x)"
+    );
 
     if opts.shutdown || in_process.is_some() {
         control
@@ -409,16 +552,28 @@ fn main() {
          \"exec_tier\": \"{}\", \"cache_mode\": \"mixed\", \
          \"requests\": {total}, \"clients\": {}, \"wall_s\": {wall_s:.6}, \"qps\": {qps:.1}, \
          \"client_p50_us\": {client_p50}, \"client_p99_us\": {client_p99}, \
+         \"client_p999_us\": {client_p999}, \
+         \"compile_p50_us\": {}, \"compile_p99_us\": {}, \
+         \"sim_p50_us\": {}, \"sim_p99_us\": {}, \
+         \"stats_p50_us\": {}, \"stats_p99_us\": {}, \
          \"server_p50_us\": {server_p50}, \"server_p99_us\": {server_p99}, \
          \"mem_hits\": {mem_hits}, \"mem_misses\": {mem_misses}, \
          \"mem_hit_rate\": {mem_hit_rate:.4}, \"mem_evictions\": {mem_evictions}, \
          \"flights_led\": {}, \"flights_joined\": {}, \"disk_memo_hits\": {}, \
          \"errors\": {errors}, \"mem_warm_us\": {mem_warm_us}, \"disk_warm_us\": {disk_warm_us}, \
+         \"batch_variants\": {batch_variants}, \"batch_cold_us\": {batch_us}, \
+         \"batch_individual_us\": {individual_us}, \"batch_speedup\": {batch_speedup:.2}, \
          \"peak_rss_kb\": {}}}",
         next_entry_index(&history),
         git_revision(),
         format!("{:?}", spt_ir::exec_tier()).to_lowercase(),
         opts.clients,
+        quantile_us(&by_kind[KIND_COMPILE], 0.50),
+        quantile_us(&by_kind[KIND_COMPILE], 0.99),
+        quantile_us(&by_kind[KIND_SIM], 0.50),
+        quantile_us(&by_kind[KIND_SIM], 0.99),
+        quantile_us(&by_kind[KIND_STATS], 0.50),
+        quantile_us(&by_kind[KIND_STATS], 0.99),
         stat(&stats, "flights_led"),
         stat(&stats, "flights_joined"),
         stat(&stats, "disk_memo_hits"),

@@ -21,9 +21,18 @@
 //! `.spt-cache/` first so every stage runs from scratch, `--warm` primes
 //! the cache with an untimed pass so the measured run is all replay.
 //!
+//! `--incremental` switches to the incremental-recompile scenario: a
+//! synthetic analysis-heavy module (see `spt_bench::incremental_workload`)
+//! is compiled cold, then one function is edited and recompiled warm
+//! through the function-granular unit cache. The report of every spliced
+//! recompile must be byte-identical to a cold compile of the same source,
+//! and the warm recompile must be at least 5x faster; the measurements are
+//! appended as a `"kind": "incremental"` history entry.
+//!
 //! Run: `cargo run --release -p spt-bench --bin perfbench`
 //! Smoke check (no file write): `... --bin perfbench -- --smoke`
 //! Cache control: `... --bin perfbench -- [--cold | --warm]`
+//! Incremental scenario: `... --bin perfbench -- --incremental`
 
 use spt_bench::history::{
     git_revision, json_field, load_history, next_entry_index, peak_rss_kb, write_history,
@@ -219,6 +228,123 @@ fn print_deltas(prev_entry: &str, seq: &Totals) {
     }
 }
 
+/// The incremental-recompile scenario (`--incremental`): median cold
+/// compile time of an analysis-heavy module versus the median warm
+/// recompile time after editing one function, with every spliced report
+/// checked byte-for-byte against a cold compile of the identical source.
+/// Dies unless the warm recompile is at least [`MIN_INC_SPEEDUP`]x faster.
+const MIN_INC_SPEEDUP: f64 = 5.0;
+const INC_EDITS: usize = 3;
+
+fn run_incremental(write_history_file: bool) {
+    use spt_bench::incremental_workload as workload;
+    use spt_core::pipeline::transform_module_timed_with;
+    use spt_core::{IncrementalCache, ProfilingInput, StageTimings};
+
+    // No trace backend: the function-granular cache under measurement is
+    // the explicit in-memory one, not the `.spt-cache/` artifact tiers.
+    let config = CompilerConfig::best();
+    let input = ProfilingInput::new(workload::ENTRY, [workload::TRAIN_ARG]);
+    let base = workload::source();
+    let compile = |src: &str, cache: Option<&IncrementalCache>| -> (String, StageTimings, u64) {
+        let mut module = spt_frontend::compile(src)
+            .unwrap_or_else(|e| spt_bench::die(format!("workload compile failed: {e}")));
+        let t = Instant::now();
+        let (report, timings) = transform_module_timed_with(&mut module, &input, &config, cache)
+            .unwrap_or_else(|e| spt_bench::die(format!("workload pipeline failed: {e}")));
+        (
+            format!("{report:?}"),
+            timings,
+            t.elapsed().as_micros() as u64,
+        )
+    };
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+
+    // Prime: one cold compile through the cache fills every function's
+    // analysis and emission units.
+    let cache = IncrementalCache::in_memory(256 << 20, 8);
+    let (_, _, prime_us) = compile(&base, Some(&cache));
+
+    // Each round edits one kernel of the *base* source, so relative to the
+    // primed cache exactly one function is dirty every time.
+    let mut full_us = Vec::new();
+    let mut inc_us = Vec::new();
+    let mut last = StageTimings::default();
+    for round in 1..=INC_EDITS {
+        let edited = workload::edit(&base, round);
+        let (cold_report, _, cold_us) = compile(&edited, None);
+        let (inc_report, timings, warm_us) = compile(&edited, Some(&cache));
+        if cold_report != inc_report {
+            spt_bench::die(format!(
+                "round {round}: spliced report differs from cold compile"
+            ));
+        }
+        println!(
+            "edit round {round}: cold {cold_us}us, warm {warm_us}us \
+             (analysis units: {} hits / {} misses)",
+            timings.func_analysis_hits, timings.func_analysis_misses
+        );
+        full_us.push(cold_us);
+        inc_us.push(warm_us);
+        last = timings;
+    }
+    let t_full = median(full_us);
+    let t_inc = median(inc_us);
+    let speedup = if t_inc > 0 {
+        t_full as f64 / t_inc as f64
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "\nincremental recompile: {} kernels, prime {prime_us}us, \
+         cold median {t_full}us vs warm median {t_inc}us = {speedup:.2}x \
+         (reports byte-identical)",
+        workload::KERNELS
+    );
+    if speedup < MIN_INC_SPEEDUP {
+        spt_bench::die(format!(
+            "warm edit-one-function recompile is only {speedup:.2}x faster \
+             (target >= {MIN_INC_SPEEDUP:.0}x)"
+        ));
+    }
+
+    if !write_history_file {
+        println!("\nincremental pass OK (no BENCH_pipeline.json update)");
+        return;
+    }
+    let mut history = load_history("BENCH_pipeline.json");
+    let entry = format!(
+        "{{\"entry\": {}, \"rev\": \"{}\", \"kind\": \"incremental\", \"config\": \"best\", \
+         \"exec_tier\": \"{}\", \"kernels\": {}, \"edits\": {INC_EDITS}, \
+         \"prime_us\": {prime_us}, \"t_full_us\": {t_full}, \"t_inc_us\": {t_inc}, \
+         \"inc_speedup\": {speedup:.2}, \"func_units_total\": {}, \
+         \"func_analysis_hits\": {}, \"func_analysis_misses\": {}, \
+         \"func_emit_hits\": {}, \"func_emit_misses\": {}, \
+         \"digest_equal\": true, \"peak_rss_kb\": {}}}",
+        next_entry_index(&history),
+        git_revision(),
+        format!("{:?}", spt_ir::exec_tier()).to_lowercase(),
+        workload::KERNELS,
+        last.func_units_total,
+        last.func_analysis_hits,
+        last.func_analysis_misses,
+        last.func_emit_hits,
+        last.func_emit_misses,
+        peak_rss_kb()
+    );
+    history.push(entry);
+    write_history("BENCH_pipeline.json", &history)
+        .unwrap_or_else(|e| spt_bench::die(format!("cannot write BENCH_pipeline.json: {e}")));
+    println!(
+        "\nwrote BENCH_pipeline.json ({} history entr{})",
+        history.len(),
+        if history.len() == 1 { "y" } else { "ies" }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
@@ -227,6 +353,14 @@ fn main() {
     let warm = has("--warm");
     if cold && warm {
         spt_bench::die("--cold and --warm are mutually exclusive");
+    }
+    if has("--incremental") {
+        spt_bench::header(
+            "perfbench --incremental",
+            "edit-one-function warm recompile vs cold compile",
+        );
+        run_incremental(!smoke);
+        return;
     }
     spt_bench::header(
         "perfbench",

@@ -12,6 +12,7 @@ use spt_sim::{LoopSimStats, MachineConfig, SimResult};
 use std::collections::HashMap;
 
 pub mod history;
+pub mod incremental_workload;
 
 // The cache-aware simulation entry point moved to `spt-serve` (the daemon's
 // disk tier is the same code path); re-exported so the harness binaries and

@@ -32,15 +32,17 @@ pub mod config;
 pub mod diag;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;
+pub mod incremental;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
 
 pub use config::{CompilerConfig, ResourceBudget, TraceSettings};
 pub use diag::{Diagnostic, Severity, Stage};
+pub use incremental::{EmitEvent, EmitUnit, IncrementalCache};
 pub use pipeline::{
-    compile_and_transform, transform_module, transform_module_timed, PipelineError, ProfilingInput,
-    SptCompilation, StageTimings,
+    compile_and_transform, transform_module, transform_module_timed, transform_module_timed_with,
+    PipelineError, ProfilingInput, SptCompilation, StageTimings,
 };
 pub use report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};
 

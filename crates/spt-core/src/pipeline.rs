@@ -23,6 +23,9 @@
 
 use crate::config::CompilerConfig;
 use crate::diag::{panic_message, Diagnostic, Severity, Stage};
+use crate::incremental::{
+    emit_unit_key, unit_matches_forest, EmitEvent, EmitUnit, IncrementalCache, ModuleContext,
+};
 use crate::report::{CompilationReport, LoopOutcome, LoopRecord, SelectedLoop};
 use spt_cost::dep_graph::{DepGraph, DepGraphConfig, NodeClass, Profiles};
 use spt_cost::LoopCostModel;
@@ -31,8 +34,8 @@ use spt_ir::{BlockId, Cfg, DomTree, FuncId, InstId, LoopForest, Module, Ty};
 use spt_partition::{optimal_partition, SearchConfig};
 use spt_profile::{Interp, InterpError, ProfileCollector, Val, ValueProfile};
 use spt_trace::{
-    replay_profile, svp_watch_set, ArtifactCache, CaptureProfiler, LoadOutcome, ReplayLimits,
-    Trace, WatchSet,
+    replay_profile, svp_watch_set, ArtifactCache, CaptureProfiler, FuncAnalysisUnit, LoadOutcome,
+    LoopFragment, ReplayLimits, Trace, WatchSet,
 };
 use spt_transform::{
     classify_loop, emit_spt_loop, unroll::choose_unroll_factor, unroll_loop, SptLoopSpec,
@@ -41,6 +44,7 @@ use spt_transform::{
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// How to run the program for profiling.
 #[derive(Clone, Debug)]
@@ -225,6 +229,21 @@ pub struct StageTimings {
     /// evicts the bad file on detection, so each count also means the key
     /// was cleaned back to a Miss for subsequent loads.
     pub trace_cache_evictions: u64,
+    /// Function-granular units considered (one per function per analysis
+    /// pass; the SVP re-analysis counts again). Zero when the run had no
+    /// [`IncrementalCache`].
+    pub func_units_total: u64,
+    /// Pass-1 analysis units served from the function-granular cache —
+    /// functions whose loops skipped dependence graphs, cost models and
+    /// partition searches entirely.
+    pub func_analysis_hits: u64,
+    /// Pass-1 analysis units that had to be computed (and, when clean, were
+    /// stored for the next compile).
+    pub func_analysis_misses: u64,
+    /// Emission units spliced verbatim from the function-granular cache.
+    pub func_emit_hits: u64,
+    /// Emission units that ran the full per-loop SPT emission.
+    pub func_emit_misses: u64,
 }
 
 /// Runs preprocessing, analysis, selection and transformation on an
@@ -255,8 +274,36 @@ pub fn transform_module_timed(
     input: &ProfilingInput,
     config: &CompilerConfig,
 ) -> Result<(CompilationReport, StageTimings), PipelineError> {
+    let ephemeral = IncrementalCache::from_config(config);
+    transform_module_timed_with(module, input, config, ephemeral.as_ref())
+}
+
+/// [`transform_module_timed`] compiling through a caller-owned
+/// [`IncrementalCache`], the function-granular incremental entry point.
+///
+/// With `Some(cache)`, functions whose content hash and analysis/emission
+/// context match a cached unit skip pass 1 (and SPT emission) entirely and
+/// splice the cached results back in; the report and emitted code are
+/// byte-identical to a cold compile (pinned by
+/// `tests/incremental_equivalence.rs`), and the hit/miss counters land in
+/// [`StageTimings`]. With `None` the pipeline behaves exactly as before
+/// this cache existed. [`transform_module_timed`] passes an ephemeral
+/// disk-backed cache when tracing is enabled with a `cache_dir` (so
+/// edit-recompile cycles reuse analysis units across processes); the
+/// daemon passes its long-lived shared cache.
+///
+/// # Errors
+///
+/// See [`compile_and_transform`]. On `Err` the input module is left
+/// unchanged (error atomicity — see [`transform_module`]).
+pub fn transform_module_timed_with(
+    module: &mut Module,
+    input: &ProfilingInput,
+    config: &CompilerConfig,
+    cache: Option<&IncrementalCache>,
+) -> Result<(CompilationReport, StageTimings), PipelineError> {
     let mut scratch = module.clone();
-    let out = transform_scratch(&mut scratch, input, config)?;
+    let out = transform_scratch(&mut scratch, input, config, cache)?;
     *module = scratch;
     Ok(out)
 }
@@ -286,6 +333,7 @@ fn transform_scratch(
     module: &mut Module,
     input: &ProfilingInput,
     config: &CompilerConfig,
+    cache: Option<&IncrementalCache>,
 ) -> Result<(CompilationReport, StageTimings), PipelineError> {
     #[cfg(feature = "failpoints")]
     spt_ir::superblock::set_lower_hook(Some(superblock_lower_failpoint));
@@ -329,7 +377,7 @@ fn transform_scratch(
 
     // --- Stage 4: pass 1 analysis.
     let t = std::time::Instant::now();
-    let mut analyses = analyze_module(module, &collector, config, &mut diags);
+    let mut analyses = analyze_module(module, &collector, config, cache, &mut timings, &mut diags);
     timings.analysis_s = t.elapsed().as_secs_f64();
 
     // --- Stage 5: software value prediction.
@@ -417,7 +465,7 @@ fn transform_scratch(
             drop(reinterp);
             timings.profile_s += t.elapsed().as_secs_f64();
             let t = std::time::Instant::now();
-            analyses = analyze_module(module, &collector, config, &mut diags);
+            analyses = analyze_module(module, &collector, config, cache, &mut timings, &mut diags);
             timings.analysis_s += t.elapsed().as_secs_f64();
         }
     }
@@ -437,83 +485,37 @@ fn transform_scratch(
         &mut diags,
     );
 
-    // --- Emission. Each loop's emission is fault-isolated: the function is
-    // snapshotted first, and a contained panic restores it and degrades the
-    // loop instead of failing (or corrupting) the whole compile.
+    // --- Emission. Selected loops are processed grouped by owning function
+    // so a whole function's emission — the transformed IR plus every
+    // per-loop outcome — can be served from the incremental cache and
+    // spliced back verbatim. Analyses are function-contiguous, so the
+    // grouping preserves the exact loop order (and the globally sequential
+    // tag assignment) of the flat loop it replaces.
     let mut selected_out: Vec<SelectedLoop> = Vec::new();
     let mut next_tag: u32 = 1;
+    let mut groups: Vec<(FuncId, Vec<usize>)> = Vec::new();
     for (idx, a) in analyses.iter().enumerate() {
         if records[idx].outcome != LoopOutcome::Selected {
             continue;
         }
-        // Re-locate the loop by header in the current forest.
-        let func = module.func_mut(a.func);
-        let loop_id = {
-            let cfg = Cfg::compute(func);
-            let dom = DomTree::compute(&cfg);
-            let forest = LoopForest::compute(func, &cfg, &dom);
-            let found = forest.ids().find(|&l| forest.get(l).header == a.header);
-            found
-        };
-        let Some(loop_id) = loop_id else {
-            records[idx].outcome = LoopOutcome::NotCanonical;
-            diags.push(Diagnostic::for_loop(
-                Stage::Emission,
-                Severity::Warning,
-                a.func,
-                a.header,
-                "selected loop no longer present at emission time; not transformed",
-            ));
-            continue;
-        };
-        let spec = SptLoopSpec {
-            loop_id,
-            move_insts: a.move_insts.clone(),
-            replicate_insts: a.replicate_insts.clone(),
-            loop_tag: next_tag,
-        };
-        let snapshot = func.clone();
-        let emitted = catch_unwind(AssertUnwindSafe(|| {
-            crate::fail_point!("pipeline::emission", &format!("{}@{}", func.name, a.header));
-            emit_spt_loop(func, &spec)
-        }));
-        match emitted {
-            Ok(Ok(_info)) => {
-                selected_out.push(SelectedLoop {
-                    func: a.func,
-                    header: a.header,
-                    loop_tag: next_tag,
-                    est_cost: a.cost,
-                    prefork_size: a.prefork_size,
-                    body_size: a.body_size,
-                });
-                next_tag += 1;
-            }
-            Ok(Err(e)) => {
-                records[idx].outcome = LoopOutcome::NotCanonical;
-                diags.push(Diagnostic::for_loop(
-                    Stage::Emission,
-                    Severity::Warning,
-                    a.func,
-                    a.header,
-                    format!("SPT emission declined: {e}; loop left sequential"),
-                ));
-            }
-            Err(payload) => {
-                *func = snapshot;
-                records[idx].outcome = LoopOutcome::AnalysisFailed;
-                diags.push(Diagnostic::for_loop(
-                    Stage::Emission,
-                    Severity::Error,
-                    a.func,
-                    a.header,
-                    format!(
-                        "recovered panic during SPT emission: {}; function restored, loop left sequential",
-                        panic_message(&*payload)
-                    ),
-                ));
-            }
+        match groups.last_mut() {
+            Some((f, idxs)) if *f == a.func => idxs.push(idx),
+            _ => groups.push((a.func, vec![idx])),
         }
+    }
+    for (fid, idxs) in groups {
+        emit_func_group(
+            module,
+            fid,
+            &idxs,
+            &analyses,
+            &mut records,
+            cache,
+            &mut next_tag,
+            &mut selected_out,
+            &mut timings,
+            &mut diags,
+        );
     }
 
     // --- Stage 7: cleanup and verification.
@@ -538,6 +540,186 @@ fn transform_scratch(
     ))
 }
 
+/// Emits every selected loop of one function, through the incremental
+/// emission cache when one is available.
+///
+/// The cache key pins the function's exact IR at emission entry, the
+/// starting loop tag, and every selected loop's partition sets, so a hit
+/// replays the recorded per-loop events — tags re-derived from the running
+/// counter, records and diagnostics regenerated bit-identically — and
+/// splices the cached post-emission IR in place of re-running the
+/// transformation. On a miss the per-loop path below is exactly the
+/// pre-cache pipeline: each loop's emission is fault-isolated (the function
+/// is snapshotted first, and a contained panic restores it and degrades the
+/// loop instead of failing or corrupting the whole compile); units that
+/// contained a panic are never stored, since a panic is environmental, not
+/// a property of the inputs.
+#[allow(clippy::too_many_arguments)]
+fn emit_func_group(
+    module: &mut Module,
+    fid: FuncId,
+    idxs: &[usize],
+    analyses: &[LoopAnalysis],
+    records: &mut [LoopRecord],
+    cache: Option<&IncrementalCache>,
+    next_tag: &mut u32,
+    selected_out: &mut Vec<SelectedLoop>,
+    timings: &mut StageTimings,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let start_tag = *next_tag;
+    let key = cache.map(|_| {
+        let func = module.func(fid);
+        let selected: Vec<(u32, Vec<u32>, Vec<u32>)> = idxs
+            .iter()
+            .map(|&idx| {
+                let a = &analyses[idx];
+                let mut mv: Vec<u32> = a.move_insts.iter().map(|i| i.index() as u32).collect();
+                mv.sort_unstable();
+                let mut rep: Vec<u32> =
+                    a.replicate_insts.iter().map(|i| i.index() as u32).collect();
+                rep.sort_unstable();
+                (a.header.index() as u32, mv, rep)
+            })
+            .collect();
+        emit_unit_key(func, fid, start_tag, &selected)
+    });
+    if let (Some(cache), Some(key)) = (cache, key) {
+        if let Some(unit) = cache.load_emit(key) {
+            if unit.events.len() == idxs.len() {
+                timings.func_emit_hits += 1;
+                *module.func_mut(fid) = unit.func.clone();
+                for (&idx, event) in idxs.iter().zip(&unit.events) {
+                    let a = &analyses[idx];
+                    match event {
+                        EmitEvent::Emitted => {
+                            selected_out.push(SelectedLoop {
+                                func: a.func,
+                                header: a.header,
+                                loop_tag: *next_tag,
+                                est_cost: a.cost,
+                                prefork_size: a.prefork_size,
+                                body_size: a.body_size,
+                            });
+                            *next_tag += 1;
+                        }
+                        EmitEvent::Declined(msg) => {
+                            records[idx].outcome = LoopOutcome::NotCanonical;
+                            diags.push(Diagnostic::for_loop(
+                                Stage::Emission,
+                                Severity::Warning,
+                                a.func,
+                                a.header,
+                                format!("SPT emission declined: {msg}; loop left sequential"),
+                            ));
+                        }
+                        EmitEvent::Vanished => {
+                            records[idx].outcome = LoopOutcome::NotCanonical;
+                            diags.push(Diagnostic::for_loop(
+                                Stage::Emission,
+                                Severity::Warning,
+                                a.func,
+                                a.header,
+                                "selected loop no longer present at emission time; \
+                                 not transformed",
+                            ));
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        timings.func_emit_misses += 1;
+    }
+
+    let mut events: Vec<EmitEvent> = Vec::with_capacity(idxs.len());
+    let mut panicked = false;
+    for &idx in idxs {
+        let a = &analyses[idx];
+        // Re-locate the loop by header in the current forest.
+        let func = module.func_mut(fid);
+        let loop_id = {
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(&cfg);
+            let forest = LoopForest::compute(func, &cfg, &dom);
+            let found = forest.ids().find(|&l| forest.get(l).header == a.header);
+            found
+        };
+        let Some(loop_id) = loop_id else {
+            events.push(EmitEvent::Vanished);
+            records[idx].outcome = LoopOutcome::NotCanonical;
+            diags.push(Diagnostic::for_loop(
+                Stage::Emission,
+                Severity::Warning,
+                a.func,
+                a.header,
+                "selected loop no longer present at emission time; not transformed",
+            ));
+            continue;
+        };
+        let spec = SptLoopSpec {
+            loop_id,
+            move_insts: a.move_insts.clone(),
+            replicate_insts: a.replicate_insts.clone(),
+            loop_tag: *next_tag,
+        };
+        let snapshot = func.clone();
+        let emitted = catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point!("pipeline::emission", &format!("{}@{}", func.name, a.header));
+            emit_spt_loop(func, &spec)
+        }));
+        match emitted {
+            Ok(Ok(_info)) => {
+                events.push(EmitEvent::Emitted);
+                selected_out.push(SelectedLoop {
+                    func: a.func,
+                    header: a.header,
+                    loop_tag: *next_tag,
+                    est_cost: a.cost,
+                    prefork_size: a.prefork_size,
+                    body_size: a.body_size,
+                });
+                *next_tag += 1;
+            }
+            Ok(Err(e)) => {
+                events.push(EmitEvent::Declined(e.to_string()));
+                records[idx].outcome = LoopOutcome::NotCanonical;
+                diags.push(Diagnostic::for_loop(
+                    Stage::Emission,
+                    Severity::Warning,
+                    a.func,
+                    a.header,
+                    format!("SPT emission declined: {e}; loop left sequential"),
+                ));
+            }
+            Err(payload) => {
+                *func = snapshot;
+                panicked = true;
+                records[idx].outcome = LoopOutcome::AnalysisFailed;
+                diags.push(Diagnostic::for_loop(
+                    Stage::Emission,
+                    Severity::Error,
+                    a.func,
+                    a.header,
+                    format!(
+                        "recovered panic during SPT emission: {}; function restored, loop left sequential",
+                        panic_message(&*payload)
+                    ),
+                ));
+            }
+        }
+    }
+    if let (Some(cache), Some(key), false) = (cache, key, panicked) {
+        cache.store_emit(
+            key,
+            Arc::new(EmitUnit {
+                func: module.func(fid).clone(),
+                events,
+            }),
+        );
+    }
+}
+
 /// Total instruction count of a function (the unroll growth-cap metric).
 fn func_inst_count(func: &spt_ir::Function) -> usize {
     func.block_ids()
@@ -545,7 +727,13 @@ fn func_inst_count(func: &spt_ir::Function) -> usize {
         .sum::<usize>()
 }
 
-/// Stage 2: unrolling and global promotion.
+/// Stage 2: unrolling and global promotion. Functions are preprocessed
+/// independently — the only cross-function input, the globals table, is
+/// snapshotted first — so they fan out over
+/// [`crate::parallel::parallel_map`]. Per-function results (the rewritten
+/// function, its unroll factors, its diagnostics) merge back in function
+/// order, keeping the module and the diagnostic stream byte-identical to a
+/// sequential run at any `SPT_THREADS` setting.
 fn preprocess(
     module: &mut Module,
     config: &CompilerConfig,
@@ -553,28 +741,34 @@ fn preprocess(
     diags: &mut Vec<Diagnostic>,
 ) {
     let globals = module.globals.clone();
-    for fi in 0..module.funcs.len() {
-        let func_id = FuncId::new(fi);
-        let func = module.func_mut(func_id);
+    let items: Vec<(usize, spt_ir::Function)> = std::mem::take(&mut module.funcs)
+        .into_iter()
+        .enumerate()
+        .collect();
+    let results = crate::parallel::parallel_map(&items, |(fi, original)| {
+        let func_id = FuncId::new(*fi);
+        let mut func = original.clone();
+        let mut item_factors: Vec<((FuncId, BlockId), usize)> = Vec::new();
+        let mut item_diags: Vec<Diagnostic> = Vec::new();
 
         if config.promote_globals {
-            spt_transform::promote_global_scalars(&globals, func);
-            spt_ir::passes::cleanup(func);
-            spt_ir::passes::loop_simplify(func);
+            spt_transform::promote_global_scalars(&globals, &mut func);
+            spt_ir::passes::cleanup(&mut func);
+            spt_ir::passes::loop_simplify(&mut func);
         }
 
         if config.unroll_counted || config.unroll_while {
             // Per-function code-growth budget: unrolling may not blow the
             // function up past `unroll_growth_cap` times its pre-unroll size.
-            let base_insts = func_inst_count(func).max(1);
+            let base_insts = func_inst_count(&func).max(1);
             let growth_limit =
                 ((base_insts as f64) * config.budget.unroll_growth_cap).ceil() as usize;
             // Attempt each loop once (identified by header).
             let mut attempted: HashSet<BlockId> = HashSet::new();
             loop {
-                let cfg = Cfg::compute(func);
+                let cfg = Cfg::compute(&func);
                 let dom = DomTree::compute(&cfg);
-                let forest = LoopForest::compute(func, &cfg, &dom);
+                let forest = LoopForest::compute(&func, &cfg, &dom);
                 let mut did = false;
                 for lid in forest.ids() {
                     let header = forest.get(lid).header;
@@ -582,7 +776,7 @@ fn preprocess(
                         continue;
                     }
                     attempted.insert(header);
-                    let kind = classify_loop(func, &forest, lid);
+                    let kind = classify_loop(&func, &forest, lid);
                     let allowed = match kind {
                         UnrollKind::Counted => config.unroll_counted,
                         UnrollKind::While => config.unroll_while,
@@ -590,7 +784,7 @@ fn preprocess(
                     if !allowed {
                         continue;
                     }
-                    let body = static_body_size(func, &forest, lid);
+                    let body = static_body_size(&func, &forest, lid);
                     let factor =
                         choose_unroll_factor(body, config.min_body_size, config.unroll_max_factor);
                     if factor < 2 {
@@ -604,9 +798,9 @@ fn preprocess(
                         .iter()
                         .map(|&bb| func.block(bb).insts.len())
                         .sum();
-                    let projected = func_inst_count(func) + body_insts * (factor - 1);
+                    let projected = func_inst_count(&func) + body_insts * (factor - 1);
                     if projected > growth_limit {
-                        diags.push(Diagnostic::for_loop(
+                        item_diags.push(Diagnostic::for_loop(
                             Stage::Preprocess,
                             Severity::Warning,
                             func_id,
@@ -618,10 +812,10 @@ fn preprocess(
                         ));
                         continue;
                     }
-                    if unroll_loop(func, lid, factor).is_ok() {
-                        unroll_factors.insert((func_id, header), factor);
-                        spt_ir::passes::cleanup(func);
-                        spt_ir::passes::loop_simplify(func);
+                    if unroll_loop(&mut func, lid, factor).is_ok() {
+                        item_factors.push(((func_id, header), factor));
+                        spt_ir::passes::cleanup(&mut func);
+                        spt_ir::passes::loop_simplify(&mut func);
                         did = true;
                         break; // forest invalidated
                     }
@@ -631,6 +825,12 @@ fn preprocess(
                 }
             }
         }
+        (func, item_factors, item_diags)
+    });
+    for (func, item_factors, item_diags) in results {
+        module.funcs.push(func);
+        unroll_factors.extend(item_factors);
+        diags.extend(item_diags);
     }
 }
 
@@ -827,21 +1027,62 @@ fn analyze_module(
     module: &Module,
     collector: &ProfileCollector,
     config: &CompilerConfig,
+    cache: Option<&IncrementalCache>,
+    timings: &mut StageTimings,
     diags: &mut Vec<Diagnostic>,
 ) -> Vec<LoopAnalysis> {
     // CFG/dominators/loop forest once per function, shared by its loops.
     let mut contexts: Vec<(FuncId, Cfg, LoopForest)> = Vec::new();
-    let mut items: Vec<(usize, LoopId)> = Vec::new();
     for func_id in module.func_ids() {
         let func = module.func(func_id);
         let cfg = Cfg::compute(func);
         let dom = DomTree::compute(&cfg);
         let forest = LoopForest::compute(func, &cfg, &dom);
-        let ctx_idx = contexts.len();
-        for lid in forest.ids() {
-            items.push((ctx_idx, lid));
-        }
         contexts.push((func_id, cfg, forest));
+    }
+
+    // Function-granular cache probe: each function's unit is keyed by its
+    // own content hash (the Merkle leaf) plus the analysis context — the
+    // configuration, every function's effect summary, and this function's
+    // slice of the profiles. Hits skip all of the function's loop analyses;
+    // only misses become parallel work items below, so editing one function
+    // of an N-function module re-analyzes one function, not N.
+    enum Plan {
+        Hit(Arc<FuncAnalysisUnit>),
+        Miss { key: Option<u64> },
+    }
+    let module_ctx = cache.map(|_| ModuleContext::new(module, collector, config));
+    let mut plans: Vec<Plan> = Vec::with_capacity(contexts.len());
+    let mut items: Vec<(usize, LoopId)> = Vec::new();
+    for (ctx_idx, (func_id, _, forest)) in contexts.iter().enumerate() {
+        let plan = match (cache, &module_ctx) {
+            (Some(cache), Some(ctx)) => {
+                timings.func_units_total += 1;
+                let func = module.func(*func_id);
+                let key = ArtifactCache::func_unit_key(
+                    func.content_hash(),
+                    func_id.index() as u64,
+                    ctx.func_context_hash(func, *func_id, collector),
+                );
+                match cache.load_analysis(key) {
+                    Some(unit) if unit_matches_forest(&unit, forest) => {
+                        timings.func_analysis_hits += 1;
+                        Plan::Hit(unit)
+                    }
+                    _ => {
+                        timings.func_analysis_misses += 1;
+                        Plan::Miss { key: Some(key) }
+                    }
+                }
+            }
+            _ => Plan::Miss { key: None },
+        };
+        if let Plan::Miss { .. } = plan {
+            for lid in forest.ids() {
+                items.push((ctx_idx, lid));
+            }
+        }
+        plans.push(plan);
     }
     let deadline = config
         .budget
@@ -909,12 +1150,120 @@ fn analyze_module(
         };
         (analysis, item_diags)
     });
-    let mut analyses = Vec::with_capacity(results.len());
-    for (a, item_diags) in results {
-        diags.extend(item_diags);
-        analyses.push(a);
+
+    // Merge per function, in function order — so the output (analyses and
+    // diagnostics alike) is byte-identical to an all-miss run. Hits decode
+    // their fragments, regenerating the budget-exhausted warnings from the
+    // stored flags; misses consume their computed results in item order
+    // and, when every loop's analysis completed (a panic or deadline is
+    // environmental, not a property of the inputs), store the fresh unit
+    // for the next compile.
+    let mut results = results.into_iter();
+    let mut analyses: Vec<LoopAnalysis> = Vec::new();
+    for (ctx_idx, plan) in plans.into_iter().enumerate() {
+        let (func_id, _, forest) = &contexts[ctx_idx];
+        match plan {
+            Plan::Hit(unit) => {
+                for (lid, frag) in forest.ids().zip(&unit.fragments) {
+                    if frag.search_budget_exhausted {
+                        diags.push(Diagnostic::for_loop(
+                            Stage::Analysis,
+                            Severity::Warning,
+                            *func_id,
+                            BlockId::new(frag.header as usize),
+                            format!(
+                                "partition search budget exhausted after {} visited states; \
+                                 keeping best partition found so far",
+                                frag.search_visited
+                            ),
+                        ));
+                    }
+                    analyses.push(analysis_from_fragment(*func_id, lid, frag));
+                }
+            }
+            Plan::Miss { key } => {
+                let n = forest.ids().count();
+                let start = analyses.len();
+                for _ in 0..n {
+                    let Some((a, item_diags)) = results.next() else {
+                        break;
+                    };
+                    diags.extend(item_diags);
+                    analyses.push(a);
+                }
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    let fresh = &analyses[start..];
+                    if fresh.len() == n && fresh.iter().all(|a| !a.failed) {
+                        let unit = FuncAnalysisUnit {
+                            fragments: fresh.iter().map(fragment_from_analysis).collect(),
+                        };
+                        cache.store_analysis(key, Arc::new(unit));
+                    }
+                }
+            }
+        }
     }
     analyses
+}
+
+/// Reconstructs pass 1's in-memory analysis record from a cached fragment.
+/// `loop_id` comes from the *current* forest — identical function content
+/// means identical discovery order (checked by
+/// [`unit_matches_forest`]) — so downstream stages can use the record
+/// exactly as if the analysis had just run.
+fn analysis_from_fragment(func_id: FuncId, loop_id: LoopId, frag: &LoopFragment) -> LoopAnalysis {
+    LoopAnalysis {
+        func: func_id,
+        loop_id,
+        header: BlockId::new(frag.header as usize),
+        depth: frag.depth as usize,
+        parent_header: frag.parent_header.map(|h| BlockId::new(h as usize)),
+        body_size: frag.body_size,
+        num_vcs: frag.num_vcs as usize,
+        cost: f64::from_bits(frag.cost_bits),
+        prefork_size: frag.prefork_size,
+        move_insts: frag
+            .move_insts
+            .iter()
+            .map(|&i| InstId::new(i as usize))
+            .collect(),
+        replicate_insts: frag
+            .replicate_insts
+            .iter()
+            .map(|&i| InstId::new(i as usize))
+            .collect(),
+        skipped_too_many_vcs: frag.skipped_too_many_vcs,
+        canonical: frag.canonical,
+        search_visited: frag.search_visited,
+        svp_applied: false,
+        search_budget_exhausted: frag.search_budget_exhausted,
+        failed: false,
+    }
+}
+
+/// Inverse of [`analysis_from_fragment`]: the cache-stable form of a fresh
+/// analysis (`f64` cost by bit pattern, instruction sets sorted).
+fn fragment_from_analysis(a: &LoopAnalysis) -> LoopFragment {
+    let mut move_insts: Vec<u32> = a.move_insts.iter().map(|i| i.index() as u32).collect();
+    move_insts.sort_unstable();
+    let mut replicate_insts: Vec<u32> =
+        a.replicate_insts.iter().map(|i| i.index() as u32).collect();
+    replicate_insts.sort_unstable();
+    LoopFragment {
+        header: a.header.index() as u32,
+        depth: a.depth as u64,
+        parent_header: a.parent_header.map(|h| h.index() as u32),
+        body_size: a.body_size,
+        num_vcs: a.num_vcs as u64,
+        cost_bits: a.cost.to_bits(),
+        prefork_size: a.prefork_size,
+        move_insts,
+        replicate_insts,
+        skipped_too_many_vcs: a.skipped_too_many_vcs,
+        canonical: a.canonical,
+        search_visited: a.search_visited,
+        search_budget_exhausted: a.search_budget_exhausted,
+    }
 }
 
 /// Builds the cost model and searches the optimal partition for one loop.

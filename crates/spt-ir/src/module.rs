@@ -161,6 +161,15 @@ impl Function {
         }
         params.into_iter().flatten().collect()
     }
+
+    /// A content hash of this function alone (FNV-1a over its canonical
+    /// `Debug` rendering): two functions hash equal exactly when they are
+    /// structurally equal. This is the Merkle *leaf* of
+    /// [`Module::content_hash`] and the key half of every function-granular
+    /// cache entry — editing one function changes only its own leaf.
+    pub fn content_hash(&self) -> u64 {
+        fnv_debug_hash(self)
+    }
 }
 
 /// A module-level memory region: a global scalar cell or array.
@@ -326,26 +335,56 @@ impl Module {
         summaries
     }
 
-    /// A content hash of the whole module (FNV-1a over its canonical `Debug`
-    /// rendering): two modules hash equal exactly when they are structurally
-    /// equal. Used as the invalidation key for execution-trace artifacts —
-    /// any IR change (a pass, an unroll, an SVP rewrite) changes the hash.
+    /// A content hash of the whole module: a Merkle root folding every
+    /// function's [`Function::content_hash`] (in index order) with a hash of
+    /// the globals table. Two modules hash equal exactly when they are
+    /// structurally equal, and — the property the incremental pipeline
+    /// relies on — editing one function perturbs only that function's leaf
+    /// hash, so per-function cache keys derived from the leaves survive the
+    /// edit while the root (and every whole-module artifact key) changes.
     pub fn content_hash(&self) -> u64 {
-        use std::fmt::Write as _;
-        struct Fnv(u64);
-        impl std::fmt::Write for Fnv {
-            fn write_str(&mut self, s: &str) -> std::fmt::Result {
-                for b in s.bytes() {
-                    self.0 ^= b as u64;
-                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-                }
-                Ok(())
-            }
+        let mut h = FnvHasher::new();
+        h.write_u64(self.funcs.len() as u64);
+        for func in &self.funcs {
+            h.write_u64(func.content_hash());
         }
-        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
-        let _ = write!(h, "{self:?}");
+        h.write_u64(fnv_debug_hash(&self.globals));
         h.0
     }
+}
+
+/// The same incremental FNV-1a fold the trace codec uses, exposed here as a
+/// `fmt::Write` sink so content hashing never materialises the `Debug`
+/// rendering it consumes.
+struct FnvHasher(u64);
+
+impl FnvHasher {
+    fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        use std::fmt::Write as _;
+        let _ = write!(self, "{v:016x}");
+    }
+}
+
+impl std::fmt::Write for FnvHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over a value's `Debug` rendering, streamed (never allocated).
+fn fnv_debug_hash<T: std::fmt::Debug + ?Sized>(v: &T) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = FnvHasher::new();
+    let _ = write!(h, "{v:?}");
+    h.0
 }
 
 /// Convenience helper: an operand referring to instruction `id`.
@@ -369,6 +408,31 @@ mod tests {
         assert_ne!(m1.content_hash(), m2.content_hash());
         m1.add_global("h", 2, Ty::I64);
         assert_ne!(m1.content_hash(), m2.content_hash());
+    }
+
+    #[test]
+    fn function_hash_is_a_merkle_leaf() {
+        let mut m = Module::new();
+        m.add_func(Function::new("a", vec![], None));
+        m.add_func(Function::new("b", vec![], None));
+        let before_root = m.content_hash();
+        let before_leaves: Vec<u64> = m.funcs.iter().map(Function::content_hash).collect();
+
+        // Editing one function changes its leaf and the root, but no other
+        // leaf — the property per-function cache keys rely on.
+        let fb = m.func_by_name("b").unwrap();
+        let bb = m.func_mut(fb).add_block();
+        m.func_mut(fb)
+            .append_inst(bb, Inst::new(InstKind::Ret { val: None }, None));
+        let after_leaves: Vec<u64> = m.funcs.iter().map(Function::content_hash).collect();
+        assert_ne!(m.content_hash(), before_root);
+        assert_eq!(after_leaves[0], before_leaves[0]);
+        assert_ne!(after_leaves[1], before_leaves[1]);
+
+        // Structurally equal functions hash equal regardless of the module
+        // around them.
+        let solo = Function::new("a", vec![], None);
+        assert_eq!(solo.content_hash(), after_leaves[0]);
     }
 
     #[test]

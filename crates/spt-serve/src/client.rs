@@ -112,6 +112,26 @@ impl Client {
         }
     }
 
+    /// Compiles several variants in one round trip. The daemon dedups the
+    /// work through its shared caches (identical modules via single-flight,
+    /// shared functions via the function-granular cache) and returns one
+    /// result per item in submission order; per-item failures come back as
+    /// `Err` entries instead of failing the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure; per-item compile
+    /// failures are in the returned vector, not here.
+    pub fn compile_batch(
+        &mut self,
+        reqs: Vec<CompileReq>,
+    ) -> Result<Vec<Result<CompileResp, String>>, ClientError> {
+        match self.call(ReqBody::CompileBatch(reqs))? {
+            OkBody::CompileBatch(items) => Ok(items),
+            other => Err(unexpected("compile batch response", &other)),
+        }
+    }
+
     /// Compiles and simulates (baseline + SPT) on the daemon.
     ///
     /// # Errors
@@ -153,6 +173,7 @@ fn unexpected(wanted: &str, got: &OkBody) -> ClientError {
     let kind = match got {
         OkBody::Pong => "pong",
         OkBody::Compile(_) => "compile response",
+        OkBody::CompileBatch(_) => "compile batch response",
         OkBody::Sim(_) => "sim response",
         OkBody::Stats(_) => "stats",
         OkBody::ShuttingDown => "shutdown ack",

@@ -7,9 +7,9 @@
 //! artifacts resident instead of re-deriving them per process:
 //!
 //! * [`proto`] — the length-framed Unix-socket protocol (requests: ping /
-//!   compile / sim / stats / shutdown);
-//! * [`mem_cache`] — the sharded, byte-bounded in-memory LRU underlying the
-//!   hot tiers;
+//!   compile / compile-batch / sim / stats / shutdown);
+//! * [`spt_trace::mem_cache`] (re-exported here) — the sharded,
+//!   byte-bounded in-memory LRU underlying the hot tiers;
 //! * [`sim`] — the cache-aware simulation entry point ([`sim_with_cache`]),
 //!   shared with the bench harnesses via re-export from `spt-bench`;
 //! * [`service`] — [`CompileService`]: the two-tier (memory over
@@ -27,15 +27,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
-pub mod mem_cache;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod sim;
 
 pub use client::{Client, ClientError};
-pub use mem_cache::{ShardStats, ShardedLru};
 pub use proto::{CompileReq, CompileResp, OkBody, ReqBody, Request, RespBody, SimReq, SimResp};
 pub use server::{serve, ServerHandle};
 pub use service::{CompileService, ServiceConfig};
 pub use sim::{sim_with_cache, sim_with_cache_in, SimTraceStats};
+pub use spt_trace::mem_cache::{self, ShardStats, ShardedLru};

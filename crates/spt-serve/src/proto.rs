@@ -10,9 +10,9 @@
 //! their fixed 8-byte little-endian bit patterns so timings round-trip
 //! exactly.
 //!
-//! The protocol is deliberately tiny — five request kinds (`Ping`,
-//! `Compile`, `Sim`, `Stats`, `Shutdown`) — and versioned by
-//! [`PROTO_VERSION`], which is folded into every frame's first byte so a
+//! The protocol is deliberately tiny — six request kinds (`Ping`,
+//! `Compile`, `CompileBatch`, `Sim`, `Stats`, `Shutdown`) — and versioned
+//! by [`PROTO_VERSION`], which is folded into every frame's first byte so a
 //! stale client fails loudly instead of misparsing. Oversized frames are
 //! rejected at [`MAX_FRAME`] before allocation; a short read mid-frame is
 //! an error, while EOF *between* frames is a clean close.
@@ -24,7 +24,9 @@ use spt_sim::{CacheConfig, MachineConfig};
 use spt_trace::codec::{get_varint, put_varint, unzigzag, zigzag};
 
 /// Bumped on any incompatible change to the frame payloads.
-pub const PROTO_VERSION: u8 = 1;
+/// v2: [`StageTimings`] gained the function-granular incremental-compile
+/// counters, and the `CompileBatch` request kind was added.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Upper bound on a single frame's payload. Large enough for any report +
 /// module text + simulation memo this repo produces (the biggest corpus
@@ -48,6 +50,11 @@ pub enum ReqBody {
     Ping,
     /// Compile `source` and return the report renderings.
     Compile(CompileReq),
+    /// Compile several variants in one request. The daemon runs the items
+    /// through one worker against its shared function-granular cache, so
+    /// functions common to multiple variants are analyzed once and spliced
+    /// into the rest; per-item results come back in submission order.
+    CompileBatch(Vec<CompileReq>),
     /// Compile `source`, then simulate baseline and SPT binaries.
     Sim(SimReq),
     /// Snapshot the server's global counters.
@@ -115,6 +122,10 @@ pub enum OkBody {
     Pong,
     /// Answer to [`ReqBody::Compile`].
     Compile(CompileResp),
+    /// Answer to [`ReqBody::CompileBatch`]: one result per submitted item,
+    /// in submission order. Per-item failures are carried as `Err` entries
+    /// so one bad variant never sinks its batch-mates.
+    CompileBatch(Vec<Result<CompileResp, String>>),
     /// Answer to [`ReqBody::Sim`].
     Sim(SimResp),
     /// Answer to [`ReqBody::Stats`]: counter name/value pairs, sorted by
@@ -164,6 +175,7 @@ const KIND_COMPILE: u8 = 1;
 const KIND_SIM: u8 = 2;
 const KIND_STATS: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
+const KIND_COMPILE_BATCH: u8 = 5;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -323,6 +335,11 @@ fn put_timings(out: &mut Vec<u8>, t: &StageTimings) {
     put_varint(out, t.trace_cache_hits);
     put_varint(out, t.trace_cache_misses);
     put_varint(out, t.trace_cache_evictions);
+    put_varint(out, t.func_units_total);
+    put_varint(out, t.func_analysis_hits);
+    put_varint(out, t.func_analysis_misses);
+    put_varint(out, t.func_emit_hits);
+    put_varint(out, t.func_emit_misses);
 }
 
 fn get_timings(buf: &[u8], pos: &mut usize) -> Result<StageTimings, String> {
@@ -338,6 +355,47 @@ fn get_timings(buf: &[u8], pos: &mut usize) -> Result<StageTimings, String> {
         trace_cache_hits: need(buf, pos)?,
         trace_cache_misses: need(buf, pos)?,
         trace_cache_evictions: need(buf, pos)?,
+        func_units_total: need(buf, pos)?,
+        func_analysis_hits: need(buf, pos)?,
+        func_analysis_misses: need(buf, pos)?,
+        func_emit_hits: need(buf, pos)?,
+        func_emit_misses: need(buf, pos)?,
+    })
+}
+
+fn put_compile_req(out: &mut Vec<u8>, c: &CompileReq) {
+    put_string(out, &c.source);
+    put_string(out, &c.entry);
+    put_varint(out, zigzag(c.train));
+    out.push(c.config_id);
+    out.push(c.want_module_text as u8);
+}
+
+fn get_compile_req(buf: &[u8], pos: &mut usize) -> Result<CompileReq, String> {
+    Ok(CompileReq {
+        source: get_string(buf, pos)?,
+        entry: get_string(buf, pos)?,
+        train: unzigzag(need(buf, pos)?),
+        config_id: get_u8(buf, pos)?,
+        want_module_text: get_u8(buf, pos)? != 0,
+    })
+}
+
+fn put_compile_resp(out: &mut Vec<u8>, c: &CompileResp) {
+    put_string(out, &c.report_debug);
+    put_string(out, &c.analyze_text);
+    put_string(out, &c.module_text);
+    put_timings(out, &c.timings);
+    out.push(c.served_from_memory as u8);
+}
+
+fn get_compile_resp(buf: &[u8], pos: &mut usize) -> Result<CompileResp, String> {
+    Ok(CompileResp {
+        report_debug: get_string(buf, pos)?,
+        analyze_text: get_string(buf, pos)?,
+        module_text: get_string(buf, pos)?,
+        timings: get_timings(buf, pos)?,
+        served_from_memory: get_u8(buf, pos)? != 0,
     })
 }
 
@@ -352,11 +410,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         ReqBody::Ping => out.push(KIND_PING),
         ReqBody::Compile(c) => {
             out.push(KIND_COMPILE);
-            put_string(&mut out, &c.source);
-            put_string(&mut out, &c.entry);
-            put_varint(&mut out, zigzag(c.train));
-            out.push(c.config_id);
-            out.push(c.want_module_text as u8);
+            put_compile_req(&mut out, c);
+        }
+        ReqBody::CompileBatch(items) => {
+            out.push(KIND_COMPILE_BATCH);
+            put_varint(&mut out, items.len() as u64);
+            for c in items {
+                put_compile_req(&mut out, c);
+            }
         }
         ReqBody::Sim(s) => {
             out.push(KIND_SIM);
@@ -381,13 +442,18 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, String> {
     let kind = get_u8(buf, &mut pos)?;
     let body = match kind {
         KIND_PING => ReqBody::Ping,
-        KIND_COMPILE => ReqBody::Compile(CompileReq {
-            source: get_string(buf, &mut pos)?,
-            entry: get_string(buf, &mut pos)?,
-            train: unzigzag(need(buf, &mut pos)?),
-            config_id: get_u8(buf, &mut pos)?,
-            want_module_text: get_u8(buf, &mut pos)? != 0,
-        }),
+        KIND_COMPILE => ReqBody::Compile(get_compile_req(buf, &mut pos)?),
+        KIND_COMPILE_BATCH => {
+            let n = need(buf, &mut pos)? as usize;
+            if n > buf.len() {
+                return Err("batch count exceeds payload".to_string());
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_compile_req(buf, &mut pos)?);
+            }
+            ReqBody::CompileBatch(items)
+        }
         KIND_SIM => ReqBody::Sim(SimReq {
             source: get_string(buf, &mut pos)?,
             entry: get_string(buf, &mut pos)?,
@@ -422,11 +488,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 OkBody::Pong => out.push(KIND_PING),
                 OkBody::Compile(c) => {
                     out.push(KIND_COMPILE);
-                    put_string(&mut out, &c.report_debug);
-                    put_string(&mut out, &c.analyze_text);
-                    put_string(&mut out, &c.module_text);
-                    put_timings(&mut out, &c.timings);
-                    out.push(c.served_from_memory as u8);
+                    put_compile_resp(&mut out, c);
+                }
+                OkBody::CompileBatch(items) => {
+                    out.push(KIND_COMPILE_BATCH);
+                    put_varint(&mut out, items.len() as u64);
+                    for item in items {
+                        match item {
+                            Ok(c) => {
+                                out.push(STATUS_OK);
+                                put_compile_resp(&mut out, c);
+                            }
+                            Err(msg) => {
+                                out.push(STATUS_ERR);
+                                put_string(&mut out, msg);
+                            }
+                        }
+                    }
                 }
                 OkBody::Sim(s) => {
                     out.push(KIND_SIM);
@@ -463,13 +541,22 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, String> {
             let kind = get_u8(buf, &mut pos)?;
             let ok = match kind {
                 KIND_PING => OkBody::Pong,
-                KIND_COMPILE => OkBody::Compile(CompileResp {
-                    report_debug: get_string(buf, &mut pos)?,
-                    analyze_text: get_string(buf, &mut pos)?,
-                    module_text: get_string(buf, &mut pos)?,
-                    timings: get_timings(buf, &mut pos)?,
-                    served_from_memory: get_u8(buf, &mut pos)? != 0,
-                }),
+                KIND_COMPILE => OkBody::Compile(get_compile_resp(buf, &mut pos)?),
+                KIND_COMPILE_BATCH => {
+                    let n = need(buf, &mut pos)? as usize;
+                    if n > buf.len() {
+                        return Err("batch count exceeds payload".to_string());
+                    }
+                    let mut items = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        items.push(match get_u8(buf, &mut pos)? {
+                            STATUS_OK => Ok(get_compile_resp(buf, &mut pos)?),
+                            STATUS_ERR => Err(get_string(buf, &mut pos)?),
+                            other => return Err(format!("unknown batch item status {other}")),
+                        });
+                    }
+                    OkBody::CompileBatch(items)
+                }
                 KIND_SIM => OkBody::Sim(SimResp {
                     report_debug: get_string(buf, &mut pos)?,
                     timings: get_timings(buf, &mut pos)?,
@@ -560,6 +647,29 @@ mod tests {
             }),
         });
         round_trip_request(Request {
+            id: 44,
+            body: ReqBody::CompileBatch(vec![]),
+        });
+        round_trip_request(Request {
+            id: 45,
+            body: ReqBody::CompileBatch(vec![
+                CompileReq {
+                    source: "fn main() -> int { return 1; }".to_string(),
+                    entry: "main".to_string(),
+                    train: 10,
+                    config_id: 1,
+                    want_module_text: false,
+                },
+                CompileReq {
+                    source: "fn main() -> int { return 2; }".to_string(),
+                    entry: "main".to_string(),
+                    train: -3,
+                    config_id: 0,
+                    want_module_text: true,
+                },
+            ]),
+        });
+        round_trip_request(Request {
             id: 43,
             body: ReqBody::Sim(SimReq {
                 source: "x".to_string(),
@@ -600,9 +710,36 @@ mod tests {
                     trace_cache_hits: 3,
                     trace_cache_misses: 1,
                     trace_cache_evictions: 0,
+                    func_units_total: 12,
+                    func_analysis_hits: 11,
+                    func_analysis_misses: 1,
+                    func_emit_hits: 4,
+                    func_emit_misses: 1,
                 },
                 served_from_memory: true,
             })),
+        });
+        round_trip_response(Response {
+            id: 30,
+            body: RespBody::Ok(OkBody::CompileBatch(vec![
+                Ok(CompileResp {
+                    report_debug: "r1".to_string(),
+                    analyze_text: "t1".to_string(),
+                    module_text: String::new(),
+                    timings: StageTimings {
+                        func_units_total: 3,
+                        func_analysis_hits: 2,
+                        func_analysis_misses: 1,
+                        ..StageTimings::default()
+                    },
+                    served_from_memory: false,
+                }),
+                Err("compile error: bad variant".to_string()),
+            ])),
+        });
+        round_trip_response(Response {
+            id: 31,
+            body: RespBody::Ok(OkBody::CompileBatch(vec![])),
         });
         round_trip_response(Response {
             id: 4,

@@ -33,8 +33,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use spt_core::pipeline::transform_module_timed;
-use spt_core::{CompilerConfig, ProfilingInput, StageTimings, TraceSettings};
+use spt_core::pipeline::transform_module_timed_with;
+use spt_core::{CompilerConfig, IncrementalCache, ProfilingInput, StageTimings, TraceSettings};
 use spt_ir::Module;
 use spt_sim::{MachineConfig, SimResult};
 use spt_trace::codec::Fnv;
@@ -54,8 +54,10 @@ pub struct ServiceConfig {
     /// oldest artifacts first. `None` = unbounded (the one-shot CLI
     /// behavior).
     pub disk_budget_bytes: Option<u64>,
-    /// Total byte bound across the in-memory tiers, split half to compiled
-    /// units, a quarter each to frontend modules and simulation results.
+    /// Total byte bound across the in-memory tiers: three-eighths to
+    /// compiled units, a quarter each to frontend modules and simulation
+    /// results, and an eighth to the function-granular incremental cache
+    /// (split evenly between analysis and emission units).
     pub mem_budget_bytes: u64,
     /// Shard count of each in-memory tier.
     pub shards: usize,
@@ -120,6 +122,7 @@ struct Counters {
     requests_total: AtomicU64,
     requests_ping: AtomicU64,
     requests_compile: AtomicU64,
+    requests_compile_batch: AtomicU64,
     requests_sim: AtomicU64,
     requests_stats: AtomicU64,
     requests_shutdown: AtomicU64,
@@ -141,6 +144,7 @@ impl Default for Counters {
             requests_total: AtomicU64::new(0),
             requests_ping: AtomicU64::new(0),
             requests_compile: AtomicU64::new(0),
+            requests_compile_batch: AtomicU64::new(0),
             requests_sim: AtomicU64::new(0),
             requests_stats: AtomicU64::new(0),
             requests_shutdown: AtomicU64::new(0),
@@ -167,6 +171,7 @@ pub struct CompileService {
     modules: ShardedLru<Arc<Module>>,
     units: ShardedLru<Arc<CompiledUnit>>,
     sims: ShardedLru<Arc<SimResult>>,
+    func_cache: Arc<IncrementalCache>,
     flights: Mutex<HashMap<u64, Arc<Flight>>>,
     counters: Counters,
 }
@@ -193,16 +198,38 @@ impl CompileService {
             enabled: cfg.cache_dir.is_some(),
             cache_dir: cfg.cache_dir.clone(),
         };
+        // The function-granular cache persists its analysis units through
+        // its own handle on the same disk directory (same byte budget), so
+        // edit-recompile cycles survive daemon restarts too.
+        let func_mem = cfg.mem_budget_bytes / 8;
+        let func_cache = Arc::new(match (&cfg.cache_dir, cfg.disk_budget_bytes) {
+            (Some(dir), Some(b)) => IncrementalCache::with_disk(
+                func_mem,
+                cfg.shards,
+                ArtifactCache::with_byte_budget(dir, b),
+            ),
+            (Some(dir), None) => {
+                IncrementalCache::with_disk(func_mem, cfg.shards, ArtifactCache::new(dir))
+            }
+            (None, _) => IncrementalCache::in_memory(func_mem, cfg.shards),
+        });
         CompileService {
             modules: ShardedLru::new(cfg.shards, cfg.mem_budget_bytes / 4),
-            units: ShardedLru::new(cfg.shards, cfg.mem_budget_bytes / 2),
+            units: ShardedLru::new(cfg.shards, 3 * cfg.mem_budget_bytes / 8),
             sims: ShardedLru::new(cfg.shards, cfg.mem_budget_bytes / 4),
+            func_cache,
             flights: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             disk,
             trace,
             cfg,
         }
+    }
+
+    /// The shared function-granular incremental cache every pipeline run
+    /// compiles through (tests pin its hit/miss counters).
+    pub fn incremental_cache(&self) -> &IncrementalCache {
+        &self.func_cache
     }
 
     /// The service's trace settings (what `sim_with_cache` would see).
@@ -220,6 +247,7 @@ impl CompileService {
         let resp = match body {
             ReqBody::Ping => RespBody::Ok(OkBody::Pong),
             ReqBody::Compile(c) => self.compile_resp(c),
+            ReqBody::CompileBatch(items) => self.compile_batch_resp(items),
             ReqBody::Sim(s) => self.sim_resp(s),
             ReqBody::Stats => RespBody::Ok(OkBody::Stats(self.stats())),
             ReqBody::Shutdown => RespBody::Ok(OkBody::ShuttingDown),
@@ -234,6 +262,7 @@ impl CompileService {
         match body {
             ReqBody::Ping => &c.requests_ping,
             ReqBody::Compile(_) => &c.requests_compile,
+            ReqBody::CompileBatch(_) => &c.requests_compile_batch,
             ReqBody::Sim(_) => &c.requests_sim,
             ReqBody::Stats => &c.requests_stats,
             ReqBody::Shutdown => &c.requests_shutdown,
@@ -357,7 +386,8 @@ impl CompileService {
         let input = ProfilingInput::new(req.entry.clone(), [req.train]);
         let mut module = (**baseline).clone();
         let (report, timings) =
-            transform_module_timed(&mut module, &input, &config).map_err(|e| e.to_string())?;
+            transform_module_timed_with(&mut module, &input, &config, Some(&self.func_cache))
+                .map_err(|e| e.to_string())?;
         self.counters.pipeline_runs.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(CompiledUnit {
             report_debug: format!("{report:?}"),
@@ -369,21 +399,40 @@ impl CompileService {
         }))
     }
 
+    fn compile_one(&self, req: &CompileReq) -> Result<CompileResp, String> {
+        let (unit, from_mem) = self.unit_for(req)?;
+        Ok(CompileResp {
+            report_debug: unit.report_debug.clone(),
+            analyze_text: unit.analyze_text.clone(),
+            module_text: if req.want_module_text {
+                unit.module_text.clone()
+            } else {
+                String::new()
+            },
+            timings: unit.timings,
+            served_from_memory: from_mem,
+        })
+    }
+
     fn compile_resp(&self, req: &CompileReq) -> RespBody {
-        match self.unit_for(req) {
-            Ok((unit, from_mem)) => RespBody::Ok(OkBody::Compile(CompileResp {
-                report_debug: unit.report_debug.clone(),
-                analyze_text: unit.analyze_text.clone(),
-                module_text: if req.want_module_text {
-                    unit.module_text.clone()
-                } else {
-                    String::new()
-                },
-                timings: unit.timings,
-                served_from_memory: from_mem,
-            })),
+        match self.compile_one(req) {
+            Ok(resp) => RespBody::Ok(OkBody::Compile(resp)),
             Err(e) => RespBody::Err(e),
         }
+    }
+
+    /// Batch compile: the items run sequentially in this worker, each
+    /// through the ordinary unit path. Deduplication happens at two levels
+    /// — identical *modules* collapse through the unit tier and the
+    /// single-flight table (also against concurrent non-batch requests),
+    /// and *functions shared across distinct variants* collapse through the
+    /// function-granular cache, so a batch of K variants of one module
+    /// costs roughly one full compile plus K splices. Per-item failures
+    /// come back as `Err` entries; the batch itself always succeeds.
+    fn compile_batch_resp(&self, items: &[CompileReq]) -> RespBody {
+        RespBody::Ok(OkBody::CompileBatch(
+            items.iter().map(|req| self.compile_one(req)).collect(),
+        ))
     }
 
     /// `SimResult` tier: in-memory probe keyed exactly like the disk memo,
@@ -484,6 +533,10 @@ impl CompileService {
                 "requests_compile",
                 c.requests_compile.load(Ordering::Relaxed),
             ),
+            (
+                "requests_compile_batch",
+                c.requests_compile_batch.load(Ordering::Relaxed),
+            ),
             ("requests_sim", c.requests_sim.load(Ordering::Relaxed)),
             ("requests_stats", c.requests_stats.load(Ordering::Relaxed)),
             (
@@ -512,6 +565,8 @@ impl CompileService {
             ("mem_module", self.modules.stats()),
             ("mem_unit", self.units.stats()),
             ("mem_sim", self.sims.stats()),
+            ("mem_func_analysis", self.func_cache.analysis_stats()),
+            ("mem_func_emit", self.func_cache.emit_stats()),
         ] {
             out.push((format!("{tier}_hits"), cache_stats.hits));
             out.push((format!("{tier}_misses"), cache_stats.misses));

@@ -133,6 +133,141 @@ fn daemon_responses_are_byte_identical_to_local_compiles() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Ident-boundary rename of `from` across the whole source (definition and
+/// call sites), so a variant differs from the base in exactly one function.
+fn rename_ident(source: &str, from: &str, to: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while let Some(pos) = source[i..].find(from) {
+        let abs = i + pos;
+        let end = abs + from.len();
+        let left_ok = abs == 0 || !is_ident_char(bytes[abs - 1] as char);
+        let right_ok = end == bytes.len() || !is_ident_char(bytes[end] as char);
+        out.push_str(&source[i..abs]);
+        out.push_str(if left_ok && right_ok { to } else { from });
+        i = end;
+    }
+    out.push_str(&source[i..]);
+    out
+}
+
+/// First defined function whose name is not `entry`.
+fn first_helper_name(source: &str, entry: &str) -> String {
+    let mut off = 0;
+    while let Some(pos) = source[off..].find("fn ") {
+        let abs = off + pos;
+        let name: String = source[abs + 3..]
+            .chars()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        if !name.is_empty() && name != entry {
+            return name;
+        }
+        off = abs + 3;
+    }
+    panic!("no helper function in source");
+}
+
+/// A cold `CompileBatch` of near-identical variants returns exactly the
+/// bytes that individual `Compile` requests produce, reports per-item
+/// failures without failing the batch, and dedups the variants' shared
+/// functions through the function-granular cache.
+#[test]
+fn batched_variant_compiles_equal_individual_compiles() {
+    let bench = spt_bench_suite::benchmark("gzip_s").expect("exists");
+    let helper = first_helper_name(bench.source, bench.entry);
+    // Variants share every function except one renamed helper. Renaming
+    // changes only that function's IR (calls lower to FuncIds), so a batch
+    // of K variants should cost ~1 module analysis plus K splices.
+    let sources = [
+        bench.source.to_string(),
+        rename_ident(bench.source, &helper, &format!("{helper}_va")),
+        rename_ident(bench.source, &helper, &format!("{helper}_vb")),
+    ];
+    let bad_source = "fn main(n: int) -> int { return oops; }".to_string();
+    let req_for = |source: &str| CompileReq {
+        source: source.to_string(),
+        entry: bench.entry.to_string(),
+        train: bench.train_arg,
+        config_id: 1,
+        want_module_text: true,
+    };
+
+    // Reference daemon: one individual compile per variant.
+    let dir_a = temp_dir("batch-ref");
+    let service = Arc::new(CompileService::new(ServiceConfig {
+        cache_dir: Some(dir_a.join("cache")),
+        ..ServiceConfig::default()
+    }));
+    let handle = serve(service, dir_a.join("sptd.sock"), 2).expect("daemon starts");
+    let mut client = Client::connect(handle.socket_path()).expect("connects");
+    let individual: Vec<_> = sources
+        .iter()
+        .map(|s| client.compile(req_for(s)).expect("individual compile"))
+        .collect();
+    let bad_err = match client.compile(req_for(&bad_source)) {
+        Err(spt_serve::ClientError::Server(msg)) => msg,
+        other => panic!("bad source should fail server-side, got {other:?}"),
+    };
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir_a);
+
+    // Fresh daemon: the same work as one cold batch.
+    let dir_b = temp_dir("batch-cold");
+    let service = Arc::new(CompileService::new(ServiceConfig {
+        cache_dir: Some(dir_b.join("cache")),
+        ..ServiceConfig::default()
+    }));
+    let handle = serve(service, dir_b.join("sptd.sock"), 2).expect("daemon starts");
+    let mut client = Client::connect(handle.socket_path()).expect("connects");
+    let mut reqs: Vec<_> = sources.iter().map(|s| req_for(s)).collect();
+    reqs.push(req_for(&bad_source));
+    let batch = client.compile_batch(reqs).expect("batch call");
+    assert_eq!(batch.len(), 4, "one result per submitted item");
+
+    for (i, (item, reference)) in batch.iter().zip(&individual).enumerate() {
+        let resp = item
+            .as_ref()
+            .unwrap_or_else(|e| panic!("item {i} failed: {e}"));
+        assert_eq!(
+            resp.report_debug, reference.report_debug,
+            "variant {i}: batch report differs from individual compile"
+        );
+        assert_eq!(
+            resp.analyze_text, reference.analyze_text,
+            "variant {i}: batch analyze text differs"
+        );
+        assert_eq!(
+            resp.module_text, reference.module_text,
+            "variant {i}: batch module text differs"
+        );
+    }
+    match &batch[3] {
+        Err(msg) => assert_eq!(msg, &bad_err, "per-item error text differs"),
+        Ok(_) => panic!("bad item must fail inside the batch"),
+    }
+
+    let stats: HashMap<String, u64> = client.stats().expect("stats").into_iter().collect();
+    assert_eq!(
+        stats.get("requests_compile_batch"),
+        Some(&1),
+        "batch counter: {stats:?}"
+    );
+    assert!(
+        stats.get("mem_func_analysis_hits").copied().unwrap_or(0) > 0,
+        "variants must dedup shared functions through the func cache: {stats:?}"
+    );
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
 /// N clients racing for the same cold unit: every response bit-identical,
 /// and the daemon ran the pipeline exactly once (single-flight).
 #[test]

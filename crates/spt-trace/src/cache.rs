@@ -27,6 +27,7 @@ use std::sync::Arc;
 use spt_sim::{LoopSimStats, MachineConfig, SimResult};
 
 use crate::codec::{get_varint, put_varint, Fnv};
+use crate::func_unit::{FuncAnalysisUnit, FUNC_UNIT_FORMAT_VERSION};
 use crate::trace::{Trace, TRACE_FORMAT_VERSION};
 
 /// Magic prefix of simulation-memo artifact files.
@@ -250,13 +251,29 @@ impl ArtifactCache {
 
     fn load_bytes(&self, path: &Path) -> LoadOutcome<Vec<u8>> {
         match std::fs::read(path) {
-            Ok(bytes) => LoadOutcome::Hit(bytes),
+            Ok(bytes) => {
+                Self::stamp_access(path);
+                LoadOutcome::Hit(bytes)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => LoadOutcome::Miss,
             Err(e) => {
                 self.evict(path);
                 LoadOutcome::Corrupt(format!("unreadable cache file: {e}"))
             }
         }
+    }
+
+    /// Bumps the file's modification time to "now" on a successful load, so
+    /// [`ArtifactCache::enforce_budget`]'s oldest-mtime eviction order is a
+    /// least-recently-*used* order rather than creation order — a hot entry
+    /// that is read on every run keeps renewing its lease. Errors are ignored
+    /// by the usual accelerator contract (a read-only cache directory simply
+    /// degrades back to FIFO eviction).
+    fn stamp_access(path: &Path) {
+        let _ = std::fs::File::options()
+            .append(true)
+            .open(path)
+            .and_then(|f| f.set_modified(std::time::SystemTime::now()));
     }
 
     /// Deletes a cache file whose contents failed validation. Files are
@@ -312,6 +329,44 @@ impl ArtifactCache {
     /// Store a simulation-result memo under `key`.
     pub fn store_sim(&self, key: u64, result: &SimResult) {
         self.store_bytes(&self.path_for("sim", key), &encode_sim(result));
+    }
+
+    /// Key for a function-granular analysis unit: the function's own content
+    /// hash, its index in the module (instruction/block indices in the unit
+    /// are function-local, but profile slices are keyed by function id), and
+    /// a context hash folding everything else the analysis reads (config,
+    /// globals, callee effect summaries, profile slice — computed by the
+    /// pipeline's incremental layer). The format version participates so a
+    /// codec change retires old entries to clean misses.
+    pub fn func_unit_key(function_hash: u64, func_index: u64, context_hash: u64) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"func");
+        h.update_u64(FUNC_UNIT_FORMAT_VERSION as u64);
+        h.update_u64(function_hash);
+        h.update_u64(func_index);
+        h.update_u64(context_hash);
+        h.finish()
+    }
+
+    /// Probe for a function-analysis unit under `key`.
+    pub fn load_func_unit(&self, key: u64) -> LoadOutcome<FuncAnalysisUnit> {
+        let path = self.path_for("func", key);
+        match self.load_bytes(&path) {
+            LoadOutcome::Hit(bytes) => match FuncAnalysisUnit::from_bytes(&bytes) {
+                Ok(u) => LoadOutcome::Hit(u),
+                Err(e) => {
+                    self.evict(&path);
+                    LoadOutcome::Corrupt(format!("{}: {e}", path.display()))
+                }
+            },
+            LoadOutcome::Miss => LoadOutcome::Miss,
+            LoadOutcome::Corrupt(e) => LoadOutcome::Corrupt(e),
+        }
+    }
+
+    /// Store a function-analysis unit under `key`.
+    pub fn store_func_unit(&self, key: u64, unit: &FuncAnalysisUnit) {
+        self.store_bytes(&self.path_for("func", key), &unit.to_bytes());
     }
 }
 
@@ -577,7 +632,7 @@ mod tests {
     }
 
     #[test]
-    fn byte_budget_evicts_oldest_first() {
+    fn byte_budget_evicts_least_recently_used_first() {
         let dir = temp_dir("budget");
         let r = sample_sim();
         let one = encode_sim(&r).len() as u64;
@@ -589,6 +644,10 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         cache.store_sim(2, &r);
         std::thread::sleep(std::time::Duration::from_millis(20));
+        // A hit renews key 1's lease (access stamp), so the cold key 2 —
+        // not the oldest-created key 1 — is the next victim.
+        assert!(matches!(cache.load_sim(1), LoadOutcome::Hit(_)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
         cache.store_sim(3, &r);
         assert!(
             cache.disk_bytes() <= one * 2 + one / 2,
@@ -596,9 +655,56 @@ mod tests {
             cache.disk_bytes()
         );
         assert!(cache.counters().budget_evictions.load(Ordering::Relaxed) >= 1);
-        // The oldest key was the victim; the newest survives.
-        assert!(matches!(cache.load_sim(1), LoadOutcome::Miss));
+        assert!(matches!(cache.load_sim(2), LoadOutcome::Miss));
+        assert!(matches!(cache.load_sim(1), LoadOutcome::Hit(_)));
         assert!(matches!(cache.load_sim(3), LoadOutcome::Hit(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn load_hits_bump_the_access_stamp() {
+        let cache = ArtifactCache::new(temp_dir("stamp"));
+        let r = sample_sim();
+        cache.store_sim(5, &r);
+        let path = cache.path_for("sim", 5);
+        let created = std::fs::metadata(&path).unwrap().modified().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(cache.load_sim(5), LoadOutcome::Hit(_)));
+        let touched = std::fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(
+            touched > created,
+            "hit must renew the entry's mtime lease ({created:?} -> {touched:?})"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn func_unit_store_and_load() {
+        let cache = ArtifactCache::new(temp_dir("funcunit"));
+        let unit = FuncAnalysisUnit {
+            fragments: vec![crate::func_unit::LoopFragment {
+                header: 2,
+                canonical: true,
+                cost_bits: 1.25f64.to_bits(),
+                move_insts: vec![0, 3],
+                ..Default::default()
+            }],
+        };
+        let key = ArtifactCache::func_unit_key(0xabcd, 1, 0x1234);
+        assert!(matches!(cache.load_func_unit(key), LoadOutcome::Miss));
+        cache.store_func_unit(key, &unit);
+        assert_eq!(
+            match cache.load_func_unit(key) {
+                LoadOutcome::Hit(u) => u,
+                other => panic!("expected hit, got {other:?}"),
+            },
+            unit
+        );
+        // Corruption degrades to Corrupt then Miss, like every other kind.
+        let path = cache.path_for("func", key);
+        std::fs::write(&path, b"scribble").unwrap();
+        assert!(matches!(cache.load_func_unit(key), LoadOutcome::Corrupt(_)));
+        assert!(matches!(cache.load_func_unit(key), LoadOutcome::Miss));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -656,5 +762,9 @@ mod tests {
             ArtifactCache::sim_key(1, "main", &[5], &m1),
             ArtifactCache::sim_key(1, "main", &[5], &m2)
         );
+        let f1 = ArtifactCache::func_unit_key(10, 0, 99);
+        assert_ne!(f1, ArtifactCache::func_unit_key(11, 0, 99));
+        assert_ne!(f1, ArtifactCache::func_unit_key(10, 1, 99));
+        assert_ne!(f1, ArtifactCache::func_unit_key(10, 0, 98));
     }
 }

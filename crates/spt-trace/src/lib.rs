@@ -26,12 +26,16 @@
 pub mod cache;
 pub mod capture;
 pub mod codec;
+pub mod func_unit;
+pub mod mem_cache;
 pub mod replay_profile;
 pub mod replay_sim;
 pub mod trace;
 
 pub use cache::{sim_from_bytes, sim_to_bytes, ArtifactCache, CacheCounters, LoadOutcome};
 pub use capture::{svp_watch_set, CaptureProfiler, WatchSet};
+pub use func_unit::{FuncAnalysisUnit, LoopFragment, FUNC_UNIT_FORMAT_VERSION};
+pub use mem_cache::{ShardStats, ShardedLru};
 pub use replay_profile::{replay_profile, ReplayError, ReplayLimits};
 pub use replay_sim::{has_spt_markers, replay_sim};
 pub use trace::{Trace, TraceCursor, TRACE_FORMAT_VERSION};

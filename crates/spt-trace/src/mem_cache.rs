@@ -1,13 +1,15 @@
 //! Sharded, byte-bounded in-memory LRU for hot compilation artifacts.
 //!
-//! The daemon keeps decoded frontend modules, whole compiled units
-//! (transformed module + report renderings), captured traces and
-//! `SimResult`s *hot* in front of the on-disk `.spt-cache/`: a warm request
-//! costs one shard lock and an `Arc` clone instead of file I/O plus
-//! deserialization. Keys are 64-bit content addresses (FNV over the artifact
-//! kind, `Module::content_hash`, configuration hash, entry, and inputs — see
-//! [`crate::service`]), so an entry is immutable: a changed input is a new
-//! key, never an in-place update.
+//! The compile daemon keeps decoded frontend modules, whole compiled units
+//! (transformed module + report renderings), captured traces, `SimResult`s
+//! and per-function analysis/emission units *hot* in front of the on-disk
+//! `.spt-cache/`: a warm probe costs one shard lock and an `Arc` clone
+//! instead of file I/O plus deserialization. Keys are 64-bit content
+//! addresses (FNV over the artifact kind, `Module::content_hash` or
+//! `Function::content_hash`, configuration hash, entry, and inputs — see
+//! `spt-serve`'s service layer and `spt-core`'s incremental cache), so an
+//! entry is immutable: a changed input is a new key, never an in-place
+//! update.
 //!
 //! Layout: `shards` independent [`Mutex`]-guarded maps; a key's shard is
 //! picked by its high bits (the low bits already position entries within the

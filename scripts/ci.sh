@@ -128,6 +128,26 @@ if [[ -e "$sptd_dir/sptd.sock" ]]; then
 fi
 rm -rf "$sptd_dir"
 
+echo "== incremental recompile: splice equality + per-function hit gate =="
+# The function-granular cache may never change an answer: cold, warm, and
+# cache-off compiles must be byte-identical, and a one-function edit must
+# invalidate only that function's units (counter-pinned per suite program).
+cargo test -q --release --test incremental_equivalence
+# perfbench --incremental dies by itself if any spliced report differs
+# from a cold compile or the warm edit-one-function recompile is < 5x
+# faster; additionally require that every measured warm round actually hit
+# the per-function cache.
+inc_out=$(cargo run --release -q -p spt-bench --bin perfbench -- --incremental --smoke)
+echo "$inc_out"
+if ! grep -q 'reports byte-identical' <<<"$inc_out"; then
+  echo "FAIL: perfbench --incremental did not confirm report identity" >&2
+  exit 1
+fi
+if grep -Eq 'analysis units: 0 hits' <<<"$inc_out"; then
+  echo "FAIL: a warm incremental round served no per-function cache hits" >&2
+  exit 1
+fi
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 # spt-core and spt-trace deny unwrap/expect crate-wide, and the execution
